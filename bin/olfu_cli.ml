@@ -1,0 +1,470 @@
+(* olfu — on-line functionally untestable fault identification.
+
+   Subcommands mirror the paper's flow: generate the case-study SoC, run
+   the identification flow (Table I), trace scan chains, analyze memory
+   maps, compute the Fig. 1 category sets, and grade the SBST suite. *)
+
+open Cmdliner
+open Olfu_netlist
+
+let config_of_name = function
+  | "tcore32" -> Ok Olfu_soc.Soc.tcore32
+  | "tcore32_dft" -> Ok Olfu_soc.Soc.tcore32_dft
+  | "tcore16" -> Ok Olfu_soc.Soc.tcore16
+  | s ->
+    Error
+      (`Msg
+        (Printf.sprintf "unknown config %S (tcore32|tcore32_dft|tcore16)" s))
+
+let config_conv =
+  Arg.conv
+    ( (fun s -> config_of_name s),
+      fun ppf c -> Format.pp_print_string ppf c.Olfu_soc.Soc.name )
+
+let config_arg =
+  Arg.(
+    value
+    & opt config_conv Olfu_soc.Soc.tcore32
+    & info [ "c"; "config" ] ~docv:"CONFIG"
+        ~doc:"SoC configuration: tcore32 or tcore16.")
+
+let file_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "f"; "file" ] ~docv:"FILE"
+        ~doc:
+          "Structural-Verilog netlist to analyze instead of a generated \
+           configuration (roles read from //@role annotations).")
+
+let ff_mode_arg =
+  let parse = function
+    | "steady" -> Ok Olfu_atpg.Ternary.Steady_state
+    | "join" -> Ok Olfu_atpg.Ternary.Reset_join
+    | "cut" -> Ok Olfu_atpg.Ternary.Cut
+    | s -> Error (`Msg (Printf.sprintf "unknown ff-mode %S" s))
+  in
+  let print ppf m =
+    Format.pp_print_string ppf
+      (match m with
+      | Olfu_atpg.Ternary.Steady_state -> "steady"
+      | Olfu_atpg.Ternary.Reset_join -> "join"
+      | Olfu_atpg.Ternary.Cut -> "cut")
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Olfu_atpg.Ternary.Steady_state
+    & info [ "ff-mode" ] ~docv:"MODE"
+        ~doc:
+          "Sequential constant propagation: steady (mission reading, \
+           default), join (sound always-constant), cut (per-block).")
+
+let load_netlist cfg = function
+  | Some path -> (Olfu_verilog.Elaborate.netlist_of_file path, cfg)
+  | None -> (Olfu_soc.Soc.generate cfg, cfg)
+
+let mission_of cfg nl = function
+  | None -> Olfu.Mission.of_soc cfg nl
+  | Some _ ->
+    (* file input: derive the mission from the embedded roles and assume
+       the paper's memory map *)
+    Olfu.Mission.of_roles
+      ~memmap:(Olfu_manip.Memmap.paper_case_study ())
+      ~address_width:32 nl
+
+(* --- generate --- *)
+
+let generate cfg out =
+  let nl = Olfu_soc.Soc.generate cfg in
+  Format.printf "%s: %a@." cfg.Olfu_soc.Soc.name Netlist.pp_summary nl;
+  match out with
+  | None -> `Ok ()
+  | Some path ->
+    Olfu_verilog.Emit.to_file ~module_name:cfg.Olfu_soc.Soc.name nl path;
+    Format.printf "wrote %s@." path;
+    `Ok ()
+
+let generate_cmd =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write Verilog here.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate the tcore SoC netlist (Verilog).")
+    Term.(ret (const generate $ config_arg $ out))
+
+(* --- analyze --- *)
+
+let analyze cfg file ff_mode paper =
+  let nl, cfg = load_netlist cfg file in
+  Format.printf "%a@." Netlist.pp_summary nl;
+  let mission = mission_of cfg nl file in
+  let report = Olfu.Flow.run ~ff_mode nl mission in
+  Format.printf "@.%a@." (Olfu.Flow.pp_table1 ~paper) report;
+  Format.printf "@.%a@." Olfu_fault.Flist.pp_summary report.Olfu.Flow.flist;
+  `Ok ()
+
+let analyze_cmd =
+  let paper =
+    Arg.(
+      value & flag
+      & info [ "paper" ] ~doc:"Show the paper's Table I numbers alongside.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Run the on-line untestable fault identification flow (Table I).")
+    Term.(ret (const analyze $ config_arg $ file_arg $ ff_mode_arg $ paper))
+
+(* --- trace-scan --- *)
+
+let trace_scan cfg file =
+  let nl, _ = load_netlist cfg file in
+  let chains = Olfu_manip.Scan_trace.trace nl in
+  if chains = [] then Format.printf "no scan chains found@."
+  else
+    List.iteri
+      (fun i c ->
+        Format.printf "chain %d: %a@." i
+          (Olfu_manip.Scan_trace.pp_chain nl)
+          c)
+      chains;
+  let faults = Olfu_manip.Scan_trace.untestable_faults nl in
+  Format.printf "scan rule prunes %d faults@." (List.length faults);
+  `Ok ()
+
+let trace_scan_cmd =
+  Cmd.v
+    (Cmd.info "trace-scan" ~doc:"Trace scan chains and apply the scan rule.")
+    Term.(ret (const trace_scan $ config_arg $ file_arg))
+
+(* --- memmap --- *)
+
+let memmap width regions paper =
+  let regions =
+    if paper || regions = [] then Olfu_manip.Memmap.paper_case_study ()
+    else
+      List.map
+        (fun (lo, hi) -> Olfu_manip.Memmap.region ~lo ~hi ())
+        regions
+  in
+  Format.printf "%a@." (Olfu_manip.Memmap.pp_report ~width) regions;
+  `Ok ()
+
+let memmap_cmd =
+  let width =
+    Arg.(
+      value & opt int 32
+      & info [ "w"; "width" ] ~docv:"BITS" ~doc:"Address width.")
+  in
+  let region_conv =
+    let parse s =
+      match String.split_on_char ':' s with
+      | [ lo; hi ] -> (
+        try Ok (int_of_string lo, int_of_string hi)
+        with _ -> Error (`Msg "expected LO:HI"))
+      | _ -> Error (`Msg "expected LO:HI")
+    in
+    Arg.conv (parse, fun ppf (lo, hi) -> Format.fprintf ppf "0x%X:0x%X" lo hi)
+  in
+  let regions =
+    Arg.(
+      value & opt_all region_conv []
+      & info [ "r"; "region" ] ~docv:"LO:HI"
+          ~doc:"Populated address range (repeatable; 0x prefixes accepted).")
+  in
+  let paper =
+    Arg.(
+      value & flag
+      & info [ "paper" ] ~doc:"Use the paper's flash/RAM ranges.")
+  in
+  Cmd.v
+    (Cmd.info "memmap"
+       ~doc:"Compute free and mission-constant address bits (Sec. 3.3).")
+    Term.(ret (const memmap $ width $ regions $ paper))
+
+(* --- categories --- *)
+
+let categories cfg file ff_mode =
+  let nl, cfg = load_netlist cfg file in
+  let mission = mission_of cfg nl file in
+  let s = Olfu.Categories.compute ~ff_mode nl mission in
+  Format.printf "%a@." Olfu.Categories.pp s;
+  `Ok ()
+
+let categories_cmd =
+  Cmd.v
+    (Cmd.info "categories"
+       ~doc:"Compute the Fig. 1 fault-category sets and their inclusions.")
+    Term.(ret (const categories $ config_arg $ file_arg $ ff_mode_arg))
+
+(* --- coverage --- *)
+
+let coverage cfg sample =
+  let nl = Olfu_soc.Soc.generate cfg in
+  let mission = Olfu.Mission.of_soc cfg nl in
+  let report = Olfu.Flow.run nl mission in
+  Format.printf "%a@.@." (Olfu.Flow.pp_table1 ~paper:false) report;
+  let fl = report.Olfu.Flow.flist in
+  let rng = Random.State.make [| 42 |] in
+  let n = Olfu_fault.Flist.size fl in
+  let chosen = Hashtbl.create sample in
+  while Hashtbl.length chosen < min sample n do
+    Hashtbl.replace chosen (Random.State.int rng n) ()
+  done;
+  let idx = List.sort compare (Hashtbl.fold (fun i () a -> i :: a) chosen []) in
+  let faults =
+    Array.of_list (List.map (Olfu_fault.Flist.fault fl) idx)
+  in
+  let sub = Olfu_fault.Flist.create nl faults in
+  List.iteri
+    (fun k i -> Olfu_fault.Flist.set_status sub k (Olfu_fault.Flist.status fl i))
+    idx;
+  let summary = Olfu_sbst.Coverage.grade cfg nl sub (Olfu_sbst.Programs.suite cfg) in
+  Format.printf "%a@." Olfu_sbst.Coverage.pp_summary summary;
+  `Ok ()
+
+let coverage_cmd =
+  let sample =
+    Arg.(
+      value & opt int 1000
+      & info [ "s"; "sample" ] ~docv:"N" ~doc:"Fault sample size.")
+  in
+  Cmd.v
+    (Cmd.info "coverage"
+       ~doc:"Grade the SBST suite before/after pruning (tcore16 advised).")
+    Term.(ret (const coverage $ config_arg $ sample))
+
+(* --- report --- *)
+
+let report cfg out =
+  let buf = Buffer.create 4096 in
+  let pf fmt = Format.kasprintf (Buffer.add_string buf) fmt in
+  let nl = Olfu_soc.Soc.generate cfg in
+  let mission = Olfu.Mission.of_soc cfg nl in
+  pf "# OLFU report — %s@.@." cfg.Olfu_soc.Soc.name;
+  pf "## Netlist@.@.```@.%a@.```@.@." Netlist.pp_summary nl;
+  pf "## Mission configuration@.@.```@.%a@.```@.@." Olfu.Mission.pp mission;
+  let r = Olfu.Flow.run nl mission in
+  pf "## Identification (Table I analogue)@.@.```@.%a@.```@.@."
+    (Olfu.Flow.pp_table1 ~paper:true) r;
+  pf "## Fault classes@.@.```@.%a@.```@.@." Olfu_fault.Flist.pp_summary
+    r.Olfu.Flow.flist;
+  let cats = Olfu.Categories.compute nl mission in
+  pf "## Fig. 1 categories@.@.```@.%a@.```@.@." Olfu.Categories.pp cats;
+  let tdf = Olfu.Tdf_flow.run nl mission in
+  pf "## Transition-delay extension@.@.```@.%a@.```@.@." Olfu.Tdf_flow.pp tdf;
+  let findings = Olfu_manip.Dft_lint.run nl in
+  pf "## DfT lint@.@.```@.%a@.```@.@."
+    (Olfu_manip.Dft_lint.pp_report nl)
+    findings;
+  let text = Buffer.contents buf in
+  (match out with
+  | None -> print_string text
+  | Some path ->
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc;
+    Format.printf "wrote %s@." path);
+  `Ok ()
+
+let report_cmd =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write markdown here.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Full markdown report: flow, categories, TDF extension, lint.")
+    Term.(ret (const report $ config_arg $ out))
+
+(* --- lint --- *)
+
+let lint cfg file =
+  let nl, _ = load_netlist cfg file in
+  let findings = Olfu_manip.Dft_lint.run nl in
+  Format.printf "%a@." (Olfu_manip.Dft_lint.pp_report nl) findings;
+  if Olfu_manip.Dft_lint.errors findings <> [] then
+    `Error (false, "lint reported errors")
+  else `Ok ()
+
+let lint_cmd =
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Design-for-testability lint (scan, reset, dead logic, SCOAP).")
+    Term.(ret (const lint $ config_arg $ file_arg))
+
+(* --- equiv --- *)
+
+let equiv file_a file_b assume_zero =
+  let a = Olfu_verilog.Elaborate.netlist_of_file file_a in
+  let b = Olfu_verilog.Elaborate.netlist_of_file file_b in
+  let assume =
+    List.concat_map
+      (fun s ->
+        String.split_on_char ',' s
+        |> List.filter (fun x -> x <> "")
+        |> List.map (fun n -> (n, false)))
+      assume_zero
+  in
+  (match Olfu_atpg.Equiv.check ~assume a b with
+  | Olfu_atpg.Equiv.Equivalent -> Format.printf "EQUIVALENT@."
+  | Olfu_atpg.Equiv.No_common_observables ->
+    Format.printf "no commonly named outputs/flops to compare@."
+  | Olfu_atpg.Equiv.Unknown -> Format.printf "UNKNOWN (budget exhausted)@."
+  | Olfu_atpg.Equiv.Counterexample cex ->
+    Format.printf "NOT equivalent; distinguishing assignment:@.";
+    List.iter
+      (fun (n, v) -> Format.printf "  %s = %d@." n (Bool.to_int v))
+      cex);
+  `Ok ()
+
+let equiv_cmd =
+  let file k doc =
+    Arg.(required & pos k (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let assume =
+    Arg.(
+      value & opt_all string []
+      & info [ "assume-zero" ] ~docv:"NAMES"
+          ~doc:"Comma-separated input names assumed tied to 0.")
+  in
+  Cmd.v
+    (Cmd.info "equiv"
+       ~doc:"SAT equivalence check between two Verilog netlists.")
+    Term.(
+      ret
+        (const equiv
+        $ file 0 "First netlist."
+        $ file 1 "Second netlist."
+        $ assume))
+
+(* --- simulate --- *)
+
+let simulate cfg prog_name asm_file vcd_out =
+  let nl = Olfu_soc.Soc.generate cfg in
+  let progs = Olfu_sbst.Programs.suite cfg in
+  let resolved =
+    match asm_file with
+    | Some path -> (
+      try Ok (Filename.basename path, Olfu_sbst.Asm.assemble (Olfu_sbst.Asm.parse_file path))
+      with
+      | Olfu_sbst.Asm.Parse_error { line; message } ->
+        Error (Printf.sprintf "%s:%d: %s" path line message)
+      | Invalid_argument m -> Error m)
+    | None -> (
+      match
+        List.find_opt (fun p -> p.Olfu_sbst.Programs.pname = prog_name) progs
+      with
+      | Some p ->
+        Ok (p.Olfu_sbst.Programs.pname, Olfu_sbst.Programs.assemble p)
+      | None ->
+        let names =
+          String.concat ", "
+            (List.map (fun p -> p.Olfu_sbst.Programs.pname) progs)
+        in
+        Error (Printf.sprintf "unknown program %S (one of: %s)" prog_name names))
+  in
+  match resolved with
+  | Error m -> `Error (false, m)
+  | Ok (label, program) ->
+    ignore label;
+    let run = Olfu_sbst.Testbench.record cfg nl ~program in
+    Format.printf "%s: %d cycles, halted=%b, %d bus writes@."
+      label run.Olfu_sbst.Testbench.cycles
+      run.Olfu_sbst.Testbench.halted
+      (List.length run.Olfu_sbst.Testbench.writes);
+    List.iteri
+      (fun i (a, v) ->
+        if i < 12 then Format.printf "  mem[0x%X] <- 0x%X@." a v)
+      run.Olfu_sbst.Testbench.writes;
+    (match vcd_out with
+    | None -> ()
+    | Some path ->
+      (* replay while sampling a waveform *)
+      let sim = Olfu_sim.Seq_sim.create ~init:Olfu_logic.Logic4.X nl in
+      let vcd = Olfu_sim.Vcd.create nl in
+      Array.iter
+        (fun step ->
+          List.iter
+            (fun (i, v) -> Olfu_sim.Seq_sim.set_input sim i v)
+            step.Olfu_fsim.Seq_fsim.assign;
+          Olfu_sim.Seq_sim.settle sim;
+          Olfu_sim.Vcd.sample vcd sim;
+          Olfu_sim.Seq_sim.step sim)
+        run.Olfu_sbst.Testbench.stimulus;
+      Olfu_sim.Vcd.to_file ~modname:cfg.Olfu_soc.Soc.name vcd path;
+      Format.printf "wrote %s@." path);
+    `Ok ()
+
+let simulate_cmd =
+  let prog =
+    Arg.(
+      value
+      & opt string "register_march"
+      & info [ "p"; "program" ] ~docv:"NAME" ~doc:"Bundled SBST program.")
+  in
+  let asm =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "f"; "asm" ] ~docv:"FILE"
+          ~doc:"Assembly source to run instead of a bundled program.")
+  in
+  let vcd =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "vcd" ] ~docv:"FILE" ~doc:"Dump a VCD waveform of the run.")
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Run an SBST program on the gate-level SoC (optional VCD).")
+    Term.(ret (const simulate $ config_arg $ prog $ asm $ vcd))
+
+(* --- atpg --- *)
+
+let atpg cfg prune =
+  let nl = Olfu_soc.Soc.generate cfg in
+  let fl =
+    if prune then begin
+      let mission = Olfu.Mission.of_soc cfg nl in
+      let report = Olfu.Flow.run nl mission in
+      Format.printf "%a@.@." (Olfu.Flow.pp_table1 ~paper:false) report;
+      report.Olfu.Flow.flist
+    end
+    else Olfu_fault.Flist.full nl
+  in
+  let r = Olfu_atpg.Atpg_flow.run ~backtrack_limit:400 nl fl in
+  Format.printf "%a@." Olfu_atpg.Atpg_flow.pp r;
+  Format.printf "@.%a@." Olfu_fault.Flist.pp_summary fl;
+  `Ok ()
+
+let atpg_cmd =
+  let prune =
+    Arg.(
+      value & flag
+      & info [ "prune" ]
+          ~doc:"Run the OLFU identification flow first (the paper's point).")
+  in
+  Cmd.v
+    (Cmd.info "atpg"
+       ~doc:
+         "Two-phase test generation (random + PODEM) on the full-access           view; use --prune to see the effort reduction.")
+    Term.(ret (const atpg $ config_arg $ prune))
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "olfu" ~version:"1.0.0"
+       ~doc:
+         "On-line functionally untestable fault identification in embedded \
+          processor cores (DATE 2013 reproduction).")
+    [
+      generate_cmd; analyze_cmd; trace_scan_cmd; memmap_cmd; categories_cmd;
+      coverage_cmd; atpg_cmd; simulate_cmd; equiv_cmd; lint_cmd; report_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,57 @@
+(* The paper's headline effect (Sec. 4): running a mature SBST suite and
+   then pruning the on-line functionally untestable faults raises the
+   reported fault coverage by roughly the pruned fraction.
+
+   We reproduce it on the scaled-down tcore16: classify OLFU faults with
+   the flow, grade the SBST suite with the sequential fault simulator on a
+   random fault sample (fault sampling is standard industrial practice for
+   sequential grading), and report coverage before and after pruning. *)
+
+open Olfu_fault
+
+let sample_flist fl ~seed ~size =
+  let rng = Random.State.make [| seed |] in
+  let n = Flist.size fl in
+  let chosen = Hashtbl.create size in
+  while Hashtbl.length chosen < min size n do
+    Hashtbl.replace chosen (Random.State.int rng n) ()
+  done;
+  let idx = Hashtbl.fold (fun i () acc -> i :: acc) chosen [] in
+  let idx = List.sort compare idx in
+  let faults = Array.of_list (List.map (Flist.fault fl) idx) in
+  let sample = Flist.create (Flist.netlist fl) faults in
+  List.iteri (fun k i -> Flist.set_status sample k (Flist.status fl i)) idx;
+  sample
+
+let () =
+  let sample_size =
+    match Sys.argv with
+    | [| _; n |] -> int_of_string n
+    | _ -> 1500
+  in
+  let cfg = Olfu_soc.Soc.tcore16 in
+  Format.printf "generating %s ...@." cfg.Olfu_soc.Soc.name;
+  let nl = Olfu_soc.Soc.generate cfg in
+  Format.printf "%a@." Olfu_netlist.Stats.pp (Olfu_netlist.Stats.of_netlist nl);
+  let mission = Olfu.Mission.of_soc cfg nl in
+  let report = Olfu.Flow.run nl mission in
+  Format.printf "%a@.@." (Olfu.Flow.pp_table1 ~paper:false) report;
+  let sample = sample_flist report.Olfu.Flow.flist ~seed:42 ~size:sample_size in
+  Format.printf "grading SBST suite on a %d-fault sample ...@."
+    (Flist.size sample);
+  let t0 = Unix.gettimeofday () in
+  let summary =
+    Olfu_sbst.Coverage.grade cfg nl sample (Olfu_sbst.Programs.suite cfg)
+  in
+  Format.printf "%a@." Olfu_sbst.Coverage.pp_summary summary;
+  Format.printf "grading time: %.1f s@." (Unix.gettimeofday () -. t0);
+  let delta =
+    100.
+    *. (summary.Olfu_sbst.Coverage.pruned_coverage
+       -. summary.Olfu_sbst.Coverage.raw_coverage)
+  in
+  Format.printf
+    "@.coverage gained by pruning OLFU faults: %+.1f points (paper: ~13)@."
+    delta;
+  Format.printf "%a@." Olfu.Safety.pp_verdict
+    (Olfu.Safety.assess Olfu.Safety.D sample)

@@ -1,0 +1,15 @@
+(* Full reproduction of the paper's Sec. 4 case study on the synthetic
+   tcore32 SoC: generate the netlist, run the four-step identification
+   flow, and print the Table I equivalent next to the paper's numbers. *)
+
+let () =
+  let cfg = Olfu_soc.Soc.tcore32 in
+  Format.printf "generating %a ...@." Olfu_soc.Soc.pp_config cfg;
+  let nl = Olfu_soc.Soc.generate cfg in
+  Format.printf "%a@." Olfu_netlist.Stats.pp (Olfu_netlist.Stats.of_netlist nl);
+  let mission = Olfu.Mission.of_soc cfg nl in
+  Format.printf "%a@." Olfu.Mission.pp mission;
+  let report = Olfu.Flow.run nl mission in
+  Format.printf "@.%a@." (Olfu.Flow.pp_table1 ~paper:true) report;
+  (* the pruning effect on a hypothetical 85%-raw-coverage campaign *)
+  Format.printf "@.%a@." Olfu_fault.Flist.pp_summary report.Olfu.Flow.flist

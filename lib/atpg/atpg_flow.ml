@@ -1,0 +1,159 @@
+open Olfu_logic
+open Olfu_netlist
+open Olfu_fault
+
+type result = {
+  patterns : Olfu_fsim.Comb_fsim.pattern list;
+  detected : int;
+  proved_untestable : int;
+  aborted : int;
+  random_patterns : int;
+  sat_settled : int;
+  seconds : float;
+}
+
+let active st =
+  match (st : Status.t) with
+  | Status.Not_analyzed | Status.Not_detected -> true
+  | _ -> false
+
+let run ?(seed = 1) ?(random_batch = 64) ?(max_random_batches = 32)
+    ?(backtrack_limit = 2_000) ?(use_sat = true)
+    ?(sat_conflict_limit = 50_000) ?(observable_output = fun _ -> true)
+    ?(observe_captures = true) nl fl =
+  let t0 = Unix.gettimeofday () in
+  let guide = Scoap.run nl in
+  let rng = Random.State.make [| seed |] in
+  let srcs = Array.append (Netlist.inputs nl) (Netlist.seq_nodes nl) in
+  let patterns = ref [] in
+  let random_patterns = ref 0 in
+  (* phase 1: random patterns with fault dropping *)
+  let exhausted = ref false in
+  let batches = ref 0 in
+  while (not !exhausted) && !batches < max_random_batches do
+    incr batches;
+    let batch =
+      Array.init random_batch (fun _ ->
+          Array.map
+            (fun _ -> Logic4.of_bool (Random.State.bool rng))
+            srcs)
+    in
+    let r =
+      Olfu_fsim.Comb_fsim.run ~observe_captures ~observable_output nl fl batch
+    in
+    if r.Olfu_fsim.Comb_fsim.detected = 0 then exhausted := true
+    else begin
+      (* keep the batch: simple (non-minimal) pattern retention *)
+      Array.iter (fun p -> patterns := p :: !patterns) batch;
+      random_patterns := !random_patterns + random_batch
+    end
+  done;
+  (* phase 2: PODEM for the survivors *)
+  let proved = ref 0 and aborted = ref 0 in
+  Flist.iteri
+    (fun i f st ->
+      if active st && f.Fault.site.Fault.pin <> Cell.Pin.Clk then
+        match
+          Podem.run ~backtrack_limit ~observable_output ~observe_captures
+            ~guide nl f
+        with
+        | Podem.Test assignment ->
+          let p =
+            Array.map
+              (fun s ->
+                match List.assoc_opt s assignment with
+                | Some b -> Logic4.of_bool b
+                | None -> Logic4.of_bool (Random.State.bool rng))
+              srcs
+          in
+          (* fault-simulate the new pattern: it may catch several *)
+          let sub = Flist.create nl [| f |] in
+          ignore
+            (Olfu_fsim.Comb_fsim.run ~observe_captures ~observable_output nl
+               sub [| p |]
+              : Olfu_fsim.Comb_fsim.report);
+          if Status.equal (Flist.status sub 0) Status.Detected then begin
+            patterns := p :: !patterns;
+            ignore
+              (Olfu_fsim.Comb_fsim.run ~observe_captures ~observable_output nl
+                 fl [| p |]
+                : Olfu_fsim.Comb_fsim.report);
+            (* ensure the target itself is marked even if PT-shadowed *)
+            Flist.set_status fl i Status.Detected
+          end
+          else begin
+            (* X-masking kept the oracle from confirming; count as abort *)
+            incr aborted;
+            Flist.set_status fl i Status.Atpg_untestable
+          end
+        | Podem.Proved_untestable ->
+          incr proved;
+          Flist.set_status fl i (Status.Undetectable Status.Redundant)
+        | Podem.Aborted ->
+          incr aborted;
+          Flist.set_status fl i Status.Atpg_untestable)
+    fl;
+  (* phase 3: complete SAT prover for the aborts *)
+  let sat_settled = ref 0 in
+  if use_sat then
+    Flist.iteri
+      (fun i f st ->
+        if Status.equal st Status.Atpg_untestable then
+          match
+            Sat_atpg.run ~conflict_limit:sat_conflict_limit ~observable_output
+              ~observe_captures nl f
+          with
+          | Sat_atpg.Test assignment ->
+            incr sat_settled;
+            decr aborted;
+            let p =
+              Array.map
+                (fun s ->
+                  match List.assoc_opt s assignment with
+                  | Some b -> Logic4.of_bool b
+                  | None -> Logic4.of_bool (Random.State.bool rng))
+                srcs
+            in
+            patterns := p :: !patterns;
+            Flist.set_status fl i Status.Detected;
+            ignore
+              (Olfu_fsim.Comb_fsim.run ~observe_captures ~observable_output nl
+                 fl [| p |]
+                : Olfu_fsim.Comb_fsim.report)
+          | Sat_atpg.Untestable ->
+            incr sat_settled;
+            decr aborted;
+            incr proved;
+            Flist.set_status fl i (Status.Undetectable Status.Redundant)
+          | Sat_atpg.Unknown -> ())
+      fl;
+  {
+    patterns = List.rev !patterns;
+    detected = Flist.count_status fl Status.Detected;
+    proved_untestable = !proved;
+    aborted = !aborted;
+    random_patterns = !random_patterns;
+    sat_settled = !sat_settled;
+    seconds = Unix.gettimeofday () -. t0;
+  }
+
+let compact ?observable_output ?(observe_captures = true) nl patterns =
+  let fl = Flist.full nl in
+  let kept = ref [] in
+  List.iter
+    (fun p ->
+      let r =
+        Olfu_fsim.Comb_fsim.run ~observe_captures ?observable_output nl fl
+          [| p |]
+      in
+      if r.Olfu_fsim.Comb_fsim.detected > 0 then kept := p :: !kept)
+    (List.rev patterns);
+  !kept
+
+let pp ppf r =
+  Format.fprintf ppf
+    "@[<v>patterns: %d (%d random + %d targeted)@,detected: %d@,proved \
+     redundant: %d@,sat-settled: %d@,unresolved: %d@,time: %.2f s@]"
+    (List.length r.patterns) r.random_patterns
+    (List.length r.patterns - r.random_patterns)
+    r.detected r.proved_untestable r.sat_settled r.aborted r.seconds

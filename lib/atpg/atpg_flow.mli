@@ -1,0 +1,56 @@
+open Olfu_netlist
+open Olfu_fault
+
+(** Complete test-generation flow on the full-access (scan) view: random
+    patterns with fault dropping until they stop paying off, then targeted
+    PODEM for the survivors.  This is the classic two-phase ATPG a
+    commercial tool runs after the untestable faults are pruned — the
+    "reducing the test program generation effort" payoff the paper
+    motivates.  A final SAT phase settles the faults branch-and-bound
+    gives up on. *)
+
+type result = {
+  patterns : Olfu_fsim.Comb_fsim.pattern list;  (** final compacted test set *)
+  detected : int;
+  proved_untestable : int;  (** search-exhausted: structurally redundant *)
+  aborted : int;  (** unresolved after every phase *)
+  random_patterns : int;  (** how many of the patterns came from phase 1 *)
+  sat_settled : int;  (** PODEM aborts settled by the SAT prover *)
+  seconds : float;
+}
+
+val run :
+  ?seed:int ->
+  ?random_batch:int ->
+  ?max_random_batches:int ->
+  ?backtrack_limit:int ->
+  ?use_sat:bool ->
+  ?sat_conflict_limit:int ->
+  ?observable_output:(int -> bool) ->
+  ?observe_captures:bool ->
+  Netlist.t ->
+  Flist.t ->
+  result
+(** Three phases: random patterns with fault dropping, targeted PODEM,
+    and (when [use_sat], the default) the complete SAT prover for whatever
+    PODEM aborted on.  Updates the fault list in place ([Detected] /
+    [Undetectable Redundant] / [Atpg_untestable]); faults already
+    classified are skipped, so running the OLFU flow first shrinks the
+    ATPG effort (see the bench).  Phase 1 stops after a batch of
+    [random_batch] patterns (default 64) detects nothing new, or after
+    [max_random_batches] (default 32).  [observable_output] /
+    [observe_captures] select the observation model for all three phases:
+    default full access (scan ATPG); pass the mission observation to
+    generate {e functional} tests. *)
+
+val pp : Format.formatter -> result -> unit
+
+val compact :
+  ?observable_output:(int -> bool) ->
+  ?observe_captures:bool ->
+  Netlist.t ->
+  Olfu_fsim.Comb_fsim.pattern list ->
+  Olfu_fsim.Comb_fsim.pattern list
+(** Classic reverse-order compaction: replay the patterns newest-first
+    with fault dropping over a fresh universe and keep only the ones that
+    still detect something.  Coverage is preserved exactly. *)

@@ -1,0 +1,126 @@
+open Olfu_netlist
+module S = Olfu_sat.Solver
+module CB = Cnf.Builder
+
+type verdict =
+  | Equivalent
+  | Counterexample of (string * bool) list
+  | Unknown
+  | No_common_observables
+
+(* Both sides are encoded into one hash-consed literal space
+   ({!Cnf.Builder}): structurally identical cells over the same operand
+   literals share one variable (plain CSE, sound) and constants fold
+   through.  For the intended use — original vs manipulated copy of the
+   same netlist — the untouched logic collapses entirely and the miter
+   only contains the cones the manipulation actually changed. *)
+
+let encode_netlist b shared nl =
+  let n = Netlist.length nl in
+  let lits = Array.make n 0 in
+  let source_var i =
+    match Netlist.name nl i with
+    | Some name -> (
+      match Hashtbl.find_opt shared name with
+      | Some v -> v
+      | None ->
+        let v = CB.fresh b in
+        Hashtbl.replace shared name v;
+        v)
+    | None -> CB.fresh b
+  in
+  let lit_of i =
+    match Netlist.kind nl i with
+    | Cell.Output -> lits.((Netlist.fanin nl i).(0))
+    | _ -> lits.(i)
+  in
+  Netlist.iter_nodes
+    (fun i nd ->
+      match nd.Netlist.kind with
+      | Cell.Output -> ()
+      | Cell.Input -> lits.(i) <- source_var i
+      | k when Cell.is_seq k -> lits.(i) <- source_var i
+      | Cell.Tie0 -> lits.(i) <- - CB.vtrue b
+      | Cell.Tie1 -> lits.(i) <- CB.vtrue b
+      | Cell.Tiex -> lits.(i) <- source_var i
+      | _ -> ())
+    nl;
+  Array.iter
+    (fun i ->
+      match Netlist.kind nl i with
+      | Cell.Output -> ()
+      | k ->
+        let ins = Array.to_list (Array.map lit_of (Netlist.fanin nl i)) in
+        lits.(i) <- CB.cell b k ins)
+    (Netlist.topo nl);
+  let observables = Hashtbl.create 97 in
+  Array.iter
+    (fun o ->
+      match Netlist.name nl o with
+      | Some name -> Hashtbl.replace observables ("port:" ^ name) (lit_of o)
+      | None -> ())
+    (Netlist.outputs nl);
+  Array.iter
+    (fun i ->
+      match Netlist.name nl i with
+      | Some name ->
+        let ins = Array.to_list (Array.map lit_of (Netlist.fanin nl i)) in
+        Hashtbl.replace observables ("capture:" ^ name)
+          (CB.capture b (Netlist.kind nl i) ins)
+      | None -> ())
+    (Netlist.seq_nodes nl);
+  observables
+
+let check ?(assume = []) ?(conflict_limit = 500_000) nl_a nl_b =
+  let s = S.create () in
+  let b = CB.create s in
+  let shared = Hashtbl.create 197 in
+  (* apply assumptions before encoding so constants fold through *)
+  List.iter
+    (fun (name, v) -> Hashtbl.replace shared name (CB.of_bool b v))
+    assume;
+  let obs_a = encode_netlist b shared nl_a in
+  let obs_b = encode_netlist b shared nl_b in
+  List.iter
+    (fun (name, _) ->
+      if not (Hashtbl.mem shared name) then
+        invalid_arg
+          (Printf.sprintf "Equiv.check: assumed name %S not a source" name))
+    assume;
+  let diffs = ref [] in
+  Hashtbl.iter
+    (fun key la ->
+      match Hashtbl.find_opt obs_b key with
+      | Some lb ->
+        let x = CB.mk_xor2 b la lb in
+        if not (CB.is_false b x) then diffs := x :: !diffs
+      | None -> ())
+    obs_a;
+  let common =
+    Hashtbl.fold
+      (fun key _ acc -> if Hashtbl.mem obs_b key then acc + 1 else acc)
+      obs_a 0
+  in
+  if common = 0 then No_common_observables
+  else
+    match !diffs with
+    | [] -> Equivalent (* every common observable folded to equal *)
+    | ds -> (
+      S.add_clause s ds;
+      match S.solve ~conflict_limit s with
+      | S.Unsat -> Equivalent
+      | S.Unknown -> Unknown
+      | S.Sat model ->
+        let cex =
+          Hashtbl.fold
+            (fun name v acc ->
+              let value =
+                if CB.is_true b v then true
+                else if CB.is_false b v then false
+                else model (abs v) = (v > 0)
+              in
+              (name, value) :: acc)
+            shared []
+          |> List.sort compare
+        in
+        Counterexample cex)

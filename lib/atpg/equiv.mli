@@ -1,0 +1,29 @@
+open Olfu_netlist
+
+(** SAT-based combinational equivalence checking on the full-access view.
+
+    Inputs and flip-flops are matched by name across the two netlists (a
+    name present on one side only becomes a free variable); the miter
+    compares every commonly-named output port and flip-flop capture.
+
+    The intended use is validating circuit manipulations: tying a set of
+    inputs must leave the circuit equivalent to the original {e under the
+    assumption that those inputs carry the tied values} — which is exactly
+    the paper's premise that the mission configuration does not change
+    mission behaviour. *)
+
+type verdict =
+  | Equivalent
+  | Counterexample of (string * bool) list
+      (** named input/flip-flop assignment distinguishing the two *)
+  | Unknown  (** conflict budget exhausted *)
+  | No_common_observables
+
+val check :
+  ?assume:(string * bool) list ->
+  ?conflict_limit:int ->
+  Netlist.t ->
+  Netlist.t ->
+  verdict
+(** [assume] fixes named inputs (on whichever side has them).  Raises
+    [Invalid_argument] if an assumed name is missing on both sides. *)

@@ -1,0 +1,29 @@
+open Olfu_netlist
+
+(** SCOAP testability measures (Goldstein).
+
+    Controllabilities [cc0]/[cc1] count the effort to set a net to 0/1;
+    observability [co] the effort to propagate it to an output.
+    Sequential cells add one unit of (time-frame) depth.  [infinity] marks
+    values unreachable structurally (e.g. [cc1] of a tied-0 net). *)
+
+type t
+
+val infinity : int
+
+val run : Netlist.t -> t
+(** Iterates to a fixed point (sequential loops make the measures
+    recursive). *)
+
+val cc0 : t -> int -> int
+val cc1 : t -> int -> int
+
+val co : t -> int -> int
+(** Stem observability of the net driven by the node. *)
+
+val co_branch : t -> int -> int -> int
+(** [co_branch t node pin]: observability of that fanout branch. *)
+
+val hardest : t -> n:int -> (int * int) list
+(** The [n] nets with the highest finite [cc0+cc1+co] score, descending —
+    a quick profile of where test generation will struggle. *)

@@ -1,0 +1,16 @@
+open Olfu_fault
+
+let verdict t (f : Tdf.t) =
+  let sa0, sa1 = Tdf.as_stuck_pair f in
+  match Untestable.fault_verdict t sa0 with
+  | Some v -> Some v
+  | None -> Untestable.fault_verdict t sa1
+
+let count t nl =
+  let u = Tdf.universe nl in
+  let n =
+    Array.fold_left
+      (fun acc f -> if verdict t f <> None then acc + 1 else acc)
+      0 u
+  in
+  (n, Array.length u)

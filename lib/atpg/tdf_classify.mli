@@ -1,0 +1,18 @@
+open Olfu_netlist
+open Olfu_fault
+
+(** On-line untestability for transition-delay faults.
+
+    A transition fault needs its pin driven to {e both} values (launch)
+    and the late transition propagated (capture).  Hence it is provably
+    untestable whenever either same-site stuck-at fault is: a tied pin
+    cannot launch, a blocked pin cannot capture.  This reduction keeps the
+    verdicts sound and reuses the whole stuck-at engine — exactly the
+    extension route the paper's conclusion sketches. *)
+
+val verdict : Untestable.t -> Tdf.t -> Status.t option
+(** [Some (Undetectable _)] when provably untestable in the analyzed
+    configuration. *)
+
+val count : Untestable.t -> Netlist.t -> int * int
+(** [(untestable, universe)] over {!Tdf.universe}. *)

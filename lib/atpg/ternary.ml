@@ -1,0 +1,78 @@
+open Olfu_logic
+open Olfu_netlist
+open Olfu_sim
+
+type ff_mode = Cut | Reset_join | Steady_state
+
+type t = {
+  values : Logic4.t array;
+  iterations : int;
+  converged : bool;
+}
+
+(* Join with X absorbing: once a flip-flop has been seen holding both
+   binary values over the mission, it is not constant. *)
+let join a b = if Logic4.equal a b then a else Logic4.X
+
+let run ?(ff_mode = Steady_state) ?(max_iters = 64) nl =
+  let env = Comb_sim.init nl Logic4.X in
+  let seqs = Netlist.seq_nodes nl in
+  let resets = Netlist.nodes_with_role nl Netlist.Reset in
+  let set_inputs ~reset_active =
+    Array.iter (fun i -> env.(i) <- Logic4.X) (Netlist.inputs nl);
+    Array.iter
+      (fun i ->
+        if Cell.equal_kind (Netlist.kind nl i) Cell.Input then
+          env.(i) <- (if reset_active then Logic4.L0 else Logic4.L1))
+      resets
+  in
+  match ff_mode with
+  | Cut ->
+    set_inputs ~reset_active:false;
+    Array.iter (fun i -> env.(i) <- Logic4.X) seqs;
+    Comb_sim.settle nl env;
+    { values = env; iterations = 1; converged = true }
+  | Reset_join | Steady_state ->
+    (* Post-reset state: one settle with reset asserted. *)
+    set_inputs ~reset_active:true;
+    Array.iter (fun i -> env.(i) <- Logic4.X) seqs;
+    Comb_sim.settle nl env;
+    let state = Array.map (fun (_, v) -> v) (Comb_sim.next_states nl env) in
+    set_inputs ~reset_active:false;
+    let iterations = ref 0 in
+    let converged = ref false in
+    while (not !converged) && !iterations < max_iters do
+      incr iterations;
+      Array.iteri (fun k i -> env.(i) <- state.(k)) seqs;
+      Comb_sim.settle nl env;
+      let next = Comb_sim.next_states nl env in
+      let changed = ref false in
+      Array.iteri
+        (fun k (_, v) ->
+          let v' =
+            match ff_mode with
+            | Steady_state -> v
+            | Reset_join | Cut -> join state.(k) v
+          in
+          if not (Logic4.equal v' state.(k)) then begin
+            state.(k) <- v';
+            changed := true
+          end)
+        next;
+      if not !changed then converged := true
+    done;
+    if not !converged then
+      (* Non-convergent steady state (e.g. a free-running toggle): fall
+         back to the sound all-X sequential cut. *)
+      Array.iter (fun i -> env.(i) <- Logic4.X) seqs
+    else Array.iteri (fun k i -> env.(i) <- state.(k)) seqs;
+    Comb_sim.settle nl env;
+    { values = env; iterations = !iterations; converged = !converged }
+
+let const_of t i = t.values.(i)
+let is_const t i = Logic4.is_binary t.values.(i)
+
+let num_const t =
+  Array.fold_left
+    (fun acc v -> if Logic4.is_binary v then acc + 1 else acc)
+    0 t.values

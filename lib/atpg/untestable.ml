@@ -1,0 +1,169 @@
+open Olfu_logic
+open Olfu_netlist
+open Olfu_fault
+
+type t = {
+  netlist : Netlist.t;
+  consts : Ternary.t;
+  obs : Observe.t;
+  observable_output : int -> bool;
+  stem_cache : (int, bool) Hashtbl.t;
+}
+
+let analyze ?ff_mode ?(observable_output = fun _ -> true) nl =
+  let consts = Ternary.run ?ff_mode nl in
+  let obs = Observe.run ~observable_output nl ~consts:consts.Ternary.values in
+  {
+    netlist = nl;
+    consts;
+    obs;
+    observable_output;
+    stem_cache = Hashtbl.create 997;
+  }
+
+(* Forward propagation of a hypothetical change on stem [d]: a node is
+   [affected] when the difference can reach its output; side inputs that
+   are themselves affected are fault-correlated, so their fault-free
+   constants must not be used to block (Observe.pin_allowed_exempt). *)
+let stem_possibly_observable t d =
+  match Hashtbl.find_opt t.stem_cache d with
+  | Some b -> b
+  | None ->
+    let nl = t.netlist in
+    let consts = t.consts.Ternary.values in
+    let n = Netlist.length nl in
+    let affected = Array.make n false in
+    affected.(d) <- true;
+    let exempt i = affected.(i) in
+    let hit = ref false in
+    (* combinational spread in evaluation order *)
+    Array.iter
+      (fun i ->
+        if not !hit then begin
+          let fanin = Netlist.fanin nl i in
+          let prop = ref false in
+          Array.iteri
+            (fun p drv ->
+              if (not !prop) && affected.(drv)
+                 && Observe.pin_allowed_exempt ~exempt nl consts i p
+              then prop := true)
+            fanin;
+          if !prop then
+            if Cell.equal_kind (Netlist.kind nl i) Cell.Output then begin
+              if t.observable_output i then hit := true
+            end
+            else affected.(i) <- true
+        end)
+      (Netlist.topo nl);
+    (* flip-flop capture credit: an affected value latched into state
+       counts as observed (matching Observe's through-FF credit) *)
+    if not !hit then
+      Array.iter
+        (fun i ->
+          if not !hit then
+            Array.iteri
+              (fun p drv ->
+                if affected.(drv)
+                   && Observe.pin_allowed_exempt ~exempt nl consts i p
+                then hit := true)
+              (Netlist.fanin nl i))
+        (Netlist.seq_nodes nl);
+    Hashtbl.replace t.stem_cache d !hit;
+    !hit
+
+let stuck_value (f : Fault.t) = if f.Fault.stuck then Logic4.L1 else Logic4.L0
+
+(* Value a flip-flop would capture in mission steady state, as a ternary
+   constant; X when input-dependent. *)
+let captured_const t node =
+  let nl = t.netlist in
+  let c i = t.consts.Ternary.values.((Netlist.fanin nl node).(i)) in
+  match Netlist.kind nl node with
+  | Cell.Dff -> c 0
+  | Cell.Dffr -> (
+    match c 1 with
+    | Logic4.L0 -> Logic4.L0
+    | Logic4.L1 -> c 0
+    | Logic4.X | Logic4.Z ->
+      if Logic4.equal (c 0) Logic4.L0 then Logic4.L0 else Logic4.X)
+  | Cell.Sdff -> Logic4.mux ~sel:(c 2) ~a:(c 0) ~b:(c 1)
+  | Cell.Sdffr -> (
+    let captured = Logic4.mux ~sel:(c 2) ~a:(c 0) ~b:(c 1) in
+    match c 3 with
+    | Logic4.L0 -> Logic4.L0
+    | Logic4.L1 -> captured
+    | Logic4.X | Logic4.Z ->
+      if Logic4.equal captured Logic4.L0 then Logic4.L0 else Logic4.X)
+  | _ -> invalid_arg "Untestable.captured_const: not sequential"
+
+let clk_verdict t node =
+  (* A stuck clock freezes the register at its current value.  If the
+     register is provably constant and keeps capturing that same constant,
+     freezing it is invisible: both clock faults are untestable (Fig. 5). *)
+  let q = t.consts.Ternary.values.(node) in
+  if
+    (not (Observe.net t.obs node))
+    && not (stem_possibly_observable t node)
+  then Some (Status.Undetectable Status.Blocked)
+  else if Logic4.is_binary q && Logic4.equal (captured_const t node) q then
+    Some (Status.Undetectable Status.Tied)
+  else None
+
+let fault_verdict t (f : Fault.t) =
+  let nl = t.netlist in
+  let { Fault.node; pin } = f.Fault.site in
+  match pin with
+  | Cell.Pin.Clk -> clk_verdict t node
+  | Cell.Pin.Out ->
+    let c = t.consts.Ternary.values.(node) in
+    if Logic4.is_binary c && Logic4.equal c (stuck_value f) then
+      Some (Status.Undetectable Status.Tied)
+    else if
+      (not (Observe.net t.obs node))
+      && not (stem_possibly_observable t node)
+    then Some (Status.Undetectable Status.Blocked)
+    else None
+  | Cell.Pin.In p ->
+    let drv = (Netlist.fanin nl node).(p) in
+    let c = t.consts.Ternary.values.(drv) in
+    if Logic4.is_binary c && Logic4.equal c (stuck_value f) then
+      Some (Status.Undetectable Status.Tied)
+    else if Observe.branch t.obs node p then None
+      (* the global analysis is a sound filter only in this direction;
+         confirm a blocked verdict precisely: the fault enters through this
+         single pin (side constants of the immediate gate are fault-free,
+         so plain blocking applies), and from the sink's output onward it
+         is a stem change *)
+    else begin
+      let through_gate =
+        Observe.pin_allowed nl t.consts.Ternary.values node p
+      in
+      let downstream =
+        match Netlist.kind nl node with
+        | Cell.Output -> t.observable_output node
+        | k when Cell.is_seq k -> true (* capture credit *)
+        | _ -> stem_possibly_observable t node
+      in
+      if through_gate && downstream then None
+      else Some (Status.Undetectable Status.Blocked)
+    end
+
+let classify t fl =
+  let changed = ref 0 in
+  Flist.iteri
+    (fun i f st ->
+      match st with
+      | Status.Not_analyzed | Status.Not_detected -> (
+        match fault_verdict t f with
+        | Some v ->
+          Flist.set_status fl i v;
+          incr changed
+        | None -> ())
+      | _ -> ())
+    fl;
+  !changed
+
+let untestable_count t nl =
+  Array.fold_left
+    (fun acc f -> if fault_verdict t f <> None then acc + 1 else acc)
+    0 (Fault.universe nl)

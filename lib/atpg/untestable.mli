@@ -1,0 +1,51 @@
+open Olfu_netlist
+open Olfu_fault
+
+(** Structural untestability classification — the Tetramax stand-in.
+
+    Combines {!Ternary} constant propagation and {!Observe} X-path
+    observability to classify each stuck-at fault:
+    {ul
+    {- UT ("untestable due to tied value"): the fault site is held at the
+       stuck value, so the fault can never be excited;}
+    {- UB (blocked): the fault effect cannot reach any observation point;}
+    {- flip-flop clock faults are untestable when the register provably
+       never changes (Fig. 5 of the paper).}}
+
+    Verdicts are sound: a fault classified here has {e no} test in the
+    analyzed configuration.  Faults left unclassified may still be
+    functionally untestable (that is what PODEM / fault simulation refine). *)
+
+type t = {
+  netlist : Netlist.t;
+  consts : Ternary.t;
+  obs : Observe.t;
+  observable_output : int -> bool;
+  stem_cache : (int, bool) Hashtbl.t;
+}
+
+val stem_possibly_observable : t -> int -> bool
+(** Sound per-stem check behind UB verdicts on output pins and clock
+    pins: propagates a hypothetical change on the stem forward, refusing
+    to trust blocking constants on side inputs that lie inside the stem's
+    own fanout cone (reconvergence makes them fault-correlated).  The
+    cheap global analysis is only a filter; a stem is classified blocked
+    only when this confirms it. *)
+
+val analyze :
+  ?ff_mode:Ternary.ff_mode ->
+  ?observable_output:(int -> bool) ->
+  Netlist.t ->
+  t
+
+val fault_verdict : t -> Fault.t -> Status.t option
+(** [Some (Undetectable _)] when provably untestable, [None] otherwise. *)
+
+val classify : t -> Flist.t -> int
+(** Applies {!fault_verdict} to every [Not_analyzed] / [Not_detected]
+    fault of the list; returns the number of faults newly classified
+    undetectable. *)
+
+val untestable_count : t -> Netlist.t -> int
+(** Number of untestable faults over the full universe of the netlist
+    (faults on tie cells excluded, as in {!Fault.universe}). *)

@@ -1,0 +1,30 @@
+open Olfu_netlist
+
+(** The fault-category lattice of Fig. 1:
+
+    structurally untestable ⊆ functionally untestable ⊆ on-line
+    functionally untestable ⊆ fault universe.
+
+    Membership per fault is computed with the structural engine under three
+    increasingly constrained circuit models:
+    {ul
+    {- {b structural}: the raw netlist, everything observable;}
+    {- {b functional}: test programs only — DfT/debug inputs held at their
+       benign values, but every output pin still checked by the bench;}
+    {- {b on-line}: the full mission configuration — debug observation
+       floated, only the field observation points checked, memory map
+       applied.}} *)
+
+type sets = {
+  universe : int;
+  structural : int;
+  functional : int;
+  online : int;
+  inclusions_hold : bool;
+      (** per-fault check that each set contains the previous one *)
+}
+
+val compute :
+  ?ff_mode:Olfu_atpg.Ternary.ff_mode -> Netlist.t -> Mission.t -> sets
+
+val pp : Format.formatter -> sets -> unit

@@ -1,0 +1,55 @@
+open Olfu_logic
+open Olfu_netlist
+open Olfu_manip
+
+type t = {
+  debug_controls : string list;
+  debug_observes : string list;
+  memmap : Memmap.region list;
+  address_width : int;
+}
+
+let of_soc cfg nl =
+  {
+    debug_controls = Olfu_soc.Soc.debug_control_inputs cfg;
+    debug_observes = Olfu_soc.Soc.debug_observe_outputs cfg nl;
+    memmap = Olfu_soc.Soc.memmap_regions cfg;
+    address_width = cfg.Olfu_soc.Soc.xlen;
+  }
+
+let of_roles ~memmap ~address_width nl =
+  {
+    debug_controls =
+      Netlist.inputs nl |> Array.to_list
+      |> List.filter (fun i -> Netlist.has_role nl i Netlist.Debug_control)
+      |> List.filter_map (fun i -> Netlist.name nl i);
+    debug_observes =
+      Netlist.outputs nl |> Array.to_list
+      |> List.filter (fun o -> Netlist.has_role nl o Netlist.Debug_observe)
+      |> List.filter_map (fun o -> Netlist.name nl o);
+    memmap;
+    address_width;
+  }
+
+let observed_in_field t nl o =
+  (not (Netlist.has_role nl o Netlist.Scan_out))
+  &&
+  match Netlist.name nl o with
+  | Some s -> not (List.mem s t.debug_observes)
+  | None -> true
+
+let tie_controls_script t =
+  List.map (fun s -> Script.Tie_input (s, Logic4.L0)) t.debug_controls
+
+let address_forcing t =
+  let consts = Memmap.constant_bits ~width:t.address_width t.memmap in
+  fun bit ->
+    List.assoc_opt bit consts |> Option.map (fun v -> Logic4.of_bool v)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>debug controls tied: %d@,debug observes floated: %d@,memory \
+     regions: %d (width %d)@]"
+    (List.length t.debug_controls)
+    (List.length t.debug_observes)
+    (List.length t.memmap) t.address_width

@@ -1,0 +1,39 @@
+open Olfu_netlist
+open Olfu_manip
+
+(** Mission configuration of a netlist: everything the in-field environment
+    fixes, which the identification flow turns into circuit
+    manipulations. *)
+
+type t = {
+  debug_controls : string list;
+      (** input ports soldered/pulled to a rail in the field (tied to 0) *)
+  debug_observes : string list;
+      (** output ports left unconnected in the field *)
+  memmap : Memmap.region list;  (** populated address ranges *)
+  address_width : int;
+}
+
+val of_soc : Olfu_soc.Soc.config -> Netlist.t -> t
+(** The tcore mission: the 17 debug control pins, both observation buses,
+    and the configured ROM/RAM map. *)
+
+val of_roles :
+  memmap:Memmap.region list -> address_width:int -> Netlist.t -> t
+(** Derive the mission from the role annotations embedded in the netlist
+    (the form that survives Verilog round-trips): debug controls are the
+    inputs tagged {!Netlist.Debug_control}, observes the outputs tagged
+    {!Netlist.Debug_observe}. *)
+
+val observed_in_field : t -> Netlist.t -> int -> bool
+(** Which output markers the on-line test can actually check: everything
+    except the floated debug observes and the scan-out ports. *)
+
+val tie_controls_script : t -> Script.t
+(** Sec. 3.2.1 manipulation. *)
+
+val address_forcing : t -> int -> Olfu_logic.Logic4.t option
+(** Sec. 3.3: the constant value (if any) the memory map forces on address
+    bit [i]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,49 @@
+open Olfu_fault
+
+type asil = QM | A | B | C | D
+
+let required_coverage = function
+  | QM -> None
+  | A -> Some 0.90  (* recommended, not mandated *)
+  | B -> Some 0.90
+  | C -> Some 0.97
+  | D -> Some 0.99
+
+let paper_airbag_target = 0.98
+
+type verdict = {
+  level : asil;
+  target : float option;
+  raw : float;
+  pruned : float;
+  meets_raw : bool;
+  meets_pruned : bool;
+}
+
+let assess level fl =
+  let target = required_coverage level in
+  let raw = Flist.fault_coverage fl in
+  let pruned = Flist.testable_coverage fl in
+  let meets v = match target with None -> true | Some t -> v >= t in
+  { level; target; raw; pruned; meets_raw = meets raw;
+    meets_pruned = meets pruned }
+
+let pp_asil ppf = function
+  | QM -> Format.pp_print_string ppf "QM"
+  | A -> Format.pp_print_string ppf "ASIL-A"
+  | B -> Format.pp_print_string ppf "ASIL-B"
+  | C -> Format.pp_print_string ppf "ASIL-C"
+  | D -> Format.pp_print_string ppf "ASIL-D"
+
+let pp_verdict ppf v =
+  Format.fprintf ppf
+    "@[<v>%a target: %s@,raw coverage:    %.2f%% -> %s@,pruned coverage: \
+     %.2f%% -> %s@]"
+    pp_asil v.level
+    (match v.target with
+    | None -> "none"
+    | Some t -> Printf.sprintf "%.0f%%" (100. *. t))
+    (100. *. v.raw)
+    (if v.meets_raw then "PASS" else "FAIL")
+    (100. *. v.pruned)
+    (if v.meets_pruned then "PASS" else "FAIL")

@@ -1,0 +1,99 @@
+open Olfu_fault
+open Olfu_atpg
+open Olfu_manip
+
+type report = {
+  universe : int;
+  scan : int;
+  baseline : int;
+  debug_control : int;
+  debug_observe : int;
+  memory : int;
+  total : int;
+  fraction : float;
+  seconds : float;
+}
+
+let run ?ff_mode nl mission =
+  let t0 = Unix.gettimeofday () in
+  let u = Tdf.universe nl in
+  let claimed = Array.make (Array.length u) false in
+  let classify_with t =
+    let n = ref 0 in
+    Array.iteri
+      (fun i f ->
+        if (not claimed.(i)) && Tdf_classify.verdict t f <> None then begin
+          claimed.(i) <- true;
+          incr n
+        end)
+      u;
+    !n
+  in
+  (* 1. scan rule: every transition fault on a scan-rule site is dead —
+     the SE net never toggles in mission mode, so even the pins whose
+     stuck-at-1 is kept cannot launch a transition *)
+  let scan_sites =
+    Scan_trace.untestable_faults nl
+    |> List.map (fun (f : Fault.t) -> f.Fault.site)
+  in
+  let site_set = Hashtbl.create 999 in
+  List.iter (fun s -> Hashtbl.replace site_set s ()) scan_sites;
+  let scan = ref 0 in
+  Array.iteri
+    (fun i (f : Tdf.t) ->
+      if (not claimed.(i)) && Hashtbl.mem site_set f.Tdf.site then begin
+        claimed.(i) <- true;
+        incr scan
+      end)
+    u;
+  (* 2. baseline *)
+  let baseline = classify_with (Untestable.analyze ?ff_mode nl) in
+  (* 3. debug control *)
+  let tied = Script.apply nl (Mission.tie_controls_script mission) in
+  let debug_control = classify_with (Untestable.analyze ?ff_mode tied) in
+  (* 4. debug observation *)
+  let observable = Mission.observed_in_field mission tied in
+  let debug_observe =
+    classify_with
+      (Untestable.analyze ?ff_mode ~observable_output:observable tied)
+  in
+  (* 5. memory map *)
+  let forced = Mission.address_forcing mission in
+  let mission_nl =
+    Const_regs.tie_address_ports
+      (Const_regs.tie_address_registers tied ~forced)
+      ~forced
+  in
+  let memory =
+    classify_with
+      (Untestable.analyze ?ff_mode ~observable_output:observable mission_nl)
+  in
+  let total = !scan + baseline + debug_control + debug_observe + memory in
+  {
+    universe = Array.length u;
+    scan = !scan;
+    baseline;
+    debug_control;
+    debug_observe;
+    memory;
+    total;
+    fraction = float_of_int total /. float_of_int (max 1 (Array.length u));
+    seconds = Unix.gettimeofday () -. t0;
+  }
+
+let pp ppf r =
+  let pct n = 100. *. float_of_int n /. float_of_int (max 1 r.universe) in
+  Format.fprintf ppf
+    "@[<v>Transition-delay faults (universe %d)@,\
+     \  Scan     %8d  %5.1f%%@,\
+     \  Debug    %8d  %5.1f%%  (%d control + %d observation)@,\
+     \  Memory   %8d  %5.1f%%@,\
+     \  TOTAL    %8d  %5.1f%%  (+ %d baseline)@,\
+     analysis time: %.3f s@]"
+    r.universe r.scan (pct r.scan)
+    (r.debug_control + r.debug_observe)
+    (pct (r.debug_control + r.debug_observe))
+    r.debug_control r.debug_observe r.memory (pct r.memory)
+    (r.scan + r.debug_control + r.debug_observe + r.memory)
+    (pct (r.scan + r.debug_control + r.debug_observe + r.memory))
+    r.baseline r.seconds

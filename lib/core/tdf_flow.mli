@@ -1,0 +1,26 @@
+open Olfu_netlist
+
+(** The identification flow replayed for transition-delay faults — the
+    fault-model extension the paper's conclusion announces.
+
+    Attribution mirrors {!Flow}: scan rule (for transitions the whole SE
+    net is dead, so {e all} scan-pin transition faults fall, including SE
+    slow-to-rise), then baseline, tied debug controls, floated
+    observation, memory map. *)
+
+type report = {
+  universe : int;
+  scan : int;
+  baseline : int;
+  debug_control : int;
+  debug_observe : int;
+  memory : int;
+  total : int;
+  fraction : float;
+  seconds : float;
+}
+
+val run :
+  ?ff_mode:Olfu_atpg.Ternary.ff_mode -> Netlist.t -> Mission.t -> report
+
+val pp : Format.formatter -> report -> unit

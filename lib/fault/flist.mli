@@ -1,0 +1,55 @@
+open Olfu_netlist
+
+(** Fault-list container: the working set of faults with their
+    classification, supporting the pruning and coverage arithmetic of the
+    paper's flow. *)
+
+type t
+
+val create : Netlist.t -> Fault.t array -> t
+(** Duplicate faults are rejected ([Invalid_argument]). *)
+
+val full : ?include_ties:bool -> Netlist.t -> t
+(** The complete stuck-at universe of the netlist, all [Not_analyzed]. *)
+
+val netlist : t -> Netlist.t
+val size : t -> int
+val fault : t -> int -> Fault.t
+val status : t -> int -> Status.t
+val set_status : t -> int -> Status.t -> unit
+
+val classify_if :
+  t -> Status.t -> keep:(Status.t -> bool) -> (Fault.t -> bool) -> int
+(** [classify_if t st ~keep p] sets status [st] on every fault satisfying
+    [p] whose current status satisfies [keep]; returns how many changed.
+    Mirrors "remove the identified faults from the fault list" — faults
+    already classified are never reclassified. *)
+
+val find : t -> Fault.t -> int option
+val mem : t -> Fault.t -> bool
+val iteri : (int -> Fault.t -> Status.t -> unit) -> t -> unit
+val count : t -> f:(Status.t -> bool) -> int
+val count_status : t -> Status.t -> int
+
+val by_class : t -> (string * int) list
+(** Counts per status code, descending. *)
+
+val indices : t -> f:(Status.t -> bool) -> int list
+
+(** {1 Coverage figures}
+
+    All as fractions in [0, 1]. *)
+
+val fault_coverage : t -> float
+(** DT / total — the raw figure before untestable-fault pruning. *)
+
+val testable_coverage : t -> float
+(** DT / (total − undetectable) — the figure after pruning, the number the
+    ISO 26262 targets apply to. *)
+
+val undetectable_fraction : t -> float
+
+val prune_undetectable : t -> t
+(** Fresh list containing only the faults not classified undetectable. *)
+
+val pp_summary : Format.formatter -> t -> unit

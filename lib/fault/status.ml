@@ -1,0 +1,25 @@
+type undetectable = Unused | Tied | Blocked | Redundant
+
+type t =
+  | Not_analyzed
+  | Detected
+  | Possibly_detected
+  | Undetectable of undetectable
+  | Atpg_untestable
+  | Not_detected
+
+let equal (a : t) b = a = b
+let is_undetectable = function Undetectable _ -> true | _ -> false
+
+let code = function
+  | Not_analyzed -> "NA"
+  | Detected -> "DT"
+  | Possibly_detected -> "PT"
+  | Undetectable Unused -> "UU"
+  | Undetectable Tied -> "UT"
+  | Undetectable Blocked -> "UB"
+  | Undetectable Redundant -> "UR"
+  | Atpg_untestable -> "AU"
+  | Not_detected -> "ND"
+
+let pp ppf s = Format.pp_print_string ppf (code s)

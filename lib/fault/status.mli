@@ -1,0 +1,24 @@
+(** Fault classification, mirroring the classes a commercial structural
+    engine reports (the paper reads Tetramax's "untestable due to tied
+    value — UT" class, among others). *)
+
+type undetectable =
+  | Unused  (** UU: pruned by a structural rule (e.g. scan-chain rule) *)
+  | Tied  (** UT: excitation impossible — the net is tied to the stuck value *)
+  | Blocked  (** UB: no sensitizable path to any observation point *)
+  | Redundant  (** UR: proven untestable by exhaustive ATPG search *)
+
+type t =
+  | Not_analyzed  (** NA *)
+  | Detected  (** DT *)
+  | Possibly_detected  (** PT: good/faulty differ only through an X *)
+  | Undetectable of undetectable  (** UD: no test exists *)
+  | Atpg_untestable  (** AU: search aborted (backtrack limit) *)
+  | Not_detected  (** ND: analyzed, no pattern detected it *)
+
+val equal : t -> t -> bool
+val is_undetectable : t -> bool
+val code : t -> string
+(** Two-letter class code ("DT", "UT", ...). *)
+
+val pp : Format.formatter -> t -> unit

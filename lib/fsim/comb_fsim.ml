@@ -1,0 +1,152 @@
+open Olfu_logic
+open Olfu_netlist
+open Olfu_fault
+open Olfu_sim
+
+type pattern = Logic4.t array
+
+let source_nodes nl =
+  Array.append (Netlist.inputs nl) (Netlist.seq_nodes nl)
+
+let random_patterns ?(seed = 0) nl n =
+  let rng = Random.State.make [| seed |] in
+  let width = Array.length (source_nodes nl) in
+  Array.init n (fun _ ->
+      Array.init width (fun _ -> Logic4.of_bool (Random.State.bool rng)))
+
+type report = { patterns : int; detected : int; possibly : int }
+
+(* Settle with a single fault injected, 64 patterns wide.  [env] must have
+   source lanes already loaded. *)
+let settle_faulty nl env (f : Fault.t) =
+  let stuck = Dualrail.const (if f.Fault.stuck then Logic4.L1 else Logic4.L0) in
+  let fnode = f.Fault.site.Fault.node in
+  let fpin = f.Fault.site.Fault.pin in
+  let stem_faulty i = fpin = Cell.Pin.Out && i = fnode in
+  (* fault on a source stem *)
+  Netlist.iter_nodes
+    (fun i nd ->
+      match nd.Netlist.kind with
+      | Cell.Tie0 -> env.(i) <- Dualrail.zero
+      | Cell.Tie1 -> env.(i) <- Dualrail.one
+      | Cell.Tiex -> env.(i) <- Dualrail.unknown
+      | _ -> if stem_faulty i then env.(i) <- stuck)
+    nl;
+  let operand i p =
+    let v = env.((Netlist.fanin nl i).(p)) in
+    if i = fnode && Cell.Pin.equal fpin (Cell.Pin.In p) then stuck else v
+  in
+  Array.iter
+    (fun i ->
+      let nd = Netlist.node nl i in
+      let ins = Array.init (Array.length nd.Netlist.fanin) (operand i) in
+      let v = Eval.comb_par nd.Netlist.kind ins in
+      env.(i) <- (if stem_faulty i then stuck else v))
+    (Netlist.topo nl);
+  operand
+
+let capture_par nl operand i =
+  match Netlist.kind nl i with
+  | Cell.Dff -> operand i 0
+  | Cell.Dffr ->
+    Dualrail.mux ~sel:(operand i 1) ~a:Dualrail.zero ~b:(operand i 0)
+  | Cell.Sdff -> Dualrail.mux ~sel:(operand i 2) ~a:(operand i 0) ~b:(operand i 1)
+  | Cell.Sdffr ->
+    Dualrail.mux ~sel:(operand i 3) ~a:Dualrail.zero
+      ~b:(Dualrail.mux ~sel:(operand i 2) ~a:(operand i 0) ~b:(operand i 1))
+  | _ -> invalid_arg "capture_par"
+
+let pt_mask good faulty =
+  (* good binary, faulty unknown: only possibly detected *)
+  Int64.logand (Dualrail.binary_mask good)
+    (Int64.lognot (Dualrail.binary_mask faulty))
+
+let run ?(observe_captures = true) ?(observable_output = fun _ -> true) nl
+    fl patterns =
+  let srcs = source_nodes nl in
+  let outs =
+    Array.of_list
+      (List.filter observable_output (Array.to_list (Netlist.outputs nl)))
+  in
+  let seqs = Netlist.seq_nodes nl in
+  let n = Netlist.length nl in
+  let detected = ref 0 and possibly = ref 0 in
+  let nbatches = (Array.length patterns + 63) / 64 in
+  for batch = 0 to nbatches - 1 do
+    let base = batch * 64 in
+    let lanes = min 64 (Array.length patterns - base) in
+    let lane_full = if lanes = 64 then -1L else Int64.sub (Int64.shift_left 1L lanes) 1L in
+    let env = Par_sim.init nl Dualrail.unknown in
+    Array.iteri
+      (fun k src ->
+        let v = ref Dualrail.unknown in
+        for lane = 0 to lanes - 1 do
+          v := Dualrail.set !v lane patterns.(base + lane).(k)
+        done;
+        env.(src) <- !v)
+      srcs;
+    Par_sim.settle nl env;
+    let good_out = Array.map (fun o -> env.((Netlist.fanin nl o).(0))) outs in
+    let good_cap =
+      if observe_captures then
+        Array.map (fun (_, v) -> v) (Par_sim.next_states nl env)
+      else [||]
+    in
+    let fenv = Array.make n Dualrail.unknown in
+    Flist.iteri
+      (fun fi f st ->
+        let active =
+          match st with
+          | Status.Not_analyzed | Status.Not_detected
+          | Status.Possibly_detected ->
+            f.Fault.site.Fault.pin <> Cell.Pin.Clk
+          | _ -> false
+        in
+        if active then begin
+          Array.iter (fun src -> fenv.(src) <- env.(src)) srcs;
+          let operand = settle_faulty nl fenv f in
+          let det = ref 0L and pt = ref 0L in
+          Array.iteri
+            (fun k o ->
+              let fv = operand o 0 in
+              det := Int64.logor !det (Dualrail.diff_mask good_out.(k) fv);
+              pt := Int64.logor !pt (pt_mask good_out.(k) fv))
+            outs;
+          if observe_captures then
+            Array.iteri
+              (fun k s ->
+                let fv = capture_par nl operand s in
+                det := Int64.logor !det (Dualrail.diff_mask good_cap.(k) fv);
+                pt := Int64.logor !pt (pt_mask good_cap.(k) fv))
+              seqs;
+          let det = if lanes = 64 then !det else Int64.logand !det lane_full in
+          let pt = if lanes = 64 then !pt else Int64.logand !pt lane_full in
+          if det <> 0L then begin
+            Flist.set_status fl fi Status.Detected;
+            incr detected
+          end
+          else if pt <> 0L && not (Status.equal st Status.Possibly_detected)
+          then begin
+            Flist.set_status fl fi Status.Possibly_detected;
+            incr possibly
+          end
+        end)
+      fl
+  done;
+  { patterns = Array.length patterns; detected = !detected; possibly = !possibly }
+
+let faulty_outputs nl f pattern =
+  let srcs = source_nodes nl in
+  let env = Par_sim.init nl Dualrail.unknown in
+  Array.iteri
+    (fun k src -> env.(src) <- Dualrail.const pattern.(k))
+    srcs;
+  let operand = settle_faulty nl env f in
+  Netlist.outputs nl |> Array.to_list
+  |> List.map (fun o -> (o, Dualrail.get (operand o 0) 0))
+
+let detects ?(observe_captures = true) ?observable_output nl f pattern =
+  let fl = Flist.create nl [| f |] in
+  let r = run ~observe_captures ?observable_output nl fl [| pattern |] in
+  ignore (r : report);
+  Status.equal (Flist.status fl 0) Status.Detected

@@ -1,0 +1,49 @@
+open Olfu_logic
+open Olfu_netlist
+open Olfu_fault
+
+(** Parallel-pattern single-fault (PPSFP) combinational fault simulation:
+    64 patterns per gate evaluation, one fault at a time, with fault
+    dropping.
+
+    Patterns assign primary inputs {e and} flip-flop outputs (full-access
+    view); detection is observed on primary outputs and flip-flop capture
+    values, matching {!Olfu_atpg.Podem}'s model. *)
+
+type pattern = Logic4.t array
+(** One value per entry of [Netlist.inputs nl] followed by one per entry
+    of [Netlist.seq_nodes nl]. *)
+
+val random_patterns : ?seed:int -> Netlist.t -> int -> pattern array
+
+type report = {
+  patterns : int;
+  detected : int;  (** faults newly marked [Detected] *)
+  possibly : int;  (** faults newly marked [Possibly_detected] *)
+}
+
+val run :
+  ?observe_captures:bool ->
+  ?observable_output:(int -> bool) ->
+  Netlist.t ->
+  Flist.t ->
+  pattern array ->
+  report
+(** Marks fault statuses in place.  Faults already [Detected] or
+    undetectable are skipped; clock-pin faults are left untouched (they
+    have no combinational meaning). *)
+
+val faulty_outputs :
+  Netlist.t -> Fault.t -> pattern -> (int * Olfu_logic.Logic4.t) list
+(** Output-marker values of the faulty circuit under one pattern
+    [(marker node, value)] — the prediction a fault dictionary compares
+    against silicon observations. *)
+
+val detects :
+  ?observe_captures:bool ->
+  ?observable_output:(int -> bool) ->
+  Netlist.t ->
+  Fault.t ->
+  pattern ->
+  bool
+(** Single-pattern single-fault oracle (slow; used by tests). *)

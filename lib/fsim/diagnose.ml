@@ -1,0 +1,75 @@
+open Olfu_logic
+open Olfu_netlist
+open Olfu_fault
+
+type observation = {
+  pattern : Comb_fsim.pattern;
+  responses : (int * bool) list;
+}
+
+let observe ?faulty nl pattern =
+  let values =
+    match faulty with
+    | Some f -> Comb_fsim.faulty_outputs nl f pattern
+    | None ->
+      (* the good circuit is the zero-effect fault on any pin; use a
+         self-masking stuck-at on a constant-free read *)
+      let srcs = Array.append (Netlist.inputs nl) (Netlist.seq_nodes nl) in
+      let env = Olfu_sim.Comb_sim.init nl Logic4.X in
+      Array.iteri (fun k s -> env.(s) <- pattern.(k)) srcs;
+      Olfu_sim.Comb_sim.settle nl env;
+      Netlist.outputs nl |> Array.to_list
+      |> List.map (fun o -> (o, env.((Netlist.fanin nl o).(0))))
+  in
+  {
+    pattern;
+    responses =
+      List.filter_map
+        (fun (o, v) -> Option.map (fun b -> (o, b)) (Logic4.to_bool v))
+        values;
+  }
+
+type candidate = {
+  fault : int;
+  explained : int;
+  contradicted : int;
+}
+
+let candidates nl fl observations =
+  let score fi =
+    let f = Flist.fault fl fi in
+    let explained = ref 0 and contradicted = ref 0 in
+    List.iter
+      (fun obs ->
+        let predicted = Comb_fsim.faulty_outputs nl f obs.pattern in
+        let all_match = ref true and any_contra = ref false in
+        List.iter
+          (fun (o, seen) ->
+            match List.assoc_opt o predicted with
+            | Some pv -> (
+              match Logic4.to_bool pv with
+              | Some b ->
+                if b <> seen then begin
+                  all_match := false;
+                  any_contra := true
+                end
+              | None -> all_match := false (* X never contradicts *))
+            | None -> all_match := false)
+          obs.responses;
+        if !all_match && obs.responses <> [] then incr explained;
+        if !any_contra then incr contradicted)
+      observations;
+    { fault = fi; explained = !explained; contradicted = !contradicted }
+  in
+  let scored = List.init (Flist.size fl) score in
+  List.sort
+    (fun a b ->
+      match Int.compare b.explained a.explained with
+      | 0 -> Int.compare a.contradicted b.contradicted
+      | c -> c)
+    scored
+
+let pp_candidate nl fl ppf c =
+  Format.fprintf ppf "%-28s explains %d, contradicts %d"
+    (Fault.to_string nl (Flist.fault fl c.fault))
+    c.explained c.contradicted

@@ -1,0 +1,33 @@
+open Olfu_netlist
+open Olfu_fault
+
+(** Cause-effect fault diagnosis: given responses observed on a failing
+    device, rank the stuck-at faults whose simulated behaviour explains
+    them.  The classic companion of an identification flow — once the
+    tester reports mismatches, this narrows the failure to candidate
+    defect sites. *)
+
+type observation = {
+  pattern : Comb_fsim.pattern;  (** stimulus applied *)
+  responses : (int * bool) list;  (** observed output-marker values *)
+}
+
+val observe :
+  ?faulty:Fault.t -> Netlist.t -> Comb_fsim.pattern -> observation
+(** Build an observation by simulating the (optionally faulty) circuit —
+    a testbench helper standing in for silicon. *)
+
+type candidate = {
+  fault : int;  (** index into the fault list *)
+  explained : int;  (** observations fully explained *)
+  contradicted : int;  (** observations the fault predicts differently *)
+}
+
+val candidates :
+  Netlist.t -> Flist.t -> observation list -> candidate list
+(** Every fault scored against every observation, perfect explanations
+    first (then fewest contradictions).  Faults predicted equal to the
+    observation on every response bit count as explained; X predictions
+    never contradict. *)
+
+val pp_candidate : Netlist.t -> Flist.t -> Format.formatter -> candidate -> unit

@@ -1,0 +1,192 @@
+open Olfu_logic
+open Olfu_netlist
+open Olfu_fault
+module Eval = Olfu_sim.Eval
+
+type step = { assign : (int * Logic4.t) list; strobe : bool }
+type stimulus = step array
+
+type report = {
+  cycles : int;
+  faults_simulated : int;
+  detected : int;
+  possibly : int;
+}
+
+(* Per-batch injection tables: lanes 1..63 each carry one fault. *)
+type batch = {
+  fault_index : int array;  (* flist index per lane, -1 for unused/good *)
+  stem0 : (int, int64) Hashtbl.t;  (* node -> lanes stuck at 0 *)
+  stem1 : (int, int64) Hashtbl.t;
+  branch0 : (int * int, int64) Hashtbl.t;  (* (node, pin) -> lanes *)
+  branch1 : (int * int, int64) Hashtbl.t;
+  clk : (int, int64) Hashtbl.t;  (* flop node -> frozen lanes *)
+}
+
+let add_mask tbl key lane =
+  let m = Option.value ~default:0L (Hashtbl.find_opt tbl key) in
+  Hashtbl.replace tbl key (Int64.logor m (Int64.shift_left 1L lane))
+
+let make_batch fl lanes =
+  let b =
+    {
+      fault_index = Array.make 64 (-1);
+      stem0 = Hashtbl.create 67;
+      stem1 = Hashtbl.create 67;
+      branch0 = Hashtbl.create 67;
+      branch1 = Hashtbl.create 67;
+      clk = Hashtbl.create 17;
+    }
+  in
+  List.iteri
+    (fun k fi ->
+      let lane = k + 1 in
+      b.fault_index.(lane) <- fi;
+      let f = Flist.fault fl fi in
+      let { Fault.node; pin } = f.Fault.site in
+      match pin with
+      | Cell.Pin.Out ->
+        add_mask (if f.Fault.stuck then b.stem1 else b.stem0) node lane
+      | Cell.Pin.In p ->
+        add_mask (if f.Fault.stuck then b.branch1 else b.branch0) (node, p) lane
+      | Cell.Pin.Clk -> add_mask b.clk node lane)
+    lanes;
+  b
+
+let mask_of tbl key = Option.value ~default:0L (Hashtbl.find_opt tbl key)
+
+let inject_stem b node v =
+  let m0 = mask_of b.stem0 node and m1 = mask_of b.stem1 node in
+  if m0 = 0L && m1 = 0L then v else Dualrail.force_mask v ~m0 ~m1
+
+let run ?(init = Logic4.X) ?(observe = fun _ -> true) nl fl stimulus =
+  let seqs = Netlist.seq_nodes nl in
+  let outs = Array.to_list (Netlist.outputs nl) |> List.filter observe in
+  let n = Netlist.length nl in
+  let active =
+    Flist.indices fl ~f:(fun st ->
+        match st with
+        | Status.Not_analyzed | Status.Not_detected | Status.Possibly_detected
+          ->
+          true
+        | _ -> false)
+  in
+  let detected = ref 0 and possibly = ref 0 in
+  let rec batches = function
+    | [] -> []
+    | l ->
+      let rec take k acc rest =
+        match rest with
+        | x :: tl when k > 0 -> take (k - 1) (x :: acc) tl
+        | _ -> (List.rev acc, rest)
+      in
+      let batch, rest = take 63 [] l in
+      batch :: batches rest
+  in
+  List.iter
+    (fun lane_faults ->
+      let b = make_batch fl lane_faults in
+      let env = Array.make n Dualrail.unknown in
+      let state = Array.map (fun _ -> Dualrail.const init) seqs in
+      let inputs = Array.make n Dualrail.unknown in
+      let det = Array.make 64 false and pt = Array.make 64 false in
+      let operand node p =
+        let v = env.((Netlist.fanin nl node).(p)) in
+        let m0 = mask_of b.branch0 (node, p)
+        and m1 = mask_of b.branch1 (node, p) in
+        if m0 = 0L && m1 = 0L then v else Dualrail.force_mask v ~m0 ~m1
+      in
+      Array.iter
+        (fun step ->
+          List.iter
+            (fun (i, v) -> inputs.(i) <- Dualrail.const v)
+            step.assign;
+          (* settle *)
+          Netlist.iter_nodes
+            (fun i nd ->
+              match nd.Netlist.kind with
+              | Cell.Input -> env.(i) <- inject_stem b i inputs.(i)
+              | Cell.Tie0 -> env.(i) <- inject_stem b i Dualrail.zero
+              | Cell.Tie1 -> env.(i) <- inject_stem b i Dualrail.one
+              | Cell.Tiex -> env.(i) <- inject_stem b i Dualrail.unknown
+              | _ -> ())
+            nl;
+          Array.iteri (fun k s -> env.(s) <- inject_stem b s state.(k)) seqs;
+          Array.iter
+            (fun i ->
+              let nd = Netlist.node nl i in
+              let ins =
+                Array.init (Array.length nd.Netlist.fanin) (operand i)
+              in
+              env.(i) <- inject_stem b i (Eval.comb_par nd.Netlist.kind ins))
+            (Netlist.topo nl);
+          (* strobe *)
+          if step.strobe then
+            List.iter
+              (fun o ->
+                let fv = operand o 0 in
+                let g = Dualrail.get fv 0 in
+                if Logic4.is_binary g then begin
+                  let gword = Dualrail.const g in
+                  let d = Dualrail.diff_mask gword fv in
+                  let p = Int64.lognot (Dualrail.binary_mask fv) in
+                  for lane = 1 to 63 do
+                    if b.fault_index.(lane) >= 0 then begin
+                      let bit = Int64.shift_left 1L lane in
+                      if Int64.logand d bit <> 0L then det.(lane) <- true
+                      else if Int64.logand p bit <> 0L then pt.(lane) <- true
+                    end
+                  done
+                end)
+              outs;
+          (* clock edge *)
+          Array.iteri
+            (fun k s ->
+              let next =
+                match Netlist.kind nl s with
+                | Cell.Dff -> operand s 0
+                | Cell.Dffr ->
+                  Dualrail.mux ~sel:(operand s 1) ~a:Dualrail.zero
+                    ~b:(operand s 0)
+                | Cell.Sdff ->
+                  Dualrail.mux ~sel:(operand s 2) ~a:(operand s 0)
+                    ~b:(operand s 1)
+                | Cell.Sdffr ->
+                  Dualrail.mux ~sel:(operand s 3) ~a:Dualrail.zero
+                    ~b:
+                      (Dualrail.mux ~sel:(operand s 2) ~a:(operand s 0)
+                         ~b:(operand s 1))
+                | _ -> assert false
+              in
+              let next = inject_stem b s next in
+              let frozen = mask_of b.clk s in
+              let next =
+                if frozen = 0L then next
+                else Dualrail.select_mask next state.(k) frozen
+              in
+              state.(k) <- next)
+            seqs)
+        stimulus;
+      for lane = 1 to 63 do
+        let fi = b.fault_index.(lane) in
+        if fi >= 0 then
+          if det.(lane) then begin
+            Flist.set_status fl fi Status.Detected;
+            incr detected
+          end
+          else if pt.(lane)
+                  && not
+                       (Status.equal (Flist.status fl fi)
+                          Status.Possibly_detected)
+          then begin
+            Flist.set_status fl fi Status.Possibly_detected;
+            incr possibly
+          end
+      done)
+    (batches active);
+  {
+    cycles = Array.length stimulus;
+    faults_simulated = List.length active;
+    detected = !detected;
+    possibly = !possibly;
+  }

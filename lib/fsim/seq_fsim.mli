@@ -1,0 +1,42 @@
+open Olfu_logic
+open Olfu_netlist
+open Olfu_fault
+
+(** Fault-parallel sequential fault simulation.
+
+    Lanes carry {e faults}, not patterns: lane 0 simulates the good
+    circuit, lanes 1–63 each carry one faulty circuit over the same
+    stimulus, so one pass grades 63 faults.  This is the engine used to
+    grade SBST programs: detection is strobed on selected outputs (in the
+    paper, only the system-bus values written to memory are observed).
+
+    Fault semantics: stem and branch stuck-ats are forced every cycle;
+    clock-pin faults freeze the flip-flop at its pre-fault (initial)
+    value. *)
+
+type step = {
+  assign : (int * Logic4.t) list;
+      (** input-node assignments applied from this cycle on *)
+  strobe : bool;  (** compare observed outputs at the end of this cycle *)
+}
+
+type stimulus = step array
+
+type report = {
+  cycles : int;
+  faults_simulated : int;
+  detected : int;
+  possibly : int;
+}
+
+val run :
+  ?init:Logic4.t ->
+  ?observe:(int -> bool) ->
+  Netlist.t ->
+  Flist.t ->
+  stimulus ->
+  report
+(** Simulates every fault that is not already detected or undetectable and
+    updates the fault list in place.  [observe] selects strobed [Output]
+    markers (default: all).  [init] is the power-up flip-flop value
+    (default X). *)

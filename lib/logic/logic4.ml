@@ -1,0 +1,72 @@
+type t = L0 | L1 | X | Z
+
+let equal a b =
+  match a, b with
+  | L0, L0 | L1, L1 | X, X | Z, Z -> true
+  | (L0 | L1 | X | Z), _ -> false
+
+let rank = function L0 -> 0 | L1 -> 1 | X -> 2 | Z -> 3
+let compare a b = Int.compare (rank a) (rank b)
+
+let of_bool b = if b then L1 else L0
+
+let to_bool = function
+  | L0 -> Some false
+  | L1 -> Some true
+  | X | Z -> None
+
+let is_binary = function L0 | L1 -> true | X | Z -> false
+
+let of_char = function
+  | '0' -> Some L0
+  | '1' -> Some L1
+  | 'x' | 'X' -> Some X
+  | 'z' | 'Z' -> Some Z
+  | _ -> None
+
+let to_char = function L0 -> '0' | L1 -> '1' | X -> 'x' | Z -> 'z'
+
+(* Gate inputs read Z as X. *)
+let strip = function Z -> X | v -> v
+
+let not_ v = match strip v with L0 -> L1 | L1 -> L0 | _ -> X
+
+let and2 a b =
+  match strip a, strip b with
+  | L0, _ | _, L0 -> L0
+  | L1, L1 -> L1
+  | _ -> X
+
+let or2 a b =
+  match strip a, strip b with
+  | L1, _ | _, L1 -> L1
+  | L0, L0 -> L0
+  | _ -> X
+
+let xor2 a b =
+  match strip a, strip b with
+  | L0, v | v, L0 -> (match v with L0 | L1 -> v | _ -> X)
+  | L1, L1 -> L0
+  | L1, v | v, L1 -> (match v with L0 -> L1 | L1 -> L0 | _ -> X)
+  | _ -> X
+
+let nand2 a b = not_ (and2 a b)
+let nor2 a b = not_ (or2 a b)
+let xnor2 a b = not_ (xor2 a b)
+
+let and_list = List.fold_left and2 L1
+let or_list = List.fold_left or2 L0
+let xor_list = List.fold_left xor2 L0
+
+let mux ~sel ~a ~b =
+  match strip sel with
+  | L0 -> strip a
+  | L1 -> strip b
+  | _ -> if equal (strip a) (strip b) && is_binary (strip a) then strip a else X
+
+let merge a b =
+  match strip a, strip b with
+  | X, v | v, X -> v
+  | v, w -> if equal v w then v else X
+
+let pp ppf v = Format.pp_print_char ppf (to_char v)

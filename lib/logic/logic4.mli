@@ -1,0 +1,52 @@
+(** Four-valued logic [{0, 1, X, Z}] used by the event-driven simulator and
+    the ternary implication engine.
+
+    [X] is the unknown value; [Z] is high impedance (a floating net).  All
+    gate evaluations treat [Z] at a gate input as [X], which is the standard
+    pessimistic reading used by structural-analysis tools. *)
+
+type t = L0 | L1 | X | Z
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val of_bool : bool -> t
+
+val to_bool : t -> bool option
+(** [to_bool v] is [Some b] for the binary values, [None] for [X]/[Z]. *)
+
+val is_binary : t -> bool
+
+val of_char : char -> t option
+(** Accepts ['0'], ['1'], ['x'], ['X'], ['z'], ['Z']. *)
+
+val to_char : t -> char
+
+(** {1 Gate evaluation} *)
+
+val not_ : t -> t
+val and2 : t -> t -> t
+val or2 : t -> t -> t
+val xor2 : t -> t -> t
+val nand2 : t -> t -> t
+val nor2 : t -> t -> t
+val xnor2 : t -> t -> t
+
+val and_list : t list -> t
+val or_list : t list -> t
+val xor_list : t list -> t
+
+val mux : sel:t -> a:t -> b:t -> t
+(** [mux ~sel ~a ~b] is [a] when [sel = 0], [b] when [sel = 1].  When [sel]
+    is unknown the result is [a] if [a = b] (binary), else [X]. *)
+
+(** {1 Lattice structure}
+
+    Information ordering: [X] below both binary values.  Used for monotone
+    fixed points in the implication engine. *)
+
+val merge : t -> t -> t
+(** Least upper bound where possible: [merge X v = v]; conflicting binary
+    values merge to [X] (used when joining values across clock cycles). *)
+
+val pp : Format.formatter -> t -> unit

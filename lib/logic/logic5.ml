@@ -1,0 +1,59 @@
+type t = Zero | One | D | Dbar | X
+
+let equal a b =
+  match a, b with
+  | Zero, Zero | One, One | D, D | Dbar, Dbar | X, X -> true
+  | (Zero | One | D | Dbar | X), _ -> false
+
+let good = function
+  | Zero -> Logic4.L0
+  | One -> Logic4.L1
+  | D -> Logic4.L1
+  | Dbar -> Logic4.L0
+  | X -> Logic4.X
+
+let faulty = function
+  | Zero -> Logic4.L0
+  | One -> Logic4.L1
+  | D -> Logic4.L0
+  | Dbar -> Logic4.L1
+  | X -> Logic4.X
+
+let of_pair ~good:g ~faulty:f =
+  match (g : Logic4.t), (f : Logic4.t) with
+  | L0, L0 -> Zero
+  | L1, L1 -> One
+  | L1, L0 -> D
+  | L0, L1 -> Dbar
+  | (L0 | L1 | X | Z), _ -> X
+
+let is_error = function D | Dbar -> true | Zero | One | X -> false
+
+(* Evaluate componentwise through the 4-valued algebra: this is exactly the
+   D-calculus truth tables and keeps the two algebras consistent. *)
+let lift1 op v = of_pair ~good:(op (good v)) ~faulty:(op (faulty v))
+
+let lift2 op a b =
+  of_pair ~good:(op (good a) (good b)) ~faulty:(op (faulty a) (faulty b))
+
+let not_ = lift1 Logic4.not_
+let and2 = lift2 Logic4.and2
+let or2 = lift2 Logic4.or2
+let xor2 = lift2 Logic4.xor2
+let nand2 = lift2 Logic4.nand2
+let nor2 = lift2 Logic4.nor2
+let xnor2 = lift2 Logic4.xnor2
+
+let mux ~sel ~a ~b =
+  of_pair
+    ~good:(Logic4.mux ~sel:(good sel) ~a:(good a) ~b:(good b))
+    ~faulty:(Logic4.mux ~sel:(faulty sel) ~a:(faulty a) ~b:(faulty b))
+
+let to_string = function
+  | Zero -> "0"
+  | One -> "1"
+  | D -> "D"
+  | Dbar -> "D'"
+  | X -> "x"
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)

@@ -1,0 +1,33 @@
+(** Five-valued D-calculus (Roth) used by the PODEM ATPG.
+
+    A value is a pair (good-circuit value, faulty-circuit value):
+    {ul
+    {- [Zero] = 0/0, [One] = 1/1 — fault-free agreement;}
+    {- [D] = 1/0 — good circuit sees 1, faulty circuit sees 0;}
+    {- [Dbar] = 0/1;}
+    {- [X] — unassigned.}} *)
+
+type t = Zero | One | D | Dbar | X
+
+val equal : t -> t -> bool
+
+val of_pair : good:Logic4.t -> faulty:Logic4.t -> t
+(** [of_pair] is [X] when either component is unknown. *)
+
+val good : t -> Logic4.t
+val faulty : t -> Logic4.t
+
+val is_error : t -> bool
+(** [D] or [Dbar]: the fault effect is visible on this line. *)
+
+val not_ : t -> t
+val and2 : t -> t -> t
+val or2 : t -> t -> t
+val xor2 : t -> t -> t
+val nand2 : t -> t -> t
+val nor2 : t -> t -> t
+val xnor2 : t -> t -> t
+val mux : sel:t -> a:t -> b:t -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,34 @@
+open Olfu_netlist
+
+(** Design-for-testability lint: the checks a test engineer runs before
+    trusting a netlist in a flow like this paper's. *)
+
+type severity = Error | Warning | Info
+
+type finding = {
+  severity : severity;
+  code : string;  (** stable identifier, e.g. "SCAN-001" *)
+  message : string;
+  node : int option;
+}
+
+val run : Netlist.t -> finding list
+(** Checks, each with a stable code:
+    {ul
+    {- SCAN-001 (warning): flip-flop not reachable by any scan chain;}
+    {- SCAN-002 (error): a scan-in port that traces to no scan cell;}
+    {- SCAN-003 (warning): a scan chain without a scan-out port;}
+    {- SCAN-004 (warning): scan cells driven by more than one scan-enable
+       net;}
+    {- RST-001 (warning): flip-flops without reset;}
+    {- RST-002 (info): no input carries the reset role;}
+    {- NET-001 (warning): floating ([Tiex]) net;}
+    {- NET-002 (info): net constant in mission steady state (outside tie
+       cells);}
+    {- OBS-001 (warning): logic with no structural path to any output
+       (dead cone);}
+    {- TEST-001 (info): the hardest-to-test nets by SCOAP score.}} *)
+
+val errors : finding list -> finding list
+val pp_finding : Netlist.t -> Format.formatter -> finding -> unit
+val pp_report : Netlist.t -> Format.formatter -> finding list -> unit

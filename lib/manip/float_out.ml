@@ -1,0 +1,24 @@
+open Olfu_netlist
+module B = Netlist.Builder
+
+let outputs nl select =
+  let b = B.of_netlist nl in
+  Array.iter (fun o -> if select o then B.remove_node b o) (Netlist.outputs nl);
+  B.freeze_exn b
+
+let outputs_by_name nl names =
+  let ids =
+    List.map
+      (fun s ->
+        let i = Netlist.find_exn nl s in
+        if not (Cell.equal_kind (Netlist.kind nl i) Cell.Output) then
+          invalid_arg (Printf.sprintf "Float_out: %S is not an output" s);
+        i)
+      names
+  in
+  outputs nl (fun o -> List.mem o ids)
+
+let debug_observation nl =
+  outputs nl (fun o -> Netlist.has_role nl o Netlist.Debug_observe)
+
+let predicate_keep _nl select o = not (select o)

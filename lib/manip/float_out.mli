@@ -1,0 +1,20 @@
+open Olfu_netlist
+
+(** Floating (disconnecting) outputs — Sec. 3.2.2 of the paper: "unconnect
+    (e.g. leave floating) all CPU outputs related to debug", so the logic
+    that only feeds them becomes structurally unobservable. *)
+
+val outputs : Netlist.t -> (int -> bool) -> Netlist.t
+(** Remove every [Output]-marker node selected by the predicate. *)
+
+val outputs_by_name : Netlist.t -> string list -> Netlist.t
+(** Float the named output ports.  Unknown names raise
+    [Invalid_argument]. *)
+
+val debug_observation : Netlist.t -> Netlist.t
+(** Float every output carrying the {!Netlist.Debug_observe} role. *)
+
+val predicate_keep : Netlist.t -> (int -> bool) -> int -> bool
+(** [predicate_keep nl sel] is the [observable_output] predicate matching
+    what {!outputs} removes — for analyses that prefer masking over
+    rebuilding. *)

@@ -1,0 +1,71 @@
+type region = { name : string; lo : int; hi : int }
+
+let region ?(name = "region") ~lo ~hi () =
+  if lo < 0 || hi < lo then invalid_arg "Memmap.region: need 0 <= lo <= hi";
+  { name; lo; hi }
+
+(* Addresses with bit [b] = 1 form stripes [k*p + h, k*p + p - 1] with
+   p = 2^(b+1), h = 2^b.  Intersect the first relevant stripe with the
+   region. *)
+let region_bit_can_be r ~bit ~value =
+  let h = 1 lsl bit in
+  let p = h lsl 1 in
+  let base = r.lo land lnot (p - 1) in
+  if value then
+    let first_one = max r.lo (base + h) in
+    first_one <= r.hi
+  else
+    let first_zero = if r.lo < base + h then r.lo else base + p in
+    first_zero <= r.hi
+
+let bit_can_be regions ~bit ~value =
+  List.exists (fun r -> region_bit_can_be r ~bit ~value) regions
+
+let check_regions = function
+  | [] -> invalid_arg "Memmap: empty region list"
+  | rs -> rs
+
+let free_bits ~width regions =
+  let regions = check_regions regions in
+  List.init width Fun.id
+  |> List.filter (fun bit ->
+         bit_can_be regions ~bit ~value:false
+         && bit_can_be regions ~bit ~value:true)
+
+let constant_bits ~width regions =
+  let regions = check_regions regions in
+  List.init width Fun.id
+  |> List.filter_map (fun bit ->
+         let can0 = bit_can_be regions ~bit ~value:false in
+         let can1 = bit_can_be regions ~bit ~value:true in
+         match can0, can1 with
+         | true, true -> None
+         | false, true -> Some (bit, true)
+         | true, false -> Some (bit, false)
+         | false, false -> assert false (* regions are non-empty *))
+
+let paper_case_study () =
+  [
+    region ~name:"flash" ~lo:0x0007_8000 ~hi:0x0007_FFFF ();
+    region ~name:"ram" ~lo:0x4000_0000 ~hi:0x4001_FFFF ();
+  ]
+
+let pp_report ~width ppf regions =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-8s 0x%08X - 0x%08X@," r.name r.lo r.hi)
+    regions;
+  let free = free_bits ~width regions in
+  Format.fprintf ppf "free bits (%d): %a@," (List.length free)
+    Format.(
+      pp_print_list ~pp_sep:(fun ppf () -> pp_print_string ppf ",")
+        pp_print_int)
+    free;
+  let const = constant_bits ~width regions in
+  Format.fprintf ppf "constant bits (%d): %a@]" (List.length const)
+    Format.(
+      pp_print_list
+        ~pp_sep:(fun ppf () -> pp_print_string ppf ",")
+        (fun ppf (b, v) -> Format.fprintf ppf "%d=%d" b (Bool.to_int v)))
+    const

@@ -1,0 +1,33 @@
+(** Memory-map analysis (Sec. 3.3): which address bits can ever toggle,
+    given the populated regions of the address space.
+
+    "Unused address bits originate logic gates stuck to a solid value along
+    all the mission behavior" — this module computes exactly which bits
+    those are. *)
+
+type region = {
+  name : string;
+  lo : int;  (** first address, inclusive *)
+  hi : int;  (** last address, inclusive *)
+}
+
+val region : ?name:string -> lo:int -> hi:int -> unit -> region
+(** Raises [Invalid_argument] unless [0 <= lo <= hi]. *)
+
+val bit_can_be : region list -> bit:int -> value:bool -> bool
+(** Does some legal address carry [value] on address bit [bit]? *)
+
+val free_bits : width:int -> region list -> int list
+(** Bits that can legally assume both 0 and 1, ascending. *)
+
+val constant_bits : width:int -> region list -> (int * bool) list
+(** Bits stuck at a single value over every legal address, with that
+    value.  [free_bits] and [constant_bits] partition [0..width-1] (an
+    empty region list makes every bit vacuously constant-at-neither and is
+    rejected). *)
+
+val paper_case_study : unit -> region list
+(** The ranges of Sec. 4: flash [0x0007_8000, 0x0007_FFFF] and RAM
+    [0x4000_0000, 0x4001_FFFF]. *)
+
+val pp_report : width:int -> Format.formatter -> region list -> unit

@@ -1,0 +1,29 @@
+open Olfu_netlist
+module B = Netlist.Builder
+
+let reachable nl =
+  let n = Netlist.length nl in
+  let mark = Array.make n false in
+  let rec visit i =
+    if not mark.(i) then begin
+      mark.(i) <- true;
+      Array.iter visit (Netlist.fanin nl i)
+    end
+  in
+  Array.iter visit (Netlist.outputs nl);
+  mark
+
+let dead_nodes nl =
+  let mark = reachable nl in
+  let acc = ref [] in
+  for i = Netlist.length nl - 1 downto 0 do
+    if (not mark.(i)) && not (Cell.equal_kind (Netlist.kind nl i) Cell.Input)
+    then acc := i :: !acc
+  done;
+  !acc
+
+let sweep nl =
+  let dead = dead_nodes nl in
+  let b = B.of_netlist nl in
+  List.iter (fun i -> B.remove_node b i) dead;
+  (B.freeze_exn b, List.length dead)

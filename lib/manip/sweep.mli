@@ -1,0 +1,14 @@
+open Olfu_netlist
+
+(** Dead-logic sweep: remove every cell with no structural path to any
+    output port.  Mirrors what synthesis would do to a manipulated
+    netlist — the ablation that distinguishes "untestable but present"
+    faults (the paper's accounting) from "logic that would simply be
+    stripped". *)
+
+val dead_nodes : Netlist.t -> int list
+(** Nodes (cells, flip-flops, ties) not backward-reachable from any
+    [Output] marker.  Input ports are never reported (they are pins). *)
+
+val sweep : Netlist.t -> Netlist.t * int
+(** Returns the swept netlist and the number of removed nodes. *)

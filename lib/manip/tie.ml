@@ -1,0 +1,46 @@
+open Olfu_logic
+open Olfu_netlist
+module B = Netlist.Builder
+
+let kind_of_value = function
+  | Logic4.L0 -> Cell.Tie0
+  | Logic4.L1 -> Cell.Tie1
+  | Logic4.X | Logic4.Z -> Cell.Tiex
+
+module Batch = struct
+  let input b i v =
+    if not (Cell.equal_kind (B.node_kind b i) Cell.Input) then
+      invalid_arg "Tie.input: not a primary input";
+    B.set_kind b i (kind_of_value v)
+
+  let pin b ~node ~pin v =
+    let t = B.tie b v in
+    let fanin = B.node_fanin b node in
+    fanin.(pin) <- t;
+    B.set_fanin b node fanin
+
+  let net b i v =
+    let t = B.tie b v in
+    for node = 0 to B.length b - 1 do
+      let fanin = B.node_fanin b node in
+      let touched = ref false in
+      Array.iteri
+        (fun p d ->
+          if d = i then begin
+            fanin.(p) <- t;
+            touched := true
+          end)
+        fanin;
+      if !touched then B.set_fanin b node fanin
+    done
+end
+
+let apply f nl =
+  let b = B.of_netlist nl in
+  f b;
+  B.freeze_exn b
+
+let input nl i v = apply (fun b -> Batch.input b i v) nl
+let input_name nl s v = input nl (Netlist.find_exn nl s) v
+let net nl i v = apply (fun b -> Batch.net b i v) nl
+let pin nl ~node ~pin:p v = apply (fun b -> Batch.pin b ~node ~pin:p v) nl

@@ -1,0 +1,32 @@
+open Olfu_logic
+open Olfu_netlist
+
+(** Tying manipulations (Sec. 3.2.1 / 3.3 of the paper: "connect to ground
+    or Vdd ... all CPU inputs related to debug and showing a constant
+    value"; "input and output of those flip flops showing a constant
+    value").
+
+    All functions build a modified copy; the original is untouched.  The
+    manipulated cells stay in the netlist so their faults remain in the
+    universe — the structural engine then classifies them. *)
+
+val input : Netlist.t -> int -> Logic4.t -> Netlist.t
+(** Replace a primary input with a tie cell (the port is soldered to a
+    rail).  Raises [Invalid_argument] if the node is not an input. *)
+
+val input_name : Netlist.t -> string -> Logic4.t -> Netlist.t
+
+val net : Netlist.t -> int -> Logic4.t -> Netlist.t
+(** Redirect every fanout branch of the net to a fresh tie cell, keeping
+    the driver in place (its cone becomes unobservable, which is the
+    point). *)
+
+val pin : Netlist.t -> node:int -> pin:int -> Logic4.t -> Netlist.t
+(** Tie a single input pin. *)
+
+(** Batched variants over a builder, for composing many edits cheaply. *)
+module Batch : sig
+  val input : Netlist.Builder.t -> int -> Logic4.t -> unit
+  val net : Netlist.Builder.t -> int -> Logic4.t -> unit
+  val pin : Netlist.Builder.t -> node:int -> pin:int -> Logic4.t -> unit
+end

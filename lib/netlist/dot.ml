@@ -1,0 +1,87 @@
+let node_label nl i =
+  let nd = Netlist.node nl i in
+  let name =
+    match nd.Netlist.name with Some s -> s | None -> Printf.sprintf "n%d" i
+  in
+  Printf.sprintf "%s\\n%s" name (Cell.kind_name nd.Netlist.kind)
+
+let shape (k : Cell.kind) =
+  match k with
+  | Cell.Input -> "invtriangle"
+  | Cell.Output -> "triangle"
+  | Cell.Dff | Cell.Dffr | Cell.Sdff | Cell.Sdffr -> "box"
+  | Cell.Tie0 | Cell.Tie1 | Cell.Tiex -> "point"
+  | _ -> "ellipse"
+
+let prefix_of nl i =
+  match (Netlist.node nl i).Netlist.name with
+  | Some s -> (
+    match String.index_opt s '/' with
+    | Some k -> Some (String.sub s 0 k)
+    | None -> None)
+  | None -> None
+
+let to_string ?(highlight = []) ?(cluster_prefixes = true) nl =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "digraph netlist {\n  rankdir=LR;\n  node [fontsize=9];\n";
+  let hl = Hashtbl.create 17 in
+  List.iter (fun i -> Hashtbl.replace hl i ()) highlight;
+  let emit_node i =
+    let nd = Netlist.node nl i in
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d [label=\"%s\", shape=%s%s];\n" i
+         (node_label nl i)
+         (shape nd.Netlist.kind)
+         (if Hashtbl.mem hl i then ", style=filled, fillcolor=red" else ""))
+  in
+  if cluster_prefixes then begin
+    (* group by hierarchical prefix *)
+    let groups = Hashtbl.create 17 in
+    Netlist.iter_nodes
+      (fun i _ ->
+        let p = Option.value ~default:"" (prefix_of nl i) in
+        Hashtbl.replace groups p (i :: Option.value ~default:[] (Hashtbl.find_opt groups p)))
+      nl;
+    Hashtbl.iter
+      (fun p members ->
+        if p <> "" then
+          Buffer.add_string buf
+            (Printf.sprintf "  subgraph \"cluster_%s\" {\n    label=\"%s\";\n" p p);
+        List.iter
+          (fun i ->
+            if p <> "" then Buffer.add_string buf "  ";
+            emit_node i)
+          (List.rev members);
+        if p <> "" then Buffer.add_string buf "  }\n")
+      groups
+  end
+  else Netlist.iter_nodes (fun i _ -> emit_node i) nl;
+  Netlist.iter_nodes
+    (fun i nd ->
+      Array.iteri
+        (fun p d ->
+          Buffer.add_string buf
+            (Printf.sprintf "  n%d -> n%d [label=\"%s\", fontsize=7];\n" d i
+               (Cell.input_pin_name nd.Netlist.kind p)))
+        nd.Netlist.fanin)
+    nl;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let neighbourhood nl center ~radius =
+  let seen = Hashtbl.create 97 in
+  let rec go i r =
+    if r >= 0 && not (Hashtbl.mem seen i) then begin
+      Hashtbl.replace seen i ();
+      Array.iter (fun d -> go d (r - 1)) (Netlist.fanin nl i);
+      Array.iter (fun (s, _) -> go s (r - 1)) (Netlist.fanout nl i)
+    end
+    else if r >= 0 then ()
+  in
+  go center radius;
+  Hashtbl.fold (fun i () acc -> i :: acc) seen [] |> List.sort compare
+
+let to_file ?highlight ?cluster_prefixes nl path =
+  let oc = open_out path in
+  output_string oc (to_string ?highlight ?cluster_prefixes nl);
+  close_out oc

@@ -1,0 +1,22 @@
+(** Graphviz export of a netlist (or of a fault's neighbourhood) for
+    visual debugging of manipulations and untestability verdicts. *)
+
+val to_string :
+  ?highlight:int list ->
+  ?cluster_prefixes:bool ->
+  Netlist.t ->
+  string
+(** [highlight] nodes are filled red.  [cluster_prefixes] (default true)
+    groups nodes into subgraph clusters by hierarchical name prefix
+    ("alu/", "btb/", ...). *)
+
+val neighbourhood : Netlist.t -> int -> radius:int -> int list
+(** Nodes within [radius] edges of the given node, for focused dumps of
+    big netlists. *)
+
+val to_file :
+  ?highlight:int list ->
+  ?cluster_prefixes:bool ->
+  Netlist.t ->
+  string ->
+  unit

@@ -1,0 +1,49 @@
+type t = {
+  nodes : int;
+  gates : int;
+  flops : int;
+  scan_flops : int;
+  inputs : int;
+  outputs : int;
+  ties : int;
+  depth : int;
+  by_kind : (Cell.kind * int) list;
+}
+
+let of_netlist nl =
+  let tbl = Hashtbl.create 17 in
+  let bump k =
+    Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+  in
+  Netlist.iter_nodes (fun _ nd -> bump nd.Netlist.kind) nl;
+  let count k = Option.value ~default:0 (Hashtbl.find_opt tbl k) in
+  let depth = ref 0 in
+  Netlist.iter_nodes
+    (fun i _ -> if Netlist.level nl i > !depth then depth := Netlist.level nl i)
+    nl;
+  let flops =
+    count Cell.Dff + count Cell.Dffr + count Cell.Sdff + count Cell.Sdffr
+  in
+  let ties = count Cell.Tie0 + count Cell.Tie1 + count Cell.Tiex in
+  let by_kind =
+    Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl []
+    |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
+  in
+  {
+    nodes = Netlist.length nl;
+    gates =
+      Netlist.length nl - flops - ties - count Cell.Input - count Cell.Output;
+    flops;
+    scan_flops = count Cell.Sdff + count Cell.Sdffr;
+    inputs = count Cell.Input;
+    outputs = count Cell.Output;
+    ties;
+    depth = !depth;
+    by_kind;
+  }
+
+let pp ppf s =
+  Format.fprintf ppf
+    "@[<v>nodes: %d@,gates: %d@,flops: %d (scan %d)@,ports: %d in / %d out@,\
+     ties: %d@,depth: %d@]"
+    s.nodes s.gates s.flops s.scan_flops s.inputs s.outputs s.ties s.depth

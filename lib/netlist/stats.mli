@@ -1,0 +1,16 @@
+(** Netlist census used by reports and the experiment harness. *)
+
+type t = {
+  nodes : int;
+  gates : int;  (** combinational cells, excluding ports and ties *)
+  flops : int;
+  scan_flops : int;
+  inputs : int;
+  outputs : int;
+  ties : int;
+  depth : int;  (** maximum logic level *)
+  by_kind : (Cell.kind * int) list;  (** descending by count *)
+}
+
+val of_netlist : Netlist.t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,124 @@
+open Olfu_soc
+
+type t = {
+  xlen : int;
+  regs : int array;
+  memory : (int, int) Hashtbl.t;
+  mutable pcv : int;
+  mutable halt : bool;
+  mutable write_log : (int * int) list;
+}
+
+let create ~xlen =
+  if xlen < 16 then invalid_arg "Isa_sim.create: xlen >= 16";
+  {
+    xlen;
+    regs = Array.make 16 0;
+    memory = Hashtbl.create 1024;
+    pcv = 0;
+    halt = false;
+    write_log = [];
+  }
+
+let mask t v = v land ((1 lsl t.xlen) - 1)
+
+let load t ~addr words =
+  Array.iteri (fun i w -> Hashtbl.replace t.memory (addr + i) w) words
+
+let reg t r = t.regs.(r)
+let pc t = t.pcv
+let halted t = t.halt
+let mem t a = Option.value ~default:0 (Hashtbl.find_opt t.memory a)
+
+let sext8 v = if v land 0x80 <> 0 then v - 256 else v
+
+(* Bit-exact mirror of the gate-level restoring divider, including its
+   truncate-to-w+1-bits behaviour when the divisor is zero. *)
+let divmod_restoring ~w dividend divisor =
+  let cap = (1 lsl (w + 1)) - 1 in
+  let rem = ref 0 and q = ref 0 in
+  for i = w - 1 downto 0 do
+    rem := ((!rem lsl 1) lor ((dividend lsr i) land 1)) land cap;
+    if !rem >= divisor then begin
+      q := !q lor (1 lsl i);
+      rem := !rem - divisor
+    end
+  done;
+  (!q, !rem land ((1 lsl w) - 1))
+
+let step t =
+  if not t.halt then begin
+    let w = mem t t.pcv in
+    let i = Isa.decode w in
+    let next = mask t (t.pcv + 1) in
+    let wr rd v = t.regs.(rd) <- mask t v in
+    (match i with
+    | Isa.Nop -> t.pcv <- next
+    | Isa.Mul (rd, rs) ->
+      wr rd (t.regs.(rd) * t.regs.(rs));
+      t.pcv <- next
+    | Isa.Div (rd, rs) ->
+      let q, _ = divmod_restoring ~w:t.xlen t.regs.(rd) t.regs.(rs) in
+      wr rd q;
+      t.pcv <- next
+    | Isa.Rem (rd, rs) ->
+      let _, r = divmod_restoring ~w:t.xlen t.regs.(rd) t.regs.(rs) in
+      wr rd r;
+      t.pcv <- next
+    | Isa.Mulh (rd, rs) ->
+      (* exact high half: the operands are < 2^32, so Int64 is exact *)
+      let p = Int64.mul (Int64.of_int t.regs.(rd)) (Int64.of_int t.regs.(rs)) in
+      wr rd (Int64.to_int (Int64.shift_right_logical p t.xlen));
+      t.pcv <- next
+    | Isa.Li (rd, v) ->
+      wr rd (v land 0xFF);
+      t.pcv <- next
+    | Isa.Addi (rd, v) ->
+      wr rd (t.regs.(rd) + sext8 v);
+      t.pcv <- next
+    | Isa.Add (rd, rs) ->
+      wr rd (t.regs.(rd) + t.regs.(rs));
+      t.pcv <- next
+    | Isa.Sub (rd, rs) ->
+      wr rd (t.regs.(rd) - t.regs.(rs));
+      t.pcv <- next
+    | Isa.And_ (rd, rs) ->
+      wr rd (t.regs.(rd) land t.regs.(rs));
+      t.pcv <- next
+    | Isa.Or_ (rd, rs) ->
+      wr rd (t.regs.(rd) lor t.regs.(rs));
+      t.pcv <- next
+    | Isa.Xor_ (rd, rs) ->
+      wr rd (t.regs.(rd) lxor t.regs.(rs));
+      t.pcv <- next
+    | Isa.Sll (rd, sh) ->
+      wr rd (t.regs.(rd) lsl sh);
+      t.pcv <- next
+    | Isa.Srl (rd, sh) ->
+      wr rd (mask t t.regs.(rd) lsr sh);
+      t.pcv <- next
+    | Isa.Lw (rd, rs) ->
+      wr rd (mem t t.regs.(rs));
+      t.pcv <- next
+    | Isa.Sw (rd, rs) ->
+      let a = t.regs.(rs) and v = t.regs.(rd) in
+      Hashtbl.replace t.memory a v;
+      t.write_log <- (a, v) :: t.write_log;
+      t.pcv <- next
+    | Isa.Beqz (rs, off) ->
+      t.pcv <- (if t.regs.(rs) = 0 then mask t (next + sext8 off) else next)
+    | Isa.Bnez (rs, off) ->
+      t.pcv <- (if t.regs.(rs) <> 0 then mask t (next + sext8 off) else next)
+    | Isa.Jr rs -> t.pcv <- t.regs.(rs)
+    | Isa.Halt -> t.halt <- true)
+  end
+
+let run ?(max_steps = 100_000) t =
+  let steps = ref 0 in
+  while (not t.halt) && !steps < max_steps do
+    step t;
+    incr steps
+  done;
+  !steps
+
+let writes t = List.rev t.write_log

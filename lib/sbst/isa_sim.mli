@@ -1,0 +1,22 @@
+
+(** Behavioural (golden) simulator of the tcore ISA, used to validate the
+    gate-level core and to precompute SBST expected signatures. *)
+
+type t
+
+val create : xlen:int -> t
+val load : t -> addr:int -> int array -> unit
+val reg : t -> int -> int
+val pc : t -> int
+val halted : t -> bool
+val mem : t -> int -> int
+(** Unwritten memory reads 0. *)
+
+val step : t -> unit
+(** Execute one instruction (no-op once halted). *)
+
+val run : ?max_steps:int -> t -> int
+(** Steps until [halted] or the bound; returns steps executed. *)
+
+val writes : t -> (int * int) list
+(** Memory writes in program order (addr, value). *)

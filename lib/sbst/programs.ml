@@ -1,0 +1,173 @@
+open Olfu_soc
+open Asm
+
+type t = {
+  pname : string;
+  items : Asm.item list;
+}
+
+(* Conventions: r15 = signature pointer into RAM, r14 = scratch. *)
+
+let ram_base cfg = cfg.Soc.ram.Olfu_manip.Memmap.lo
+let nibbles cfg = cfg.Soc.xlen / 4
+
+let prologue cfg = load_const_fixed 15 (ram_base cfg) ~nibbles:(nibbles cfg)
+
+let store r = [ I (Isa.Sw (r, 15)); I (Isa.Addi (15, 1)) ]
+
+let epilogue = [ I Isa.Halt ]
+
+let register_march cfg =
+  let body =
+    List.concat
+      (List.init 14 (fun r ->
+           (* background pattern, read back through a second register *)
+           [ I (Isa.Li (r, (0x55 + (r * 7)) land 0xFF)) ]
+           @ store r
+           @ [ I (Isa.Li (14, 0xFF)); I (Isa.Xor_ (r, 14)) ]
+           @ store r))
+  in
+  { pname = "register_march"; items = prologue cfg @ body @ epilogue }
+
+let alu_patterns cfg =
+  let pair a bv =
+    [ I (Isa.Li (1, a)); I (Isa.Li (2, bv)) ]
+    @ List.concat_map
+        (fun op ->
+          [ I (Isa.Li (3, a)); I op ] @ store 3)
+        [
+          Isa.Add (3, 2); Isa.Sub (3, 2); Isa.And_ (3, 2); Isa.Or_ (3, 2);
+          Isa.Xor_ (3, 2); Isa.Addi (3, 0x3C);
+        ]
+  in
+  let body =
+    List.concat_map (fun (a, bv) -> pair a bv)
+      [ (0xA5, 0x5A); (0xFF, 0x01); (0x00, 0xFF); (0x33, 0xCC) ]
+  in
+  { pname = "alu_patterns"; items = prologue cfg @ body @ epilogue }
+
+let shifter_walk cfg =
+  let xlen = cfg.Soc.xlen in
+  let left =
+    [ I (Isa.Li (1, 1)) ]
+    @ List.concat
+        (List.init (xlen / 4) (fun _ ->
+             [ I (Isa.Sll (1, 3)); I (Isa.Addi (1, 1)) ] @ store 1))
+  in
+  let right =
+    load_const_fixed 2 ((1 lsl xlen) - 1) ~nibbles:(nibbles cfg)
+    @ List.concat
+        (List.init (xlen / 4) (fun _ -> I (Isa.Srl (2, 3)) :: store 2))
+  in
+  { pname = "shifter_walk"; items = prologue cfg @ left @ right @ epilogue }
+
+let branch_exerciser cfg =
+  (* Loops execute the same backward branch repeatedly, so the second and
+     later iterations take the BTB-hit path; a computed JR exercises the
+     register-indirect target.  The JR target is an absolute address
+     resolved in a second pass with a fixed-length constant load. *)
+  let build jr_target =
+    let items =
+      prologue cfg
+      @ [ I (Isa.Li (1, 5)); I (Isa.Li (3, 0)); L "loop";
+          I (Isa.Addi (3, 1)); I (Isa.Addi (1, -1)); Bnez (1, "loop") ]
+      @ store 3
+      @ [ I (Isa.Li (2, 0)); Beqz (2, "taken"); I (Isa.Li (3, 0x99)); L "taken" ]
+      @ store 3
+      @ [ I (Isa.Li (2, 1)); Beqz (2, "nottaken"); I (Isa.Addi (3, 2));
+          L "nottaken" ]
+      @ store 3
+      @ load_const_fixed 4 jr_target ~nibbles:(nibbles cfg)
+      @ [ I (Isa.Jr 4); I (Isa.Li (3, 0x42)) (* skipped by the jump *) ]
+      @ [ L "jrdest" ]
+      @ store 3
+      @ epilogue
+    in
+    items
+  in
+  let probe = build 0 in
+  let jrdest = List.assoc "jrdest" (Asm.label_addresses probe) in
+  let items = build (cfg.Soc.rom.Olfu_manip.Memmap.lo + jrdest) in
+  { pname = "branch_exerciser"; items }
+
+let memory_walk cfg =
+  let base = ram_base cfg in
+  let span = min 0x80 (cfg.Soc.ram.Olfu_manip.Memmap.hi - base) in
+  let probe off pat =
+    load_const_fixed 10 (base + off) ~nibbles:(nibbles cfg)
+    @ [ I (Isa.Li (11, pat)); I (Isa.Sw (11, 10)); I (Isa.Lw (12, 10)) ]
+    @ store 12
+  in
+  let body =
+    List.concat_map
+      (fun (off, pat) -> probe off pat)
+      [
+        (span, 0x11); (span / 2, 0x22); ((span / 2) + 1, 0x44);
+        (span - 1, 0x88); (9, 0xEE);
+      ]
+  in
+  { pname = "memory_walk"; items = prologue cfg @ body @ epilogue }
+
+let muldiv_patterns cfg =
+  let case a bv =
+    [ I (Isa.Li (1, a)); I (Isa.Li (2, bv)) ]
+    @ List.concat_map
+        (fun mk -> [ I (Isa.Li (3, a)); I (mk 3 2) ] @ store 3)
+        [
+          (fun rd rs -> Isa.Mul (rd, rs));
+          (fun rd rs -> Isa.Mulh (rd, rs));
+          (fun rd rs -> Isa.Div (rd, rs));
+          (fun rd rs -> Isa.Rem (rd, rs));
+        ]
+  in
+  let wide =
+    (* push full-width operands through the multiplier and divider *)
+    load_const_fixed 1 ((1 lsl cfg.Soc.xlen) - 1) ~nibbles:(nibbles cfg)
+    @ load_const_fixed 2 0xB7 ~nibbles:(nibbles cfg)
+    @ [ I (Isa.Li (3, 0xD3)); I (Isa.Mul (3, 1)) ]
+    @ store 3
+    @ [ I (Isa.Li (3, 0xD3)); I (Isa.Mulh (3, 1)) ]
+    @ store 3
+    @ [ I (Isa.Li (4, 0)); I (Isa.Add (4, 1)); I (Isa.Div (4, 2)) ]
+    @ store 4
+    @ [ I (Isa.Li (4, 0)); I (Isa.Add (4, 1)); I (Isa.Rem (4, 2)) ]
+    @ store 4
+    (* divide by zero exercises the all-ones quotient path *)
+    @ [ I (Isa.Li (5, 0x5A)); I (Isa.Li (6, 0)); I (Isa.Div (5, 6)) ]
+    @ store 5
+  in
+  let body =
+    List.concat_map
+      (fun (a, bv) -> case a bv)
+      [ (0xA7, 0x35); (0xFF, 0x03); (0x80, 0x80); (0x31, 0xEE) ]
+  in
+  { pname = "muldiv_patterns"; items = prologue cfg @ body @ wide @ epilogue }
+
+(* A loop sweeping evolving operands through the multiplier and divider:
+   compact code, long execution, wide data coverage. *)
+let muldiv_sweep cfg =
+  let body =
+    [ I (Isa.Li (1, 0x9E)); I (Isa.Li (2, 0x0B)); I (Isa.Li (7, 24));
+      L "loop";
+      I (Isa.Li (3, 0)); I (Isa.Add (3, 1)); I (Isa.Div (3, 2)) ]
+    @ store 3
+    @ [ I (Isa.Li (3, 0)); I (Isa.Add (3, 1)); I (Isa.Rem (3, 2)) ]
+    @ store 3
+    @ [ I (Isa.Li (3, 0)); I (Isa.Add (3, 1)); I (Isa.Mul (3, 1)) ]
+    @ store 3
+    @ [ I (Isa.Mulh (3, 1)) ]
+    @ store 3
+    @ [ I (Isa.Sll (1, 1)); I (Isa.Addi (1, 0x4D)); I (Isa.Addi (2, 7));
+        I (Isa.Addi (7, -1)); Bnez (7, "loop") ]
+  in
+  (* keep the signature region clear of the loop's pointer *)
+  { pname = "muldiv_sweep"; items = prologue cfg @ body @ epilogue }
+
+let suite cfg =
+  [
+    register_march cfg; alu_patterns cfg; shifter_walk cfg;
+    branch_exerciser cfg; memory_walk cfg; muldiv_patterns cfg;
+    muldiv_sweep cfg;
+  ]
+
+let assemble t = Asm.assemble t.items

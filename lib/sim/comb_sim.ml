@@ -1,0 +1,50 @@
+open Olfu_logic
+open Olfu_netlist
+
+type env = Logic4.t array
+
+let init nl v = Array.make (Netlist.length nl) v
+
+let eval_node nl env i =
+  let nd = Netlist.node nl i in
+  let ins = Array.map (fun d -> env.(d)) nd.Netlist.fanin in
+  Eval.comb nd.Netlist.kind ins
+
+let settle nl env =
+  (* Ties are sources for ordering purposes but their value is intrinsic. *)
+  Netlist.iter_nodes
+    (fun i nd ->
+      match nd.Netlist.kind with
+      | Cell.Tie0 -> env.(i) <- Logic4.L0
+      | Cell.Tie1 -> env.(i) <- Logic4.L1
+      | Cell.Tiex -> env.(i) <- Logic4.X
+      | _ -> ())
+    nl;
+  Array.iter (fun i -> env.(i) <- eval_node nl env i) (Netlist.topo nl)
+
+let settle_with nl env ~override =
+  Netlist.iter_nodes
+    (fun i nd ->
+      let base =
+        match nd.Netlist.kind with
+        | Cell.Tie0 -> Some Logic4.L0
+        | Cell.Tie1 -> Some Logic4.L1
+        | Cell.Tiex -> Some Logic4.X
+        | _ -> None
+      in
+      (match base with Some v -> env.(i) <- v | None -> ());
+      match override i with Some v -> env.(i) <- v | None -> ())
+    nl;
+  Array.iter
+    (fun i ->
+      let v = eval_node nl env i in
+      env.(i) <- (match override i with Some o -> o | None -> v))
+    (Netlist.topo nl)
+
+let next_states nl env =
+  Array.map
+    (fun i ->
+      let nd = Netlist.node nl i in
+      let ins = Array.map (fun d -> env.(d)) nd.Netlist.fanin in
+      (i, Eval.next_state nd.Netlist.kind ~ins ~current:env.(i)))
+    (Netlist.seq_nodes nl)

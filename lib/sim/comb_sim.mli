@@ -1,0 +1,26 @@
+open Olfu_logic
+open Olfu_netlist
+
+(** Levelized combinational evaluation over the whole netlist.
+
+    The environment is an array of net values indexed by node id.  Sources
+    (primary inputs and sequential-cell outputs) are read from the array;
+    everything else is (re)computed in topological order. *)
+
+type env = Logic4.t array
+
+val init : Netlist.t -> Logic4.t -> env
+(** Fresh environment with every entry set to the given value. *)
+
+val settle : Netlist.t -> env -> unit
+(** Evaluates every combinational cell.  Tie cells overwrite their slot with
+    their constant; source slots are left untouched. *)
+
+val settle_with :
+  Netlist.t -> env -> override:(int -> Logic4.t option) -> unit
+(** Like {!settle} but [override node] replaces a computed net value — the
+    hook used for fault injection on stems. *)
+
+val next_states : Netlist.t -> env -> (int * Logic4.t) array
+(** Values each sequential cell captures at the next clock edge, given a
+    settled environment. *)

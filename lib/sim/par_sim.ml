@@ -1,0 +1,54 @@
+open Olfu_logic
+open Olfu_netlist
+
+type env = Dualrail.t array
+
+let init nl v = Array.make (Netlist.length nl) v
+
+let eval_node nl env i =
+  let nd = Netlist.node nl i in
+  let ins = Array.map (fun d -> env.(d)) nd.Netlist.fanin in
+  Eval.comb_par nd.Netlist.kind ins
+
+let set_ties nl env =
+  Netlist.iter_nodes
+    (fun i nd ->
+      match nd.Netlist.kind with
+      | Cell.Tie0 -> env.(i) <- Dualrail.zero
+      | Cell.Tie1 -> env.(i) <- Dualrail.one
+      | Cell.Tiex -> env.(i) <- Dualrail.unknown
+      | _ -> ())
+    nl
+
+let settle nl env =
+  set_ties nl env;
+  Array.iter (fun i -> env.(i) <- eval_node nl env i) (Netlist.topo nl)
+
+let settle_with nl env ~override =
+  set_ties nl env;
+  Netlist.iter_nodes
+    (fun i _ -> match override i with Some v -> env.(i) <- v | None -> ())
+    nl;
+  Array.iter
+    (fun i ->
+      let v = eval_node nl env i in
+      env.(i) <- (match override i with Some o -> o | None -> v))
+    (Netlist.topo nl)
+
+let next_states nl env =
+  Array.map
+    (fun i ->
+      let nd = Netlist.node nl i in
+      let pin p = env.(nd.Netlist.fanin.(p)) in
+      let v =
+        match nd.Netlist.kind with
+        | Cell.Dff -> pin 0
+        | Cell.Dffr -> Dualrail.mux ~sel:(pin 1) ~a:Dualrail.zero ~b:(pin 0)
+        | Cell.Sdff -> Dualrail.mux ~sel:(pin 2) ~a:(pin 0) ~b:(pin 1)
+        | Cell.Sdffr ->
+          Dualrail.mux ~sel:(pin 3) ~a:Dualrail.zero
+            ~b:(Dualrail.mux ~sel:(pin 2) ~a:(pin 0) ~b:(pin 1))
+        | _ -> invalid_arg "Par_sim.next_states: not sequential"
+      in
+      (i, v))
+    (Netlist.seq_nodes nl)

@@ -1,0 +1,16 @@
+open Olfu_logic
+open Olfu_netlist
+
+(** 64-pattern bit-parallel combinational simulation (one lane per
+    pattern).  Used by the pattern fault simulator and as a fast oracle in
+    tests. *)
+
+type env = Dualrail.t array
+
+val init : Netlist.t -> Dualrail.t -> env
+val settle : Netlist.t -> env -> unit
+
+val settle_with :
+  Netlist.t -> env -> override:(int -> Dualrail.t option) -> unit
+
+val next_states : Netlist.t -> env -> (int * Dualrail.t) array

@@ -1,0 +1,59 @@
+open Olfu_netlist
+module B = Netlist.Builder
+
+type t = { done_ : int; pass : int }
+
+let control_input_names = [ "bist_en"; "bist_start" ]
+
+(* Fibonacci LFSR step: shift left, feedback into bit 0. *)
+let lfsr_next b q =
+  let w = Rtl.width q in
+  let fb =
+    List.fold_left
+      (fun acc t -> B.xor2 b acc q.(t mod w))
+      q.(w - 1)
+      [ w - 3; w / 2; 0 ]
+  in
+  Array.init w (fun i -> if i = 0 then fb else q.(i - 1))
+
+let build b ~rstn ~misr =
+  let dc = [ Netlist.Debug_control ] in
+  let en = B.input b ~roles:dc "bist_en" in
+  let start = B.input b ~roles:dc "bist_start" in
+  let xlen = Rtl.width misr in
+  (* FSM: 0 idle, 1 run, 2 done *)
+  let fsm = Rtl.reg_placeholder b ~name:"bist/fsm" ~rstn ~width:2 in
+  let idle = Rtl.eq_const b fsm 0 in
+  let run = Rtl.eq_const b fsm 1 in
+  let done_st = Rtl.eq_const b fsm 2 in
+  let go = B.and2 b en (B.and2 b idle start) in
+  let counter =
+    Rtl.reg_feedback b ~name:"bist/cnt" ~rstn ~width:8 (fun q ->
+        let inc = Rtl.increment b q in
+        (* cleared when a campaign starts, counts while running *)
+        Rtl.and_bit b (B.not_ b go) (Rtl.mux b ~sel:run ~a:q ~b:inc))
+  in
+  let full = Rtl.eq_const b counter 0xFF in
+  let finish = B.and2 b run full in
+  let leave_done = B.and2 b done_st (B.not_ b en) in
+  (* next state: idle->run on go, run->done on finish, done->idle when
+     disabled; otherwise hold *)
+  let bit0 = B.and2 b (B.or2 b go (B.and2 b run (B.not_ b finish))) (B.not_ b leave_done) in
+  let bit1 = B.and2 b (B.or2 b finish done_st) (B.not_ b leave_done) in
+  Rtl.reg_assign b fsm [| bit0; bit1 |];
+  let prpg =
+    Rtl.reg_feedback b ~name:"bist/prpg" ~rstn ~width:xlen (fun q ->
+        (* seed injection: when starting, load all-ones *)
+        let seeded = Array.map (fun _ -> B.not_ b q.(0)) q in
+        let stepped = lfsr_next b q in
+        Rtl.mux b ~sel:go ~a:(Rtl.mux b ~sel:run ~a:q ~b:stepped) ~b:seeded)
+  in
+  (* signature check: (misr xor prpg) == hardwired constant *)
+  let mix = Rtl.xor_ b misr prpg in
+  let expected = 0x5A3C mod (1 lsl min 30 xlen) in
+  let cmp = Rtl.eq_const b mix expected in
+  let pass =
+    Rtl.reg_feedback b ~name:"bist/pass" ~rstn ~width:1 (fun q ->
+        [| B.mux2 b ~sel:finish ~a:q.(0) ~b:cmp |])
+  in
+  { done_ = done_st; pass = pass.(0) }

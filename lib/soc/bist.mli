@@ -1,0 +1,23 @@
+open Olfu_netlist
+
+(** Logic BIST controller — one of the Sec. 3 sources ("Built-in self-test
+    modules ... controlled directly on the boundary of the chip by a
+    tester during manufacturing test").
+
+    A small FSM started by external pins runs a pseudo-random pattern
+    generator for a fixed count and then compares the core's MISR (xored
+    with the PRPG state) against a hardwired signature.  In the mission
+    configuration the start pins are tied low, so the whole unit freezes
+    at its reset state and its faults become on-line untestable. *)
+
+type t = {
+  done_ : int;  (** BIST campaign finished *)
+  pass : int;  (** signature matched *)
+}
+
+val control_input_names : string list
+(** [bist_en], [bist_start] — mission-tied. *)
+
+val build : Netlist.Builder.t -> rstn:int -> misr:Rtl.bus -> t
+(** Declares the control inputs (role {!Netlist.Debug_control}) and the
+    PRPG/FSM/compare logic observing [misr]. *)

@@ -1,0 +1,36 @@
+open Olfu_netlist
+module B = Netlist.Builder
+
+type t = {
+  wrapped : Rtl.bus;
+  tdo : int;
+}
+
+let control_input_names = [ "bs_mode"; "bs_shift"; "bs_update"; "bs_tdi" ]
+
+let wrap b ~rstn ~pins =
+  let dc = [ Netlist.Debug_control ] in
+  let mode = B.input b ~roles:dc "bs_mode" in
+  let shift = B.input b ~roles:dc "bs_shift" in
+  let update = B.input b ~roles:dc "bs_update" in
+  let tdi = B.input b ~roles:dc "bs_tdi" in
+  let chain = ref tdi in
+  let wrapped =
+    Array.mapi
+      (fun i pin ->
+        let name s = Printf.sprintf "bsr/c%d/%s" i s in
+        (* capture-or-shift flop *)
+        let prev = !chain in
+        let cap =
+          Rtl.reg_feedback b ~name:(name "cap") ~rstn ~width:1 (fun _q ->
+              [| B.mux2 b ~sel:shift ~a:pin ~b:prev |])
+        in
+        chain := cap.(0);
+        let upd =
+          Rtl.reg_feedback b ~name:(name "upd") ~rstn ~width:1 (fun q ->
+              [| B.mux2 b ~sel:update ~a:q.(0) ~b:cap.(0) |])
+        in
+        B.mux2 b ~name:(name "pinmux") ~sel:mode ~a:pin ~b:upd.(0))
+      pins
+  in
+  { wrapped; tdo = !chain }

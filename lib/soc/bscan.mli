@@ -1,0 +1,21 @@
+open Olfu_netlist
+
+(** Boundary-scan input cells — the Sec. 3 "Boundary scan and IEEE 1500
+    structures" source.
+
+    Each wrapped input pin gets a capture/shift flip-flop (serially
+    chained TDI→TDO), an update latch and a mode mux that can substitute
+    the latched value for the pin.  Mission configuration ties
+    [bs_mode]/[bs_shift]/[bs_update]/[bs_tdi] low, so the cells are
+    transparent and their logic is on-line untestable. *)
+
+type t = {
+  wrapped : Rtl.bus;  (** pin values as seen by the core *)
+  tdo : int;  (** end of the capture chain (a mission-floated output) *)
+}
+
+val control_input_names : string list
+
+val wrap : Netlist.Builder.t -> rstn:int -> pins:Rtl.bus -> t
+(** Declares the four control inputs (role {!Netlist.Debug_control}) and
+    one boundary cell per pin. *)

@@ -1,0 +1,46 @@
+open Olfu_netlist
+module B = Netlist.Builder
+
+type t = { hit : int; target : Rtl.bus }
+
+let log2 n =
+  let rec go k = if 1 lsl k >= n then k else go (k + 1) in
+  go 0
+
+let build b ~prefix ~rstn ~entries ~pc ~wr_en ~target_in =
+  if entries < 2 || 1 lsl log2 entries <> entries then
+    invalid_arg "Btb.build: entries must be a power of two >= 2";
+  let xlen = Rtl.width pc in
+  let idxw = log2 entries in
+  let index = Rtl.slice pc 0 idxw in
+  let pc_high = Rtl.slice pc idxw (xlen - idxw) in
+  let onehot = Rtl.decoder b index in
+  let entry e =
+    let name s = Printf.sprintf "%s/e%d/%s" prefix e s in
+    let we = B.and2 b wr_en onehot.(e) in
+    let valid =
+      Rtl.reg_feedback b ~name:(name "valid") ~rstn ~width:1 (fun q ->
+          [| B.or2 b q.(0) we |])
+    in
+    let tag =
+      Rtl.reg_en b ~name:(name "tag")
+        ~roles:(fun i -> [ Netlist.Address_reg (i + idxw) ])
+        ~rstn ~en:we ~d:pc_high
+    in
+    let target =
+      Rtl.reg_en b ~name:(name "target")
+        ~roles:(fun i -> [ Netlist.Address_reg i ])
+        ~rstn ~en:we ~d:target_in
+    in
+    let tag_match = Rtl.eq b tag pc_high in
+    let hit_e = B.and2 b valid.(0) (B.and2 b tag_match onehot.(e)) in
+    (hit_e, target)
+  in
+  let cells = List.init entries entry in
+  let hit =
+    Rtl.reduce_or b (Array.of_list (List.map fst cells))
+  in
+  let target =
+    Rtl.mux_tree b ~sel:index (List.map snd cells)
+  in
+  { hit; target }

@@ -1,0 +1,27 @@
+open Olfu_netlist
+
+(** Branch target buffer: the address-holding structure the paper's memory
+    rule targets ("many bits in the registers used to save branch
+    addresses are stuck to a value").
+
+    Direct-mapped, valid/tag/target per entry.  On a taken PC-relative
+    branch the computed target is written; on the next execution of the
+    same branch the stored target is used (identical in the good circuit,
+    observable when a fault corrupts a stored bit). *)
+
+type t = {
+  hit : int;
+  target : Rtl.bus;
+}
+
+val build :
+  Netlist.Builder.t ->
+  prefix:string ->
+  rstn:int ->
+  entries:int ->
+  pc:Rtl.bus ->
+  wr_en:int ->
+  target_in:Rtl.bus ->
+  t
+(** [entries] must be a power of two ≥ 2.  Tag and target register bits
+    carry {!Netlist.Address_reg} roles for the memory-map manipulation. *)

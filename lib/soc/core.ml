@@ -1,0 +1,267 @@
+open Olfu_netlist
+module B = Netlist.Builder
+
+type ports = {
+  rstn : int;
+  rdata : Rtl.bus;
+  addr : Rtl.bus;
+  wdata : Rtl.bus;
+  rd_en : int;
+  wr_en : int;
+  halted : int;
+  perf_tick : int;  (* pulses when the retired-instruction counter hits the
+                       magic count: a small always-on functional output *)
+  misr : Rtl.bus;  (* multiple-input signature register over bus writes *)
+  gpr_obs : Rtl.bus option;
+  spr_obs : Rtl.bus option;
+}
+
+(* state encoding: 0 = fetch, 1 = execute, 2 = memory *)
+
+let build b ~rstn ~rdata ~xlen ~btb_entries ~debug =
+  if xlen < 16 then invalid_arg "Core.build: xlen must be >= 16";
+  if Rtl.width rdata <> xlen then
+    invalid_arg "Core.build: rdata width must equal xlen";
+  let dbg = if debug then Some (Debug_unit.build b ~rstn ~xlen) else None in
+
+  (* --- architectural state (placeholders, closed at the end) --- *)
+  let addr_reg i = [ Netlist.Address_reg i ] in
+  let pc = Rtl.reg_placeholder b ~name:"pc" ~roles:addr_reg ~rstn ~width:xlen in
+  let ir = Rtl.reg_placeholder b ~name:"ir" ~rstn ~width:16 in
+  let st = Rtl.reg_placeholder b ~name:"st" ~rstn ~width:2 in
+  let mar =
+    Rtl.reg_placeholder b ~name:"mar" ~roles:addr_reg ~rstn ~width:xlen
+  in
+  let wdreg = Rtl.reg_placeholder b ~name:"wdreg" ~rstn ~width:xlen in
+  let halted_r = Rtl.reg_placeholder b ~name:"halted_r" ~rstn ~width:1 in
+  let rf =
+    Array.init 16 (fun r ->
+        Rtl.reg_placeholder b ~name:(Printf.sprintf "rf/r%d" r) ~rstn
+          ~width:xlen)
+  in
+
+  (* --- decode --- *)
+  let op = Rtl.slice ir 12 4 in
+  let sel_op = Rtl.decoder b op in
+  let is o = sel_op.(o) in
+  let rd_field = Rtl.slice ir 8 4 in
+  let rs_field = Rtl.slice ir 4 4 in
+  let imm8 = Rtl.slice ir 0 8 in
+  let imm4 = Rtl.slice ir 0 4 in
+  let stf = Rtl.eq_const b st 0 in
+  let ste = Rtl.eq_const b st 1 in
+  let stm = Rtl.eq_const b st 2 in
+
+  (* --- register-file read ports --- *)
+  let rf_rows = Array.to_list rf in
+  let rf_a = Rtl.mux_tree b ~sel:rd_field rf_rows in
+  let rf_b = Rtl.mux_tree b ~sel:rs_field rf_rows in
+
+  (* --- ALU --- *)
+  let imm8z = Rtl.zero_extend b imm8 xlen in
+  let imm8s = Rtl.sign_extend b imm8 xlen in
+  let opb = Rtl.mux b ~sel:(is Isa.Op.addi) ~a:rf_b ~b:imm8s in
+  let is_sub = is Isa.Op.sub in
+  let addend = Rtl.mux b ~sel:is_sub ~a:opb ~b:(Rtl.not_ b opb) in
+  let sum, _carry = Rtl.adder b ~name:"alu/sum" ~cin:is_sub rf_a addend in
+  let andv = Rtl.and_ b ~name:"alu/and" rf_a opb in
+  let orv = Rtl.or_ b ~name:"alu/or" rf_a opb in
+  let xorv = Rtl.xor_ b ~name:"alu/xor" rf_a opb in
+  let shl = Rtl.barrel_shift b rf_a ~shamt:imm4 `Left in
+  let shr = Rtl.barrel_shift b rf_a ~shamt:imm4 `Right in
+  (* multiply-divide unit: MUL/MULH live in the opcode-0 family *)
+  let product = Rtl.multiplier b rf_a rf_b in
+  let mul_lo = Rtl.slice product 0 xlen in
+  let mul_hi = Rtl.slice product xlen xlen in
+  let quot, remv = Rtl.divider b ~dividend:rf_a ~divisor:rf_b in
+  let is_mul = Rtl.eq_const b imm4 1 in
+  let is_mulh = Rtl.eq_const b imm4 2 in
+  let is_div = Rtl.eq_const b imm4 3 in
+  let is_rem = Rtl.eq_const b imm4 4 in
+  (* funct decode of the opcode-0 family *)
+  let op0_result =
+    Rtl.mux_tree b ~sel:(Rtl.slice imm4 0 3)
+      [ rf_a; mul_lo; mul_hi; quot; remv; rf_a; rf_a; rf_a ]
+  in
+  let op0_result =
+    (* funct >= 8 is nop *)
+    Rtl.mux b ~sel:imm4.(3) ~a:op0_result ~b:rf_a
+  in
+  let alu_result =
+    Rtl.mux_tree b ~sel:op
+      [
+        op0_result (* nop/mul/mulh *); imm8z (* li *); sum (* addi *);
+        sum (* add *); sum (* sub *); andv; orv; xorv; shl; shr;
+        rf_a (* lw *); rf_a (* sw *); rf_a (* beqz *); rf_a (* bnez *);
+        rf_a (* jr *); rf_a (* halt *);
+      ]
+  in
+
+  (* --- branch unit / AGU --- *)
+  let pc_inc = Rtl.increment b pc in
+  let a_zero = B.not_ b ~name:"br/zero" (Rtl.reduce_or b rf_a) in
+  let is_beqz = is Isa.Op.beqz and is_bnez = is Isa.Op.bnez in
+  let is_jr = is Isa.Op.jr in
+  let rel_branch = B.or2 b is_beqz is_bnez in
+  let taken_rel =
+    B.or2 b
+      (B.and2 b is_beqz a_zero)
+      (B.and2 b is_bnez (B.not_ b a_zero))
+  in
+  let taken = B.or2 b ~name:"br/taken" taken_rel is_jr in
+  let badd, _ = Rtl.adder b ~name:"agu/btarget" pc_inc imm8s in
+
+  (* --- control / advance --- *)
+  let running = B.not_ b ~name:"running" halted_r.(0) in
+  let halt_req =
+    match dbg with
+    | Some d -> Debug_unit.halt_request b d ~pc
+    | None -> B.tie b Olfu_logic.Logic4.L0
+  in
+  let advance = B.and2 b ~name:"advance" running (B.not_ b halt_req) in
+
+  (* --- BTB --- *)
+  let btb_wr =
+    B.and2 b (B.and2 b ste advance) (B.and2 b taken_rel rel_branch)
+  in
+  let btb =
+    Btb.build b ~prefix:"btb" ~rstn ~entries:btb_entries ~pc ~wr_en:btb_wr
+      ~target_in:badd
+  in
+  let target_rel = Rtl.mux b ~sel:btb.Btb.hit ~a:badd ~b:btb.Btb.target in
+  let target_sel = Rtl.mux b ~sel:is_jr ~a:target_rel ~b:rf_a in
+
+  (* --- next state --- *)
+  let is_lw = is Isa.Op.lw and is_sw = is Isa.Op.sw in
+  let mem_op = B.or2 b is_lw is_sw in
+  let is_halt = is Isa.Op.halt in
+  let st_next = [| stf; B.and2 b ste mem_op |] in
+  let st_d = Rtl.mux b ~sel:advance ~a:st ~b:st_next in
+
+  (* --- next pc --- *)
+  let exec_next = Rtl.mux b ~sel:taken ~a:pc_inc ~b:target_sel in
+  let pc_en =
+    B.and2 b (B.and2 b ste advance) (B.not_ b is_halt)
+  in
+  let pc_normal = Rtl.mux b ~sel:pc_en ~a:pc ~b:exec_next in
+  let pc_d =
+    match dbg with
+    | Some d ->
+      Rtl.mux b ~sel:d.Debug_unit.force_pc ~a:pc_normal
+        ~b:(Rtl.zero_extend b d.Debug_unit.dr xlen)
+    | None -> pc_normal
+  in
+
+  (* --- fetch / memory registers --- *)
+  let ir_en = B.and2 b stf advance in
+  let ir_d = Rtl.mux b ~sel:ir_en ~a:ir ~b:(Rtl.slice rdata 0 16) in
+  let mar_en = B.and2 b (B.and2 b ste advance) mem_op in
+  let mar_d = Rtl.mux b ~sel:mar_en ~a:mar ~b:rf_b in
+  let wd_en = B.and2 b (B.and2 b ste advance) is_sw in
+  let wd_d = Rtl.mux b ~sel:wd_en ~a:wdreg ~b:rf_a in
+  let halted_d =
+    [| B.or2 b halted_r.(0) (B.and2 b (B.and2 b ste advance) is_halt) |]
+  in
+
+  (* --- register-file write port --- *)
+  let wb_exec =
+    Rtl.reduce_or b
+      [|
+        is Isa.Op.li; is Isa.Op.addi; is Isa.Op.add; is Isa.Op.sub;
+        is Isa.Op.and_; is Isa.Op.or_; is Isa.Op.xor; is Isa.Op.sll;
+        is Isa.Op.srl;
+        B.and2 b (is Isa.Op.nop)
+          (Rtl.reduce_or b [| is_mul; is_mulh; is_div; is_rem |]);
+      |]
+  in
+  let wen_exec = B.and2 b (B.and2 b ste advance) wb_exec in
+  let wen_mem = B.and2 b (B.and2 b stm advance) is_lw in
+  let dbg_wen =
+    match dbg with
+    | Some d -> d.Debug_unit.reg_write
+    | None -> B.tie b Olfu_logic.Logic4.L0
+  in
+  let wen_any = B.or2 b (B.or2 b wen_exec wen_mem) dbg_wen in
+  let waddr =
+    match dbg with
+    | Some d -> Rtl.mux b ~sel:dbg_wen ~a:rd_field ~b:d.Debug_unit.sel
+    | None -> rd_field
+  in
+  let wdata_core = Rtl.mux b ~sel:wen_mem ~a:alu_result ~b:rdata in
+  let wdata_rf =
+    match dbg with
+    | Some d -> Rtl.mux b ~sel:dbg_wen ~a:wdata_core ~b:d.Debug_unit.dr
+    | None -> wdata_core
+  in
+  let onehot_w = Rtl.decoder b waddr in
+  Array.iteri
+    (fun r q ->
+      let en = B.and2 b wen_any onehot_w.(r) in
+      Rtl.reg_assign b q (Rtl.mux b ~sel:en ~a:q ~b:wdata_rf))
+    rf;
+
+  (* --- bus interface --- *)
+  let addr =
+    Rtl.mux b ~name:"bus_addr_mux" ~sel:stm ~a:pc ~b:mar
+  in
+  let rd_en =
+    B.and2 b ~name:"bus_rd_i" advance (B.or2 b stf (B.and2 b stm is_lw))
+  in
+  let wr_en = B.and2 b ~name:"bus_wr_i" (B.and2 b stm advance) is_sw in
+
+  (* --- performance counter and write-signature MISR --- *)
+  let retire = B.and2 b (B.and2 b ste advance) (B.not_ b is_halt) in
+  let icnt =
+    Rtl.reg_feedback b ~name:"perf/icnt" ~rstn ~width:xlen (fun q ->
+        Rtl.mux b ~sel:retire ~a:q ~b:(Rtl.increment b q))
+  in
+  let perf_tick = Rtl.eq_const b (Rtl.slice icnt 0 8) 0xA5 in
+  let misr =
+    Rtl.reg_feedback b ~name:"misr/r" ~rstn ~width:xlen (fun q ->
+        let fb =
+          List.fold_left
+            (fun acc t -> B.xor2 b acc q.(t))
+            q.(0)
+            [ 3 mod xlen; 5 mod xlen; (xlen / 2) + 1 ]
+        in
+        let shifted =
+          Array.init xlen (fun i -> if i = xlen - 1 then fb else q.(i + 1))
+        in
+        let data_in = Rtl.and_bit b wr_en wdreg in
+        Rtl.xor_ b shifted data_in)
+  in
+
+  (* --- observation buses --- *)
+  let gpr_obs, spr_obs =
+    match dbg with
+    | Some d ->
+      let gpr = Rtl.mux_tree b ~sel:d.Debug_unit.sel rf_rows in
+      let status =
+        Rtl.zero_extend b (Rtl.concat [ ir; st; halted_r ]) xlen
+      in
+      let spr = Rtl.mux b ~sel:d.Debug_unit.mode ~a:pc ~b:status in
+      (Some gpr, Some spr)
+    | None -> (None, None)
+  in
+
+  (* --- close the registers --- *)
+  Rtl.reg_assign b pc pc_d;
+  Rtl.reg_assign b ir ir_d;
+  Rtl.reg_assign b st st_d;
+  Rtl.reg_assign b mar mar_d;
+  Rtl.reg_assign b wdreg wd_d;
+  Rtl.reg_assign b halted_r halted_d;
+
+  {
+    rstn;
+    rdata;
+    addr;
+    wdata = wdreg;
+    rd_en;
+    wr_en;
+    halted = halted_r.(0);
+    perf_tick;
+    misr;
+    gpr_obs;
+    spr_obs;
+  }

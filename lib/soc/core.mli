@@ -1,0 +1,39 @@
+open Olfu_netlist
+
+(** The tcore gate-level processor: a multicycle (fetch / execute /
+    memory) implementation of {!Isa}, with register file, ALU, barrel
+    shifter, address-generation unit, branch target buffer and an optional
+    Nexus-like debug unit.
+
+    The generator emits nets only; {!Soc.generate} wraps it with ports and
+    scan insertion.  Addresses are word addresses ([xlen] wide); the PC,
+    memory address register, BTB tags/targets and the bus address port
+    carry {!Netlist.Address_reg} / {!Netlist.Address_port} roles so the
+    memory-map rule can find them. *)
+
+type ports = {
+  rstn : int;
+  rdata : Rtl.bus;  (** bus read data (instruction fetch and loads) *)
+  addr : Rtl.bus;  (** bus address (word address) *)
+  wdata : Rtl.bus;
+  rd_en : int;
+  wr_en : int;
+  halted : int;
+  perf_tick : int;
+      (** pulse when the retired-instruction counter hits a magic value *)
+  misr : Rtl.bus;  (** signature register compacting all bus writes *)
+  gpr_obs : Rtl.bus option;  (** debug observation: selected register *)
+  spr_obs : Rtl.bus option;  (** debug observation: PC / state / IR *)
+}
+
+val build :
+  Netlist.Builder.t ->
+  rstn:int ->
+  rdata:Rtl.bus ->
+  xlen:int ->
+  btb_entries:int ->
+  debug:bool ->
+  ports
+(** [xlen >= 16].  [rstn] and [rdata] are created by the caller (so a
+    boundary-scan wrapper can sit between the pins and the core); the
+    debug inputs are declared here when [debug]. *)

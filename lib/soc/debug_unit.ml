@@ -1,0 +1,78 @@
+open Olfu_netlist
+module B = Netlist.Builder
+
+type t = {
+  de : int;
+  reg_write : int;
+  force_pc : int;
+  sel : Rtl.bus;
+  dr : Rtl.bus;
+  mode : int;
+  brk_en : int;
+  resume : int;
+  halt_in : int;
+}
+
+let control_input_names =
+  [
+    "dbg_de"; "dbg_halt"; "dbg_step"; "dbg_resume"; "dbg_reg_wr";
+    "dbg_force_pc"; "dbg_brk_en"; "dbg_mode"; "dbg_din"; "jtag_tck";
+    "jtag_tms"; "jtag_tdi"; "jtag_trstn"; "dbg_sel[0]"; "dbg_sel[1]";
+    "dbg_sel[2]"; "dbg_sel[3]";
+  ]
+
+let build b ~rstn ~xlen =
+  let dc = [ Netlist.Debug_control ] in
+  let inp name = B.input b ~roles:dc name in
+  let de = inp "dbg_de" in
+  let halt_in = inp "dbg_halt" in
+  let step = inp "dbg_step" in
+  let resume = inp "dbg_resume" in
+  let reg_wr = inp "dbg_reg_wr" in
+  let force_pc_in = inp "dbg_force_pc" in
+  let brk_en = inp "dbg_brk_en" in
+  let mode = inp "dbg_mode" in
+  let din = inp "dbg_din" in
+  let tck = inp "jtag_tck" in
+  let tms = inp "jtag_tms" in
+  let tdi = inp "jtag_tdi" in
+  let trstn = inp "jtag_trstn" in
+  let sel = Rtl.input_bus ~roles:(fun _ -> dc) b "dbg_sel" 4 in
+  (* TAP-like controller, held in reset when TRSTN is tied low in the
+     mission configuration: a 2-bit state advancing on TCK. *)
+  let tap_rst = B.and2 b rstn trstn in
+  let tap =
+    Rtl.reg_feedback b ~name:"dbg/tap" ~rstn:tap_rst ~width:2 (fun q ->
+        let inc = Rtl.increment b q in
+        let cleared = Rtl.const b ~width:2 0 in
+        let next = Rtl.mux b ~sel:tms ~a:inc ~b:cleared in
+        Rtl.mux b ~sel:tck ~a:q ~b:next)
+  in
+  let tap_shift = Rtl.eq_const b tap 2 in
+  (* Debug data register: shifts right, new bit entering at the top; data
+     comes from DIN under core control or TDI under JTAG control. *)
+  let shift_bit = B.mux2 b ~sel:tap_shift ~a:din ~b:tdi in
+  let shift_en = B.and2 b de (B.or2 b step tap_shift) in
+  let dr =
+    Rtl.reg_feedback b ~name:"dbg/dr" ~rstn ~width:xlen (fun q ->
+        let shifted = Rtl.concat [ Rtl.slice q 1 (xlen - 1); [| shift_bit |] ] in
+        Rtl.mux b ~sel:shift_en ~a:q ~b:shifted)
+  in
+  {
+    de;
+    reg_write = B.and2 b ~name:"dbg/reg_write" de reg_wr;
+    force_pc = B.and2 b ~name:"dbg/force_pc" de force_pc_in;
+    sel;
+    dr;
+    mode;
+    brk_en;
+    resume;
+    halt_in;
+  }
+
+let halt_request b t ~pc =
+  let bp_match = Rtl.eq b pc (Rtl.zero_extend b t.dr (Rtl.width pc)) in
+  let bp = B.and2 b t.brk_en bp_match in
+  let want = B.or2 b t.halt_in bp in
+  let gated = B.and2 b t.de want in
+  B.and2 b ~name:"dbg/halt_req" gated (B.not_ b t.resume)

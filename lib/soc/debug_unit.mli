@@ -1,0 +1,30 @@
+open Olfu_netlist
+
+(** Nexus-like debug unit: 17 external control signals (a JTAG-style port
+    plus run-control and register-access strobes), a serially-loaded data
+    register, and hooks that let an external debugger halt the core, force
+    the PC and write the register file — the Sec. 3.2 infrastructure that
+    the mission configuration ties off. *)
+
+type t = {
+  de : int;  (** raw debug-enable input *)
+  reg_write : int;  (** gated: force a register-file write this cycle *)
+  force_pc : int;  (** gated: load the PC from [dr] *)
+  sel : Rtl.bus;  (** 4-bit register selector (also picks the GPR observed) *)
+  dr : Rtl.bus;  (** debug data register (serially loaded via [din]/JTAG) *)
+  mode : int;  (** selects what the SPR observation bus shows *)
+  brk_en : int;
+  resume : int;
+  halt_in : int;
+}
+
+val control_input_names : string list
+(** The 17 mission-tied control inputs, in declaration order. *)
+
+val build : Netlist.Builder.t -> rstn:int -> xlen:int -> t
+(** Declares the 17 inputs (role {!Netlist.Debug_control}) and the debug
+    state (TAP-like FSM, shift register). *)
+
+val halt_request : Netlist.Builder.t -> t -> pc:Rtl.bus -> int
+(** [de && (halt || (brk_en && pc = dr)) && not resume] — includes a real
+    hardware-breakpoint comparator so tying DE kills a whole cone. *)

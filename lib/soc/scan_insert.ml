@@ -1,0 +1,65 @@
+open Olfu_netlist
+module B = Netlist.Builder
+
+type result = {
+  netlist : Netlist.t;
+  chains : int list list;
+}
+
+let insert ?(chains = 1) ?(link_buffers = 1) nl =
+  let flops = Netlist.seq_nodes nl in
+  if Array.length flops = 0 then
+    invalid_arg "Scan_insert.insert: no flip-flops";
+  if chains < 1 then invalid_arg "Scan_insert.insert: chains >= 1";
+  let b = B.of_netlist nl in
+  let se = B.input b ~roles:[ Netlist.Scan_enable ] "scan_en" in
+  let chain_cells = Array.make chains [] in
+  Array.iteri
+    (fun k ff -> chain_cells.(k mod chains) <- ff :: chain_cells.(k mod chains))
+    flops;
+  let chain_lists =
+    Array.to_list (Array.map List.rev chain_cells)
+  in
+  List.iteri
+    (fun c cells ->
+      let si0 =
+        B.input b ~roles:[ Netlist.Scan_in ] (Printf.sprintf "scan_in%d" c)
+      in
+      let link from k =
+        let rec bufs src j =
+          if j = 0 then src
+          else
+            bufs
+              (B.buf b ~name:(Printf.sprintf "scan/c%d_l%d_b%d" c k (link_buffers - j)) src)
+              (j - 1)
+        in
+        bufs from link_buffers
+      in
+      let last =
+        List.fold_left
+          (fun (si, k) ff ->
+            let si = link si k in
+            (match B.node_kind b ff with
+            | Cell.Dff ->
+              let d = (B.node_fanin b ff).(0) in
+              B.set_kind b ff Cell.Sdff;
+              B.set_fanin b ff [| d; si; se |]
+            | Cell.Dffr ->
+              let fanin = B.node_fanin b ff in
+              B.set_kind b ff Cell.Sdffr;
+              B.set_fanin b ff [| fanin.(0); si; se; fanin.(1) |]
+            | Cell.Sdff | Cell.Sdffr ->
+              invalid_arg "Scan_insert.insert: already scanned"
+            | _ -> assert false);
+            (ff, k + 1))
+          (si0, 0) cells
+        |> fst
+      in
+      let so_net = link last (List.length cells) in
+      ignore
+        (B.output b ~roles:[ Netlist.Scan_out ]
+           (Printf.sprintf "scan_out%d" c)
+           so_net
+          : int))
+    chain_lists;
+  { netlist = B.freeze_exn b; chains = chain_lists }

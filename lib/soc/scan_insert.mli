@@ -1,0 +1,20 @@
+open Olfu_netlist
+
+(** Full-scan insertion: replace every flip-flop with its mux-scan
+    equivalent and stitch the cells into chains.
+
+    [Dff] becomes [Sdff], [Dffr] becomes [Sdffr].  Each chain gets a
+    scan-in input and a scan-out output port; all cells share one
+    scan-enable input.  [link_buffers] inserts that many buffers on every
+    chain link — the scan-path buffers whose faults Sec. 3.1 classifies as
+    on-line untestable. *)
+
+type result = {
+  netlist : Netlist.t;
+  chains : int list list;  (** scan cells per chain, in shift order *)
+}
+
+val insert : ?chains:int -> ?link_buffers:int -> Netlist.t -> result
+(** Defaults: 1 chain, 1 buffer per link.  Flip-flops are distributed
+    round-robin over chains in node order.  Raises [Invalid_argument] if
+    the netlist has no flip-flops. *)

@@ -1,0 +1,35 @@
+type range = { msb : int; lsb : int }
+type decl = { dname : string; drange : range option }
+
+type expr = Ref of string | Bit of string * int | Lit of Olfu_logic.Logic4.t
+
+type conn = Named of string * expr | Pos of expr
+
+type item =
+  | Input of decl list
+  | Output of decl list
+  | Wire of decl list
+  | Instance of { master : string; iname : string; conns : conn list }
+
+type modul = { mname : string; ports : string list; items : item list }
+type design = modul list
+
+let width d =
+  match d.drange with
+  | None -> 1
+  | Some { msb; lsb } -> abs (msb - lsb) + 1
+
+let bits d =
+  match d.drange with
+  | None -> [ (d.dname, None) ]
+  | Some { msb; lsb } ->
+    let step = if msb >= lsb then -1 else 1 in
+    let rec go i acc =
+      if i = lsb then List.rev ((d.dname, Some i) :: acc)
+      else go (i + step) ((d.dname, Some i) :: acc)
+    in
+    go msb []
+
+let bit_name name = function
+  | None -> name
+  | Some i -> Printf.sprintf "%s[%d]" name i

@@ -1,0 +1,37 @@
+(** AST of the structural-Verilog subset.
+
+    Supported: scalar and vector ([\[msb:lsb\]]) declarations, primitive
+    and module instances with named or positional connections, bit-selects,
+    and the literals [1'b0]/[1'b1]/[1'bx].  No behavioural constructs, no
+    expressions, no parameters — this is a netlist exchange format. *)
+
+type range = { msb : int; lsb : int }
+
+type decl = { dname : string; drange : range option }
+
+type expr =
+  | Ref of string  (** scalar net or full vector (in declarations' width) *)
+  | Bit of string * int  (** [name\[i\]] *)
+  | Lit of Olfu_logic.Logic4.t  (** [1'b0], [1'b1], [1'bx] *)
+
+type conn =
+  | Named of string * expr  (** [.A(x)] *)
+  | Pos of expr
+
+type item =
+  | Input of decl list
+  | Output of decl list
+  | Wire of decl list
+  | Instance of { master : string; iname : string; conns : conn list }
+
+type modul = { mname : string; ports : string list; items : item list }
+
+type design = modul list
+
+val width : decl -> int
+val bits : decl -> (string * int option) list
+(** Scalar bit names of a declaration: [("x", None)] or
+    [("x", Some i)] for each index, msb first. *)
+
+val bit_name : string -> int option -> string
+(** Canonical flat name: ["x"] or ["x[3]"]. *)

@@ -1,0 +1,193 @@
+open Olfu_netlist
+
+let sanitize s =
+  let b = Bytes.of_string s in
+  Bytes.iteri
+    (fun i c ->
+      let ok =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+        || (c >= '0' && c <= '9')
+        || c = '_'
+      in
+      if not ok then Bytes.set b i '_')
+    b;
+  let s = Bytes.to_string b in
+  if s = "" || (s.[0] >= '0' && s.[0] <= '9') then "n" ^ s else s
+
+let strip_out_suffix s =
+  let suf = "$out" in
+  if String.length s > String.length suf
+     && String.sub s (String.length s - String.length suf) (String.length suf)
+        = suf
+  then String.sub s 0 (String.length s - String.length suf)
+  else s
+
+let role_tag = function
+  | Netlist.Clock -> "clock"
+  | Netlist.Reset -> "reset"
+  | Netlist.Scan_enable -> "scan-enable"
+  | Netlist.Scan_in -> "scan-in"
+  | Netlist.Scan_out -> "scan-out"
+  | Netlist.Debug_control -> "debug-control"
+  | Netlist.Debug_observe -> "debug-observe"
+  | Netlist.Address_reg i -> Printf.sprintf "address-reg:%d" i
+  | Netlist.Address_port i -> Printf.sprintf "address-port:%d" i
+
+let to_string ?(module_name = "top") nl =
+  let buf = Buffer.create 4096 in
+  let taken = Hashtbl.create 97 in
+  let uniquify base =
+    if not (Hashtbl.mem taken base) then begin
+      Hashtbl.add taken base ();
+      base
+    end
+    else begin
+      let k = ref 1 in
+      while Hashtbl.mem taken (Printf.sprintf "%s_%d" base !k) do incr k done;
+      let s = Printf.sprintf "%s_%d" base !k in
+      Hashtbl.add taken s ();
+      s
+    end
+  in
+  Hashtbl.add taken "clk" ();
+  let n = Netlist.length nl in
+  (* net name for the value driven by node i *)
+  let net_name = Array.make n "" in
+  (* port name for output markers *)
+  let port_name = Array.make n "" in
+  Netlist.iter_nodes
+    (fun i nd ->
+      let base =
+        match nd.Netlist.name with
+        | Some s ->
+          sanitize
+            (if Cell.equal_kind nd.Netlist.kind Cell.Output then
+               strip_out_suffix s
+             else s)
+        | None -> Printf.sprintf "n%d" i
+      in
+      if Cell.equal_kind nd.Netlist.kind Cell.Output then
+        port_name.(i) <- uniquify base
+      else net_name.(i) <- uniquify base)
+    nl;
+  let has_flops = Array.length (Netlist.seq_nodes nl) > 0 in
+  (* header *)
+  let ports = Buffer.create 256 in
+  Array.iter
+    (fun i ->
+      Buffer.add_string ports (net_name.(i));
+      Buffer.add_string ports ", ")
+    (Netlist.inputs nl);
+  if has_flops then Buffer.add_string ports "clk, ";
+  Array.iter
+    (fun o ->
+      Buffer.add_string ports (port_name.(o));
+      Buffer.add_string ports ", ")
+    (Netlist.outputs nl);
+  let ports = Buffer.contents ports in
+  let ports =
+    if String.length ports >= 2 then String.sub ports 0 (String.length ports - 2)
+    else ports
+  in
+  Buffer.add_string buf (Printf.sprintf "module %s (%s);\n" module_name ports);
+  Array.iter
+    (fun i -> Buffer.add_string buf (Printf.sprintf "  input %s;\n" net_name.(i)))
+    (Netlist.inputs nl);
+  if has_flops then Buffer.add_string buf "  input clk;\n";
+  Array.iter
+    (fun o ->
+      Buffer.add_string buf (Printf.sprintf "  output %s;\n" port_name.(o)))
+    (Netlist.outputs nl);
+  (* wires *)
+  Netlist.iter_nodes
+    (fun i nd ->
+      match nd.Netlist.kind with
+      | Cell.Input | Cell.Output -> ()
+      | _ -> Buffer.add_string buf (Printf.sprintf "  wire %s;\n" net_name.(i)))
+    nl;
+  (* instances *)
+  Netlist.iter_nodes
+    (fun i nd ->
+      let fanin p = net_name.(nd.Netlist.fanin.(p)) in
+      let inst master conns =
+        Buffer.add_string buf
+          (Printf.sprintf "  %s u%d (%s);\n" master i (String.concat ", " conns))
+      in
+      let y = Printf.sprintf ".Y(%s)" net_name.(i) in
+      let q = Printf.sprintf ".Q(%s)" net_name.(i) in
+      let nins = Array.length nd.Netlist.fanin in
+      let gate master =
+        let letters = [| "A"; "B"; "C"; "D"; "E"; "F"; "G"; "H" |] in
+        let conns =
+          List.init nins (fun p ->
+              if p < Array.length letters then
+                Printf.sprintf ".%s(%s)" letters.(p) (fanin p)
+              else Printf.sprintf ".I%d(%s)" p (fanin p))
+        in
+        inst (Printf.sprintf "%s%d" master nins) (y :: conns)
+      in
+      match nd.Netlist.kind with
+      | Cell.Input -> ()
+      | Cell.Output ->
+        inst "BUF"
+          [ Printf.sprintf ".Y(%s)" port_name.(i);
+            Printf.sprintf ".A(%s)" (fanin 0) ]
+      | Cell.Tie0 -> inst "TIE0" [ y ]
+      | Cell.Tie1 -> inst "TIE1" [ y ]
+      | Cell.Tiex -> inst "TIEX" [ y ]
+      | Cell.Buf -> inst "BUF" [ y; Printf.sprintf ".A(%s)" (fanin 0) ]
+      | Cell.Not -> inst "INV" [ y; Printf.sprintf ".A(%s)" (fanin 0) ]
+      | Cell.And -> gate "AND"
+      | Cell.Nand -> gate "NAND"
+      | Cell.Or -> gate "OR"
+      | Cell.Nor -> gate "NOR"
+      | Cell.Xor -> gate "XOR"
+      | Cell.Xnor -> gate "XNOR"
+      | Cell.Mux2 ->
+        inst "MUX2"
+          [ y;
+            Printf.sprintf ".S(%s)" (fanin 0);
+            Printf.sprintf ".A(%s)" (fanin 1);
+            Printf.sprintf ".B(%s)" (fanin 2) ]
+      | Cell.Dff ->
+        inst "DFF" [ q; Printf.sprintf ".D(%s)" (fanin 0); ".CK(clk)" ]
+      | Cell.Dffr ->
+        inst "DFFR"
+          [ q;
+            Printf.sprintf ".D(%s)" (fanin 0);
+            Printf.sprintf ".RSTN(%s)" (fanin 1);
+            ".CK(clk)" ]
+      | Cell.Sdff ->
+        inst "SDFF"
+          [ q;
+            Printf.sprintf ".D(%s)" (fanin 0);
+            Printf.sprintf ".SI(%s)" (fanin 1);
+            Printf.sprintf ".SE(%s)" (fanin 2);
+            ".CK(clk)" ]
+      | Cell.Sdffr ->
+        inst "SDFFR"
+          [ q;
+            Printf.sprintf ".D(%s)" (fanin 0);
+            Printf.sprintf ".SI(%s)" (fanin 1);
+            Printf.sprintf ".SE(%s)" (fanin 2);
+            Printf.sprintf ".RSTN(%s)" (fanin 3);
+            ".CK(clk)" ])
+    nl;
+  Buffer.add_string buf "endmodule\n";
+  (* role sidecar: reparsing names output markers <port>$out *)
+  List.iter
+    (fun (i, r) ->
+      let name =
+        if Cell.equal_kind (Netlist.kind nl i) Cell.Output then
+          port_name.(i) ^ "$out"
+        else net_name.(i)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "//@role %s %s\n" name (role_tag r)))
+    (List.sort compare (Netlist.role_assignments nl));
+  Buffer.contents buf
+
+let to_file ?module_name nl path =
+  let oc = open_out path in
+  output_string oc (to_string ?module_name nl);
+  close_out oc

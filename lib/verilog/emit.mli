@@ -1,0 +1,11 @@
+open Olfu_netlist
+
+(** Flat netlist → structural Verilog.
+
+    Output-port markers become [BUF] cells driving the port net, all flops
+    get an explicit [.CK(clk)] on a generated [clk] input, and node roles
+    are written as ["//@role <net> <tag>"] sidecar comments that
+    {!Elaborate.roles_of_source} reads back. *)
+
+val to_string : ?module_name:string -> Netlist.t -> string
+val to_file : ?module_name:string -> Netlist.t -> string -> unit

@@ -1,0 +1,195 @@
+type token =
+  | Ident of string
+  | Number of int
+  | Literal of Olfu_logic.Logic4.t
+  | Kw_module
+  | Kw_endmodule
+  | Kw_input
+  | Kw_output
+  | Kw_wire
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Comma
+  | Semi
+  | Colon
+  | Dot
+  | Eof
+
+exception Error of { line : int; message : string }
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable lin : int;
+  mutable lookahead : token option;
+}
+
+let of_string src = { src; pos = 0; lin = 1; lookahead = None }
+let line t = t.lin
+let fail t message = raise (Error { line = t.lin; message })
+
+let is_id_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '\\'
+
+let is_id_char c =
+  is_id_start c || (c >= '0' && c <= '9') || c = '$'
+
+let rec skip_space t =
+  if t.pos >= String.length t.src then ()
+  else
+    match t.src.[t.pos] with
+    | ' ' | '\t' | '\r' ->
+      t.pos <- t.pos + 1;
+      skip_space t
+    | '\n' ->
+      t.pos <- t.pos + 1;
+      t.lin <- t.lin + 1;
+      skip_space t
+    | '/' when t.pos + 1 < String.length t.src && t.src.[t.pos + 1] = '/' ->
+      while t.pos < String.length t.src && t.src.[t.pos] <> '\n' do
+        t.pos <- t.pos + 1
+      done;
+      skip_space t
+    | '/' when t.pos + 1 < String.length t.src && t.src.[t.pos + 1] = '*' ->
+      t.pos <- t.pos + 2;
+      let rec close () =
+        if t.pos + 1 >= String.length t.src then fail t "unterminated comment"
+        else if t.src.[t.pos] = '*' && t.src.[t.pos + 1] = '/' then
+          t.pos <- t.pos + 2
+        else begin
+          if t.src.[t.pos] = '\n' then t.lin <- t.lin + 1;
+          t.pos <- t.pos + 1;
+          close ()
+        end
+      in
+      close ();
+      skip_space t
+    | '(' when t.pos + 1 < String.length t.src && t.src.[t.pos + 1] = '*' ->
+      (* attribute instances: skip to the closing star-paren *)
+      t.pos <- t.pos + 2;
+      let rec close () =
+        if t.pos + 1 >= String.length t.src then fail t "unterminated attribute"
+        else if t.src.[t.pos] = '*' && t.src.[t.pos + 1] = ')' then
+          t.pos <- t.pos + 2
+        else begin
+          if t.src.[t.pos] = '\n' then t.lin <- t.lin + 1;
+          t.pos <- t.pos + 1;
+          close ()
+        end
+      in
+      close ();
+      skip_space t
+    | _ -> ()
+
+let read_ident t =
+  let start = t.pos in
+  if t.src.[t.pos] = '\\' then begin
+    (* escaped identifier: up to whitespace *)
+    t.pos <- t.pos + 1;
+    let s = t.pos in
+    while
+      t.pos < String.length t.src
+      && not
+           (match t.src.[t.pos] with
+           | ' ' | '\t' | '\n' | '\r' -> true
+           | _ -> false)
+    do
+      t.pos <- t.pos + 1
+    done;
+    String.sub t.src s (t.pos - s)
+  end
+  else begin
+    while t.pos < String.length t.src && is_id_char t.src.[t.pos] do
+      t.pos <- t.pos + 1
+    done;
+    String.sub t.src start (t.pos - start)
+  end
+
+let read_number t =
+  let start = t.pos in
+  while
+    t.pos < String.length t.src
+    && t.src.[t.pos] >= '0'
+    && t.src.[t.pos] <= '9'
+  do
+    t.pos <- t.pos + 1
+  done;
+  let digits = String.sub t.src start (t.pos - start) in
+  (* sized binary literal: 1'b0 / 1'b1 / 1'bx *)
+  if t.pos + 2 < String.length t.src && t.src.[t.pos] = '\'' then begin
+    let base = Char.lowercase_ascii t.src.[t.pos + 1] in
+    if base <> 'b' then fail t "only binary literals are supported";
+    let v = Char.lowercase_ascii t.src.[t.pos + 2] in
+    t.pos <- t.pos + 3;
+    match v with
+    | '0' -> Literal Olfu_logic.Logic4.L0
+    | '1' -> Literal Olfu_logic.Logic4.L1
+    | 'x' -> Literal Olfu_logic.Logic4.X
+    | 'z' -> Literal Olfu_logic.Logic4.Z
+    | _ -> fail t "bad literal value"
+  end
+  else Number (int_of_string digits)
+
+let lex t =
+  skip_space t;
+  if t.pos >= String.length t.src then Eof
+  else
+    let c = t.src.[t.pos] in
+    if is_id_start c then
+      match read_ident t with
+      | "module" -> Kw_module
+      | "endmodule" -> Kw_endmodule
+      | "input" -> Kw_input
+      | "output" -> Kw_output
+      | "wire" -> Kw_wire
+      | id -> Ident id
+    else if c >= '0' && c <= '9' then read_number t
+    else begin
+      t.pos <- t.pos + 1;
+      match c with
+      | '(' -> Lparen
+      | ')' -> Rparen
+      | '[' -> Lbracket
+      | ']' -> Rbracket
+      | ',' -> Comma
+      | ';' -> Semi
+      | ':' -> Colon
+      | '.' -> Dot
+      | c -> fail t (Printf.sprintf "unexpected character %C" c)
+    end
+
+let next t =
+  match t.lookahead with
+  | Some tok ->
+    t.lookahead <- None;
+    tok
+  | None -> lex t
+
+let peek t =
+  match t.lookahead with
+  | Some tok -> tok
+  | None ->
+    let tok = lex t in
+    t.lookahead <- Some tok;
+    tok
+
+let pp_token ppf = function
+  | Ident s -> Format.fprintf ppf "identifier %S" s
+  | Number n -> Format.fprintf ppf "number %d" n
+  | Literal v -> Format.fprintf ppf "literal 1'b%c" (Olfu_logic.Logic4.to_char v)
+  | Kw_module -> Format.pp_print_string ppf "'module'"
+  | Kw_endmodule -> Format.pp_print_string ppf "'endmodule'"
+  | Kw_input -> Format.pp_print_string ppf "'input'"
+  | Kw_output -> Format.pp_print_string ppf "'output'"
+  | Kw_wire -> Format.pp_print_string ppf "'wire'"
+  | Lparen -> Format.pp_print_string ppf "'('"
+  | Rparen -> Format.pp_print_string ppf "')'"
+  | Lbracket -> Format.pp_print_string ppf "'['"
+  | Rbracket -> Format.pp_print_string ppf "']'"
+  | Comma -> Format.pp_print_string ppf "','"
+  | Semi -> Format.pp_print_string ppf "';'"
+  | Colon -> Format.pp_print_string ppf "':'"
+  | Dot -> Format.pp_print_string ppf "'.'"
+  | Eof -> Format.pp_print_string ppf "end of input"

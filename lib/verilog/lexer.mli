@@ -1,0 +1,31 @@
+(** Hand-rolled lexer for the structural-Verilog subset. *)
+
+type token =
+  | Ident of string
+  | Number of int
+  | Literal of Olfu_logic.Logic4.t  (** 1'b0 / 1'b1 / 1'bx *)
+  | Kw_module
+  | Kw_endmodule
+  | Kw_input
+  | Kw_output
+  | Kw_wire
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Comma
+  | Semi
+  | Colon
+  | Dot
+  | Eof
+
+type t
+
+exception Error of { line : int; message : string }
+
+val of_string : string -> t
+val next : t -> token
+val peek : t -> token
+val line : t -> int
+
+val pp_token : Format.formatter -> token -> unit

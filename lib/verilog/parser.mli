@@ -1,0 +1,6 @@
+(** Recursive-descent parser for the structural-Verilog subset. *)
+
+exception Error of { line : int; message : string }
+
+val design_of_string : string -> Ast.design
+val design_of_file : string -> Ast.design

@@ -1,0 +1,255 @@
+open Olfu_netlist
+open Olfu_fault
+open Olfu_soc
+open Olfu
+
+(* tcore16 keeps these tests fast; the full tcore32 flow is exercised by
+   the benchmark harness and soc_audit example *)
+let t16 = lazy (Soc.generate Soc.tcore16)
+let mission16 = lazy (Mission.of_soc Soc.tcore16 (Lazy.force t16))
+let report16 = lazy (Flow.run (Lazy.force t16) (Lazy.force mission16))
+
+let test_flow_runs () =
+  let r = Lazy.force report16 in
+  Alcotest.(check bool) "has faults" true (r.Flow.universe > 10_000);
+  Alcotest.(check bool) "finds olfu faults" true (r.Flow.total_olfu > 0);
+  Alcotest.(check bool) "fraction sane" true
+    (r.Flow.fraction > 0.05 && r.Flow.fraction < 0.5);
+  (* flist classification is consistent with the step sum *)
+  let ud = Flist.count r.Flow.flist ~f:Status.is_undetectable in
+  Alcotest.(check int) "steps sum to list" r.Flow.total_olfu ud
+
+let test_flow_source_ordering () =
+  (* the paper's Table I ordering: scan is the largest source, memory the
+     smallest of the three *)
+  let r = Lazy.force report16 in
+  let scan = Flow.step_count r Flow.Scan in
+  let dbg =
+    Flow.step_count r Flow.Debug_control + Flow.step_count r Flow.Debug_observe
+  in
+  let mem = Flow.step_count r Flow.Memory in
+  Alcotest.(check bool) "scan largest" true (scan > dbg);
+  Alcotest.(check bool) "memory smallest" true (mem < dbg);
+  Alcotest.(check bool) "control > observation" true
+    (Flow.step_count r Flow.Debug_control
+    > Flow.step_count r Flow.Debug_observe);
+  Alcotest.(check int) "paper total excludes baseline"
+    (r.Flow.total_olfu - Flow.step_count r Flow.Baseline)
+    (Flow.paper_total r)
+
+let test_scan_rule_verifies () =
+  (* the Tetramax cross-check of Sec. 4 on the generated SoC *)
+  Alcotest.(check bool) "engine confirms the scan rule" true
+    (Flow.verify_scan_rule (Lazy.force t16))
+
+let test_flow_idempotent_attribution () =
+  (* no fault is counted twice: re-running a step classifies nothing new *)
+  let nl = Lazy.force t16 in
+  let r = Lazy.force report16 in
+  let again = Flow.scan_step nl r.Flow.flist in
+  Alcotest.(check int) "scan step idempotent" 0 again
+
+let test_soundness_sample_podem () =
+  (* sampled cross-check: flow-classified untestable faults have no PODEM
+     test on the mission netlist *)
+  let r = Lazy.force report16 in
+  let nl = r.Flow.mission_netlist in
+  let mission = Lazy.force mission16 in
+  let observable = Mission.observed_in_field mission nl in
+  let checked = ref 0 in
+  Flist.iteri
+    (fun i f st ->
+      if
+        !checked < 40 && i mod 97 = 0
+        && Status.is_undetectable st
+        && f.Fault.site.Fault.pin <> Cell.Pin.Clk
+      then begin
+        incr checked;
+        match
+          Olfu_atpg.Podem.run ~backtrack_limit:300 ~observable_output:observable
+            nl f
+        with
+        | Olfu_atpg.Podem.Test asg ->
+          (* PODEM works on the full-access model; a test here must at
+             least fail to validate, otherwise the flow was unsound *)
+          Alcotest.(check bool)
+            (Printf.sprintf "fault %d test validates" i)
+            true
+            (Olfu_atpg.Podem.check_test ~observable_output:observable nl f asg
+             ||
+             (* scan-rule faults are sequential-behaviour based; PODEM's
+                combinational view cannot refute them *)
+             Status.equal st (Status.Undetectable Status.Unused))
+        | Olfu_atpg.Podem.Proved_untestable | Olfu_atpg.Podem.Aborted -> ()
+      end)
+    r.Flow.flist;
+  Alcotest.(check bool) "sampled" true (!checked > 10)
+
+let test_categories_fig1 () =
+  let nl = Lazy.force t16 in
+  let mission = Lazy.force mission16 in
+  let s = Categories.compute nl mission in
+  Alcotest.(check bool) "inclusions hold" true s.Categories.inclusions_hold;
+  Alcotest.(check bool) "structural < functional" true
+    (s.Categories.structural < s.Categories.functional);
+  Alcotest.(check bool) "functional < online" true
+    (s.Categories.functional < s.Categories.online);
+  Alcotest.(check bool) "online < universe" true
+    (s.Categories.online < s.Categories.universe)
+
+let test_mission_of_soc () =
+  let nl = Lazy.force t16 in
+  let m = Lazy.force mission16 in
+  Alcotest.(check int) "17 debug controls" 17
+    (List.length m.Mission.debug_controls);
+  Alcotest.(check int) "2 xlen observation buses" (2 * Soc.tcore16.Soc.xlen)
+    (List.length m.Mission.debug_observes);
+  (* field observation excludes the debug buses and scan outs *)
+  let gpr0 = Netlist.find_exn nl "gpr_obs[0]" in
+  Alcotest.(check bool) "gpr_obs not observed" false
+    (Mission.observed_in_field m nl gpr0);
+  let halted = Netlist.find_exn nl "halted" in
+  Alcotest.(check bool) "halted observed" true
+    (Mission.observed_in_field m nl halted)
+
+let test_address_forcing () =
+  let m = Lazy.force mission16 in
+  let forced = Mission.address_forcing m in
+  (* tcore16 map: rom [0,0xFF], ram [0x4000,0x40FF]: bits 0..7 free,
+     bit 14 free, the rest forced 0 *)
+  Alcotest.(check bool) "bit 0 free" true (forced 0 = None);
+  Alcotest.(check bool) "bit 14 free" true (forced 14 = None);
+  Alcotest.(check bool) "bit 12 forced 0" true
+    (forced 12 = Some Olfu_logic.Logic4.L0);
+  Alcotest.(check bool) "bit 15 forced 0" true
+    (forced 15 = Some Olfu_logic.Logic4.L0)
+
+let test_safety_assessment () =
+  let r = Lazy.force report16 in
+  let fl = r.Flow.flist in
+  (* simulate a campaign detecting every fault not classified untestable:
+     raw coverage misses the target, pruned coverage reaches 100% *)
+  let fl2 = Flist.create (Flist.netlist fl) (Array.init (Flist.size fl) (Flist.fault fl)) in
+  Flist.iteri
+    (fun i _ st ->
+      match st with
+      | Status.Not_analyzed -> Flist.set_status fl2 i Status.Detected
+      | s -> Flist.set_status fl2 i s)
+    fl;
+  let v = Safety.assess Safety.D fl2 in
+  Alcotest.(check bool) "raw fails ASIL-D" false v.Safety.meets_raw;
+  Alcotest.(check bool) "pruned passes ASIL-D" true v.Safety.meets_pruned;
+  Alcotest.(check bool) "paper target 98%" true
+    (Safety.paper_airbag_target = 0.98);
+  let qm = Safety.assess Safety.QM fl2 in
+  Alcotest.(check bool) "QM always passes" true qm.Safety.meets_raw
+
+let test_safety_thresholds () =
+  Alcotest.(check (option (float 0.001))) "B" (Some 0.90)
+    (Safety.required_coverage Safety.B);
+  Alcotest.(check (option (float 0.001))) "C" (Some 0.97)
+    (Safety.required_coverage Safety.C);
+  Alcotest.(check (option (float 0.001))) "D" (Some 0.99)
+    (Safety.required_coverage Safety.D);
+  Alcotest.(check bool) "QM none" true
+    (Safety.required_coverage Safety.QM = None);
+  let s =
+    Format.asprintf "%a" Safety.pp_verdict
+      (Safety.assess Safety.C (Lazy.force report16).Flow.flist)
+  in
+  Alcotest.(check bool) "verdict renders" true (String.length s > 30)
+
+let test_flow_cut_mode_smaller () =
+  (* ablation: per-combinational-block analysis (Cut) finds no more than
+     the mission steady-state reading *)
+  let nl = Lazy.force t16 in
+  let mission = Lazy.force mission16 in
+  let cut = Flow.run ~ff_mode:Olfu_atpg.Ternary.Cut nl mission in
+  let steady = Lazy.force report16 in
+  Alcotest.(check bool) "cut <= steady" true
+    (cut.Flow.total_olfu <= steady.Flow.total_olfu)
+
+let test_tdf_flow () =
+  let nl = Lazy.force t16 in
+  let mission = Lazy.force mission16 in
+  let r = Olfu.Tdf_flow.run nl mission in
+  let sa = Lazy.force report16 in
+  (* the TDF universe matches the stuck-at universe size (2 per pin) *)
+  Alcotest.(check int) "same universe size" sa.Flow.universe r.Tdf_flow.universe;
+  (* same ordering: scan > debug > memory; and more transition faults die
+     than stuck-ats on every source (constants kill both polarities) *)
+  Alcotest.(check bool) "scan largest" true
+    (r.Tdf_flow.scan > r.Tdf_flow.debug_control + r.Tdf_flow.debug_observe);
+  Alcotest.(check bool) "memory smallest" true
+    (r.Tdf_flow.memory < r.Tdf_flow.debug_control + r.Tdf_flow.debug_observe);
+  Alcotest.(check bool) "tdf scan >= sa scan" true
+    (r.Tdf_flow.scan >= Flow.step_count sa Flow.Scan);
+  Alcotest.(check bool) "tdf total >= sa paper total" true
+    (r.Tdf_flow.scan + r.Tdf_flow.debug_control + r.Tdf_flow.debug_observe
+     + r.Tdf_flow.memory
+    >= Flow.paper_total sa);
+  (* printable *)
+  let s = Format.asprintf "%a" Olfu.Tdf_flow.pp r in
+  Alcotest.(check bool) "pp" true (String.length s > 100)
+
+let test_flow_on_roles_mission_matches () =
+  (* Mission.of_roles and Mission.of_soc describe the same mission for a
+     generated SoC, so the flow lands on identical numbers *)
+  let nl = Lazy.force t16 in
+  let m2 =
+    Mission.of_roles
+      ~memmap:(Soc.memmap_regions Soc.tcore16)
+      ~address_width:Soc.tcore16.Soc.xlen nl
+  in
+  let r1 = Lazy.force report16 in
+  let r2 = Flow.run nl m2 in
+  Alcotest.(check int) "same total" r1.Flow.total_olfu r2.Flow.total_olfu;
+  List.iter
+    (fun src ->
+      Alcotest.(check int)
+        (Flow.source_name src)
+        (Flow.step_count r1 src) (Flow.step_count r2 src))
+    [ Flow.Scan; Flow.Baseline; Flow.Debug_control; Flow.Debug_observe;
+      Flow.Memory ]
+
+let test_table1_renders () =
+  let r = Lazy.force report16 in
+  let s = Format.asprintf "%a" (Flow.pp_table1 ~paper:true) r in
+  List.iter
+    (fun needle ->
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) (needle ^ " in table") true (contains s needle))
+    [ "Scan"; "Debug"; "Memory"; "TOTAL"; "paper"; "13.8" ]
+
+let () =
+  Alcotest.run "core-flow"
+    [
+      ( "flow",
+        [
+          Alcotest.test_case "runs" `Quick test_flow_runs;
+          Alcotest.test_case "source ordering" `Quick test_flow_source_ordering;
+          Alcotest.test_case "scan rule verified" `Quick test_scan_rule_verifies;
+          Alcotest.test_case "idempotent" `Quick test_flow_idempotent_attribution;
+          Alcotest.test_case "podem soundness sample" `Slow
+            test_soundness_sample_podem;
+          Alcotest.test_case "cut mode ablation" `Quick test_flow_cut_mode_smaller;
+          Alcotest.test_case "safety thresholds" `Quick test_safety_thresholds;
+          Alcotest.test_case "tdf flow" `Quick test_tdf_flow;
+          Alcotest.test_case "roles mission" `Quick
+            test_flow_on_roles_mission_matches;
+          Alcotest.test_case "table renders" `Quick test_table1_renders;
+        ] );
+      ( "categories",
+        [ Alcotest.test_case "fig1 lattice" `Quick test_categories_fig1 ] );
+      ( "mission",
+        [
+          Alcotest.test_case "of_soc" `Quick test_mission_of_soc;
+          Alcotest.test_case "address forcing" `Quick test_address_forcing;
+        ] );
+      ( "safety",
+        [ Alcotest.test_case "iso 26262" `Quick test_safety_assessment ] );
+    ]

@@ -1,0 +1,251 @@
+open Olfu_logic
+
+let l4 : Logic4.t Alcotest.testable =
+  Alcotest.testable Logic4.pp Logic4.equal
+
+let all4 = [ Logic4.L0; Logic4.L1; Logic4.X; Logic4.Z ]
+
+let arb_l4 =
+  QCheck2.Gen.oneofl all4
+
+let test_char_roundtrip () =
+  List.iter
+    (fun v ->
+      match Logic4.of_char (Logic4.to_char v) with
+      | Some v' ->
+        (* Z survives the round-trip; gate logic reads it as X. *)
+        Alcotest.check l4 "roundtrip" v v'
+      | None -> Alcotest.fail "of_char failed")
+    all4
+
+let test_basic_tables () =
+  let open Logic4 in
+  Alcotest.check l4 "0&1" L0 (and2 L0 L1);
+  Alcotest.check l4 "0&x" L0 (and2 L0 X);
+  Alcotest.check l4 "1&x" X (and2 L1 X);
+  Alcotest.check l4 "1|x" L1 (or2 L1 X);
+  Alcotest.check l4 "0|x" X (or2 L0 X);
+  Alcotest.check l4 "~x" X (not_ X);
+  Alcotest.check l4 "z&1" X (and2 Z L1);
+  Alcotest.check l4 "x^1" X (xor2 X L1);
+  Alcotest.check l4 "1^1" L0 (xor2 L1 L1)
+
+let test_mux () =
+  let open Logic4 in
+  Alcotest.check l4 "sel0" L1 (mux ~sel:L0 ~a:L1 ~b:L0);
+  Alcotest.check l4 "sel1" L0 (mux ~sel:L1 ~a:L1 ~b:L0);
+  Alcotest.check l4 "selx same" L1 (mux ~sel:X ~a:L1 ~b:L1);
+  Alcotest.check l4 "selx diff" X (mux ~sel:X ~a:L1 ~b:L0)
+
+(* Pessimism: every operator must agree with Boolean logic on binary
+   inputs, and never produce a binary value that some completion of the X
+   inputs contradicts. *)
+let completions = function
+  | Logic4.X | Logic4.Z -> [ Logic4.L0; Logic4.L1 ]
+  | v -> [ v ]
+
+let prop_sound_binop name op bool_op =
+  QCheck2.Test.make ~count:200
+    ~name
+    QCheck2.Gen.(pair arb_l4 arb_l4)
+    (fun (a, b) ->
+      let r = op a b in
+      match Logic4.to_bool r with
+      | None -> true
+      | Some rb ->
+        List.for_all
+          (fun ca ->
+            List.for_all
+              (fun cb ->
+                match Logic4.to_bool ca, Logic4.to_bool cb with
+                | Some ba, Some bb -> Bool.equal (bool_op ba bb) rb
+                | _ -> true)
+              (completions b))
+          (completions a))
+
+let prop_demorgan =
+  QCheck2.Test.make ~count:200 ~name:"demorgan"
+    QCheck2.Gen.(pair arb_l4 arb_l4)
+    (fun (a, b) ->
+      Logic4.equal (Logic4.nand2 a b) (Logic4.or2 (Logic4.not_ a) (Logic4.not_ b)))
+
+(* Logic5 componentwise consistency. *)
+let all5 = [ Logic5.Zero; Logic5.One; Logic5.D; Logic5.Dbar; Logic5.X ]
+
+(* The 5-valued calculus may widen a rail to X (e.g. D & X = X even though
+   the faulty rail would be 0 componentwise), but it must never report a
+   wrong binary rail, and must be exact when both operands are known. *)
+let prop_logic5_consistent =
+  let rail_ok got expect =
+    (not (Logic4.is_binary got)) || Logic4.equal got expect
+  in
+  QCheck2.Test.make ~count:200 ~name:"logic5 good/faulty rails"
+    QCheck2.Gen.(pair (oneofl all5) (oneofl all5))
+    (fun (a, b) ->
+      let r = Logic5.and2 a b in
+      let eg = Logic4.and2 (Logic5.good a) (Logic5.good b)
+      and ef = Logic4.and2 (Logic5.faulty a) (Logic5.faulty b) in
+      rail_ok (Logic5.good r) eg
+      && rail_ok (Logic5.faulty r) ef
+      && ((Logic5.equal a Logic5.X || Logic5.equal b Logic5.X)
+         || (Logic4.equal (Logic5.good r) eg
+            && Logic4.equal (Logic5.faulty r) ef)))
+
+let test_logic5_tables () =
+  let open Logic5 in
+  Alcotest.(check bool) "D & 1 = D" true (equal (and2 D One) D);
+  Alcotest.(check bool) "D & 0 = 0" true (equal (and2 D Zero) Zero);
+  Alcotest.(check bool) "D & D' = 0" true (equal (and2 D Dbar) Zero);
+  Alcotest.(check bool) "D | D' = 1" true (equal (or2 D Dbar) One);
+  Alcotest.(check bool) "~D = D'" true (equal (not_ D) Dbar);
+  Alcotest.(check bool) "D ^ D = 0" true (equal (xor2 D D) Zero);
+  Alcotest.(check bool) "D ^ D' = 1" true (equal (xor2 D Dbar) One)
+
+(* Dualrail must agree lane-by-lane with the scalar algebra. *)
+let arb_dr =
+  QCheck2.Gen.(
+    map2 (fun hi lo -> Dualrail.make ~hi ~lo)
+      (map Int64.of_int int) (map Int64.of_int int))
+
+let prop_dualrail_matches op_dr op_sc name =
+  QCheck2.Test.make ~count:100 ~name
+    QCheck2.Gen.(pair arb_dr arb_dr)
+    (fun (a, b) ->
+      let r = op_dr a b in
+      let ok = ref true in
+      for i = 0 to Dualrail.width - 1 do
+        let expect = op_sc (Dualrail.get a i) (Dualrail.get b i) in
+        (* Z never appears in dualrail; compare through the X reading. *)
+        let expect = if Logic4.equal expect Logic4.Z then Logic4.X else expect in
+        if not (Logic4.equal (Dualrail.get r i) expect) then ok := false
+      done;
+      !ok)
+
+let prop_dualrail_mux =
+  QCheck2.Test.make ~count:100 ~name:"dualrail mux lanes"
+    QCheck2.Gen.(triple arb_dr arb_dr arb_dr)
+    (fun (s, a, b) ->
+      let r = Dualrail.mux ~sel:s ~a ~b in
+      let ok = ref true in
+      for i = 0 to Dualrail.width - 1 do
+        let expect =
+          Logic4.mux ~sel:(Dualrail.get s i) ~a:(Dualrail.get a i)
+            ~b:(Dualrail.get b i)
+        in
+        if not (Logic4.equal (Dualrail.get r i) expect) then ok := false
+      done;
+      !ok)
+
+let test_list_folds () =
+  let open Logic4 in
+  Alcotest.check l4 "and_list empty" L1 (and_list []);
+  Alcotest.check l4 "or_list empty" L0 (or_list []);
+  Alcotest.check l4 "xor_list odd" L1 (xor_list [ L1; L0; L1; L1 ]);
+  Alcotest.check l4 "and_list dominates" L0 (and_list [ L1; X; L0 ]);
+  Alcotest.check l4 "or_list dominates" L1 (or_list [ X; L1; Z ]);
+  Alcotest.check l4 "xor_list x poisons" X (xor_list [ L1; X ])
+
+let test_dualrail_setget () =
+  let v = Dualrail.const Logic4.X in
+  let v = Dualrail.set v 3 Logic4.L1 in
+  let v = Dualrail.set v 7 Logic4.L0 in
+  Alcotest.check l4 "lane3" Logic4.L1 (Dualrail.get v 3);
+  Alcotest.check l4 "lane7" Logic4.L0 (Dualrail.get v 7);
+  Alcotest.check l4 "lane0" Logic4.X (Dualrail.get v 0)
+
+let test_diff_mask () =
+  let a = Dualrail.of_lanes [| Logic4.L0; Logic4.L1; Logic4.X; Logic4.L1 |] in
+  let b = Dualrail.of_lanes [| Logic4.L1; Logic4.L1; Logic4.L0; Logic4.X |] in
+  Alcotest.(check int64) "diff lanes" 1L (Dualrail.diff_mask a b)
+
+let test_merge_laws () =
+  let open Logic4 in
+  (* merge reads Z as X (no-information), then joins *)
+  List.iter
+    (fun v ->
+      let stripped = if equal v Z then X else v in
+      Alcotest.check l4 "merge X v" stripped (merge X v);
+      Alcotest.check l4 "merge v v" stripped (merge v v))
+    all4;
+  Alcotest.check l4 "conflict" X (merge L0 L1)
+
+let test_logic5_mux_table () =
+  let open Logic5 in
+  Alcotest.(check bool) "sel 0 picks a" true (equal (mux ~sel:Zero ~a:D ~b:One) D);
+  Alcotest.(check bool) "sel 1 picks b" true (equal (mux ~sel:One ~a:D ~b:Dbar) Dbar);
+  (* an erroneous select with differing data creates an error: the good
+     circuit picks b = 1, the faulty one picks a = 0, i.e. D *)
+  Alcotest.(check bool) "sel D, a=0 b=1 -> D" true
+    (equal (mux ~sel:D ~a:Zero ~b:One) D);
+  Alcotest.(check bool) "sel D, equal data passes" true
+    (equal (mux ~sel:D ~a:One ~b:One) One)
+
+let test_dualrail_masks () =
+  let v = Dualrail.of_lanes [| Logic4.L0; Logic4.L1; Logic4.X; Logic4.L1 |] in
+  (* force lane 0 to 1 and lane 1 to 0 *)
+  let f = Dualrail.force_mask v ~m0:2L ~m1:1L in
+  Alcotest.check l4 "forced lane0" Logic4.L1 (Dualrail.get f 0);
+  Alcotest.check l4 "forced lane1" Logic4.L0 (Dualrail.get f 1);
+  Alcotest.check l4 "lane2 untouched" Logic4.X (Dualrail.get f 2);
+  let a = Dualrail.const Logic4.L0 and b = Dualrail.const Logic4.L1 in
+  let s = Dualrail.select_mask a b 4L in
+  Alcotest.check l4 "selected lane2" Logic4.L1 (Dualrail.get s 2);
+  Alcotest.check l4 "lane0 from a" Logic4.L0 (Dualrail.get s 0)
+
+let test_dualrail_binary_mask () =
+  let v = Dualrail.of_lanes [| Logic4.L0; Logic4.X; Logic4.L1 |] in
+  let m = Dualrail.binary_mask v in
+  Alcotest.(check bool) "lane0 binary" true (Int64.logand m 1L <> 0L);
+  Alcotest.(check bool) "lane1 not binary" true (Int64.logand m 2L = 0L);
+  Alcotest.(check bool) "lane2 binary" true (Int64.logand m 4L <> 0L)
+
+let prop_dualrail_lanes_roundtrip =
+  QCheck2.Test.make ~count:100 ~name:"of_lanes/to_lanes roundtrip"
+    QCheck2.Gen.(list_size (int_bound 64) (oneofl [ Logic4.L0; Logic4.L1; Logic4.X ]))
+    (fun lanes ->
+      let a = Array.of_list lanes in
+      let v = Dualrail.of_lanes a in
+      let back = Dualrail.to_lanes ~n:(Array.length a) v in
+      Array.for_all2 Logic4.equal a back)
+
+let qt t = QCheck_alcotest.to_alcotest t
+
+let () =
+  Alcotest.run "logic"
+    [
+      ( "logic4",
+        [
+          Alcotest.test_case "char roundtrip" `Quick test_char_roundtrip;
+          Alcotest.test_case "truth tables" `Quick test_basic_tables;
+          Alcotest.test_case "mux" `Quick test_mux;
+          Alcotest.test_case "list folds" `Quick test_list_folds;
+          qt (prop_sound_binop "and sound" Logic4.and2 ( && ));
+          qt (prop_sound_binop "or sound" Logic4.or2 ( || ));
+          qt (prop_sound_binop "xor sound" Logic4.xor2 (fun a b -> a <> b));
+          qt (prop_sound_binop "nand sound" Logic4.nand2 (fun a b -> not (a && b)));
+          qt prop_demorgan;
+        ] );
+      ( "logic5",
+        [
+          Alcotest.test_case "D tables" `Quick test_logic5_tables;
+          qt prop_logic5_consistent;
+        ] );
+      ( "lattice",
+        [
+          Alcotest.test_case "merge laws" `Quick test_merge_laws;
+          Alcotest.test_case "logic5 mux" `Quick test_logic5_mux_table;
+        ] );
+      ( "dualrail",
+        [
+          Alcotest.test_case "set/get" `Quick test_dualrail_setget;
+          Alcotest.test_case "diff mask" `Quick test_diff_mask;
+          Alcotest.test_case "force/select masks" `Quick test_dualrail_masks;
+          Alcotest.test_case "binary mask" `Quick test_dualrail_binary_mask;
+          qt prop_dualrail_lanes_roundtrip;
+          qt (prop_dualrail_matches Dualrail.and2 Logic4.and2 "dualrail and");
+          qt (prop_dualrail_matches Dualrail.or2 Logic4.or2 "dualrail or");
+          qt (prop_dualrail_matches Dualrail.xor2 Logic4.xor2 "dualrail xor");
+          qt (prop_dualrail_matches Dualrail.nand2 Logic4.nand2 "dualrail nand");
+          qt prop_dualrail_mux;
+        ] );
+    ]

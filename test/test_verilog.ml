@@ -1,0 +1,311 @@
+open Olfu_logic
+open Olfu_netlist
+open Olfu_sim
+open Olfu_verilog
+
+let l4 = Alcotest.testable Logic4.pp Logic4.equal
+
+let simple_src =
+  {|
+// a tiny flat design
+module top (a, b, y);
+  input a, b;
+  output y;
+  wire w;
+  AND2 g1 (.Y(w), .A(a), .B(b));
+  INV g2 (.Y(y), .A(w));
+endmodule
+|}
+
+let test_parse_simple () =
+  let nl = Elaborate.netlist_of_string simple_src in
+  Alcotest.(check int) "inputs" 2 (Array.length (Netlist.inputs nl));
+  Alcotest.(check int) "outputs" 1 (Array.length (Netlist.outputs nl));
+  let env = Comb_sim.init nl Logic4.X in
+  env.(Netlist.find_exn nl "a") <- Logic4.L1;
+  env.(Netlist.find_exn nl "b") <- Logic4.L1;
+  Comb_sim.settle nl env;
+  let o = (Netlist.outputs nl).(0) in
+  Alcotest.check l4 "nand behavior" Logic4.L0 env.((Netlist.fanin nl o).(0))
+
+let test_positional_and_literals () =
+  let src =
+    {|
+module top (a, y);
+  input a;
+  output y;
+  wire t;
+  AND2 g1 (t, a, 1'b1);
+  OR2 g2 (.Y(y), .A(t), .B(1'b0));
+endmodule
+|}
+  in
+  let nl = Elaborate.netlist_of_string src in
+  let env = Comb_sim.init nl Logic4.X in
+  env.(Netlist.find_exn nl "a") <- Logic4.L1;
+  Comb_sim.settle nl env;
+  Alcotest.check l4 "passes a" Logic4.L1 env.(Netlist.find_exn nl "t")
+
+let test_vectors () =
+  let src =
+    {|
+module top (a, y);
+  input [1:0] a;
+  output y;
+  XOR2 g (.Y(y), .A(a[1]), .B(a[0]));
+endmodule
+|}
+  in
+  let nl = Elaborate.netlist_of_string src in
+  Alcotest.(check int) "two input bits" 2 (Array.length (Netlist.inputs nl));
+  Alcotest.(check bool) "bit names" true (Netlist.find nl "a[1]" <> None)
+
+let test_hierarchy () =
+  let src =
+    {|
+module half_adder (x, y, s, c);
+  input x, y;
+  output s, c;
+  wire xb;
+  BUF gb (.Y(xb), .A(x));
+  XOR2 gs (.Y(s), .A(xb), .B(y));
+  AND2 gc (.Y(c), .A(xb), .B(y));
+endmodule
+
+module top (a, b, cin, sum, cout);
+  input a, b, cin;
+  output sum, cout;
+  wire s1, c1, c2;
+  half_adder ha1 (.x(a), .y(b), .s(s1), .c(c1));
+  half_adder ha2 (.x(s1), .y(cin), .s(sum), .c(c2));
+  OR2 go (.Y(cout), .A(c1), .B(c2));
+endmodule
+|}
+  in
+  let nl = Elaborate.netlist_of_string src in
+  (* hierarchical names of internal child nets survive flattening *)
+  Alcotest.(check bool) "ha1/xb net" true (Netlist.find nl "ha1/xb" <> None);
+  Alcotest.(check bool) "ha2/xb net" true (Netlist.find nl "ha2/xb" <> None);
+  (* behaves like a full adder *)
+  for v = 0 to 7 do
+    let env = Comb_sim.init nl Logic4.X in
+    let bit k = Logic4.of_bool ((v lsr k) land 1 = 1) in
+    env.(Netlist.find_exn nl "a") <- bit 0;
+    env.(Netlist.find_exn nl "b") <- bit 1;
+    env.(Netlist.find_exn nl "cin") <- bit 2;
+    Comb_sim.settle nl env;
+    let total = (v land 1) + ((v lsr 1) land 1) + ((v lsr 2) land 1) in
+    let sum_drv = (Netlist.fanin nl (Netlist.find_exn nl "sum$out")).(0) in
+    Alcotest.check l4 "sum" (Logic4.of_bool (total land 1 = 1)) env.(sum_drv)
+  done
+
+let test_flops_and_unconnected () =
+  let src =
+    {|
+module top (d, q);
+  input d;
+  output q;
+  wire qi;
+  DFFR f (.Q(qi), .D(d), .RSTN(), .CK(clk_ignored));
+  BUF b (.Y(q), .A(qi));
+endmodule
+//@role qi scan-out
+|}
+  in
+  (* unconnected RSTN elaborates to a floating (X) net *)
+  match Parser.design_of_string src with
+  | [ m ] ->
+    Alcotest.(check string) "module name" "top" m.Ast.mname;
+    let nl = Elaborate.to_netlist ~roles:(Elaborate.roles_of_source src) [ m ] in
+    let f = Netlist.find_exn nl "qi" in
+    Alcotest.(check bool) "is dffr" true
+      (Cell.equal_kind (Netlist.kind nl f) Cell.Dffr);
+    Alcotest.(check bool) "rstn floats" true
+      (Cell.equal_kind (Netlist.kind nl (Netlist.fanin nl f).(1)) Cell.Tiex);
+    Alcotest.(check bool) "role read" true
+      (Netlist.has_role nl f Netlist.Scan_out)
+  | _ -> Alcotest.fail "expected one module"
+
+let test_errors () =
+  let expect_error src =
+    match Elaborate.netlist_of_string src with
+    | exception (Elaborate.Error _ | Parser.Error _) -> ()
+    | _ -> Alcotest.fail "expected failure"
+  in
+  expect_error "module top (a); input a; FROB g (.Y(a)); endmodule";
+  expect_error
+    "module top (y); output y; wire w; TIE0 a (.Y(w)); TIE1 b (.Y(w)); BUF \
+     g(.Y(y), .A(w)); endmodule";
+  expect_error "module top (a, y); input a; output y; AND2 g (.Y(y), .A(a), .B(undeclared)); endmodule";
+  expect_error "module top (a; input a; endmodule"
+
+let test_lexer_edges () =
+  (* escaped identifiers, z literals, numeric corner cases *)
+  let src =
+    {|
+module top (a, y);
+  input a;
+  output y;
+  wire \weird.name$x ;
+  BUF g1 (.Y(\weird.name$x ), .A(a));
+  OR2 g2 (.Y(y), .A(\weird.name$x ), .B(1'bz));
+endmodule
+|}
+  in
+  let nl = Elaborate.netlist_of_string src in
+  Alcotest.(check bool) "escaped name kept" true
+    (Netlist.find nl "weird.name$x" <> None);
+  (* 1'bz elaborates to a floating (X) operand *)
+  let g2 = Netlist.find_exn nl "y$out" in
+  ignore g2;
+  let env = Comb_sim.init nl Logic4.X in
+  env.(Netlist.find_exn nl "a") <- Logic4.L1;
+  Comb_sim.settle nl env;
+  Alcotest.check l4 "or with z is 1 when a=1" Logic4.L1
+    env.((Netlist.fanin nl (Netlist.find_exn nl "y$out")).(0))
+
+let test_parser_error_positions () =
+  (match Parser.design_of_string "module top (a); input a; 123banana" with
+  | exception Parser.Error { line; _ } ->
+    Alcotest.(check bool) "line recorded" true (line >= 1)
+  | _ -> Alcotest.fail "expected parse error");
+  match Parser.design_of_string "module top (); wire w; AND2 g (.Y(w), .A(w), .B(w));" with
+  | exception Parser.Error _ -> ()
+  | _ -> Alcotest.fail "expected missing endmodule error"
+
+let test_comments_and_attributes () =
+  let src =
+    {|
+module top (a, y); /* block
+comment */ (* synthesis keep *)
+  input a;
+  output y;
+  BUF g (.Y(y), .A(a)); // line comment
+endmodule
+|}
+  in
+  let nl = Elaborate.netlist_of_string src in
+  Alcotest.(check int) "one input" 1 (Array.length (Netlist.inputs nl))
+
+(* Round-trip: emit then re-elaborate; must be simulation-equivalent on the
+   named nets. *)
+let roundtrip_equiv nl =
+  let src = Emit.to_string nl in
+  let nl2 = Elaborate.netlist_of_string src in
+  let rng = Random.State.make [| 42 |] in
+  let ok = ref true in
+  for _trial = 0 to 7 do
+    let env = Comb_sim.init nl Logic4.X in
+    let env2 = Comb_sim.init nl2 Logic4.X in
+    Array.iter
+      (fun i ->
+        let v = Logic4.of_bool (Random.State.bool rng) in
+        env.(i) <- v;
+        (* inputs are matched by name *)
+        match Netlist.name nl i with
+        | Some s -> (
+          match Netlist.find nl2 s with
+          | Some j -> env2.(j) <- v
+          | None -> ok := false)
+        | None -> ok := false)
+      (Netlist.inputs nl);
+    Comb_sim.settle nl env;
+    Comb_sim.settle nl2 env2;
+    (* compare all named nets *)
+    Netlist.iter_nodes
+      (fun i nd ->
+        if not (Cell.equal_kind nd.Netlist.kind Cell.Output) then
+          match nd.Netlist.name with
+          | Some s -> (
+            match Netlist.find nl2 s with
+            | Some j -> if not (Logic4.equal env.(i) env2.(j)) then ok := false
+            | None -> () (* sanitization may rename; skip *))
+          | None -> ())
+      nl
+  done;
+  !ok
+
+let test_roundtrip_adder () =
+  Alcotest.(check bool) "adder roundtrip" true
+    (roundtrip_equiv (Test_support.full_adder ()))
+
+let prop_roundtrip_random =
+  QCheck2.Test.make ~count:20 ~name:"emit/parse roundtrip simulation-equivalent"
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let nl = Test_support.random_comb_netlist rng ~inputs:4 ~gates:20 in
+      roundtrip_equiv nl)
+
+let test_roundtrip_roles () =
+  let nl, _ = Test_support.scan_cell_mission () in
+  let nl2 = Elaborate.netlist_of_string (Emit.to_string nl) in
+  let si = Netlist.find_exn nl2 "SI" in
+  Alcotest.(check bool) "scan-in role preserved" true
+    (Netlist.has_role nl2 si Netlist.Scan_in)
+
+(* Full-scale roundtrip: the generated SoC survives emit+parse with its
+   structure intact, and the identification flow lands on the same
+   per-source counts. *)
+let test_soc_roundtrip_flow () =
+  let cfg = Olfu_soc.Soc.tcore16 in
+  let nl = Olfu_soc.Soc.generate cfg in
+  let nl2 = Elaborate.netlist_of_string (Emit.to_string nl) in
+  let s1 = Stats.of_netlist nl and s2 = Stats.of_netlist nl2 in
+  Alcotest.(check int) "same flops" s1.Stats.flops s2.Stats.flops;
+  Alcotest.(check int) "same inputs (+clk)" (s1.Stats.inputs + 1) s2.Stats.inputs;
+  Alcotest.(check int) "same outputs" s1.Stats.outputs s2.Stats.outputs;
+  (* the reparsed netlist has sanitized port names, so derive the mission
+     from the role annotations instead of the config's name list *)
+  let mission nl =
+    Olfu.Mission.of_roles
+      ~memmap:(Olfu_soc.Soc.memmap_regions cfg)
+      ~address_width:cfg.Olfu_soc.Soc.xlen nl
+  in
+  let r1 = Olfu.Flow.run nl (mission nl) in
+  let r2 = Olfu.Flow.run nl2 (mission nl2) in
+  (* the emitter inserts one BUF per output port; the one on each scan-out
+     path is scan-only logic, adding exactly 4 faults per chain *)
+  Alcotest.(check int) "scan count (+4/chain for port buffers)"
+    (Olfu.Flow.step_count r1 Olfu.Flow.Scan
+    + (4 * cfg.Olfu_soc.Soc.scan_chains))
+    (Olfu.Flow.step_count r2 Olfu.Flow.Scan);
+  (* likewise the port buffers on mission-constant address bits add two
+     faults each to the memory row *)
+  let const_bits =
+    List.length
+      (Olfu_manip.Memmap.constant_bits ~width:cfg.Olfu_soc.Soc.xlen
+         (Olfu_soc.Soc.memmap_regions cfg))
+  in
+  Alcotest.(check int) "memory count (+2/constant address bit)"
+    (Olfu.Flow.step_count r1 Olfu.Flow.Memory + (2 * const_bits))
+    (Olfu.Flow.step_count r2 Olfu.Flow.Memory)
+
+let qt = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "verilog"
+    [
+      ( "parse",
+        [
+          Alcotest.test_case "simple" `Quick test_parse_simple;
+          Alcotest.test_case "positional + literals" `Quick
+            test_positional_and_literals;
+          Alcotest.test_case "vectors" `Quick test_vectors;
+          Alcotest.test_case "hierarchy" `Quick test_hierarchy;
+          Alcotest.test_case "flops + unconnected" `Quick
+            test_flops_and_unconnected;
+          Alcotest.test_case "comments" `Quick test_comments_and_attributes;
+          Alcotest.test_case "lexer edges" `Quick test_lexer_edges;
+          Alcotest.test_case "error positions" `Quick
+            test_parser_error_positions;
+          Alcotest.test_case "errors" `Quick test_errors;
+        ] );
+      ( "roundtrip",
+        [
+          Alcotest.test_case "adder" `Quick test_roundtrip_adder;
+          Alcotest.test_case "roles" `Quick test_roundtrip_roles;
+          Alcotest.test_case "soc flow equality" `Slow test_soc_roundtrip_flow;
+          qt prop_roundtrip_random;
+        ] );
+    ]
