@@ -423,6 +423,19 @@ let print_bmc_check () =
      pruned — zero expected)@."
 
 (* ---------------------------------------------------------------- *)
+(* Static analysis — the lint registry over the biggest core        *)
+(* ---------------------------------------------------------------- *)
+
+let print_lint () =
+  section "Static analysis — olfu_lint registry over tcore32";
+  let outcome = Olfu_lint.Lint.run (Lazy.force t32) in
+  Format.printf "%a@." Olfu_lint.Render.summary outcome
+
+let bench_lint =
+  Test.make ~name:"lint/lint_tcore32"
+    (Staged.stage (fun () -> Olfu_lint.Lint.run (Lazy.force t32)))
+
+(* ---------------------------------------------------------------- *)
 (* Ablations (DESIGN.md section 5)                                  *)
 (* ---------------------------------------------------------------- *)
 
@@ -526,7 +539,7 @@ let micro_benchmarks =
   [
     bench_table1; bench_fig1; bench_fig2; bench_fig3; bench_fig4; bench_fig5;
     bench_fig6; bench_screening; bench_memmap; bench_coverage_unit;
-    bench_tdf;
+    bench_tdf; bench_lint;
   ]
 
 let run_benchmarks () =
@@ -569,6 +582,7 @@ let () =
   print_atpg_effort ();
   print_bmc_check ();
   print_pathdelay ();
+  print_lint ();
   print_ablation_sweep ();
   print_ablation_ff_mode ();
   print_ablation_collapse ();

@@ -255,10 +255,8 @@ let report cfg out =
   pf "## Fig. 1 categories@.@.```@.%a@.```@.@." Olfu.Categories.pp cats;
   let tdf = Olfu.Tdf_flow.run nl mission in
   pf "## Transition-delay extension@.@.```@.%a@.```@.@." Olfu.Tdf_flow.pp tdf;
-  let findings = Olfu_manip.Dft_lint.run nl in
-  pf "## DfT lint@.@.```@.%a@.```@.@."
-    (Olfu_manip.Dft_lint.pp_report nl)
-    findings;
+  let lint = Olfu_lint.Lint.run nl in
+  pf "## Static analysis@.@.```@.%a@.```@.@." Olfu_lint.Render.summary lint;
   let text = Buffer.contents buf in
   (match out with
   | None -> print_string text
@@ -283,19 +281,169 @@ let report_cmd =
 
 (* --- lint --- *)
 
-let lint cfg file =
-  let nl, _ = load_netlist cfg file in
-  let findings = Olfu_manip.Dft_lint.run nl in
-  Format.printf "%a@." (Olfu_manip.Dft_lint.pp_report nl) findings;
-  if Olfu_manip.Dft_lint.errors findings <> [] then
-    `Error (false, "lint reported errors")
-  else `Ok ()
+let lint cfg file format rules_only waivers_path baseline_path
+    update_baseline fail_on disabled =
+  let module L = Olfu_lint in
+  if rules_only then begin
+    Format.printf "%a@." L.Render.rules_catalogue L.Lint.registry;
+    `Ok ()
+  end
+  else begin
+    (* distinct exit codes: 2 = bad input, 1 = findings, 0 = clean *)
+    let bad_input msg =
+      Format.eprintf "olfu lint: %s@." msg;
+      exit 2
+    in
+    let nl =
+      match file with
+      | Some path -> (
+        try Olfu_verilog.Elaborate.netlist_of_file path
+        with e -> bad_input (Printexc.to_string e))
+      | None -> Olfu_soc.Soc.generate cfg
+    in
+    let waivers =
+      match waivers_path with
+      | None -> []
+      | Some p -> (
+        match L.Config.load_waivers p with
+        | Ok w -> w
+        | Error m -> bad_input m)
+    in
+    let baseline =
+      match baseline_path with
+      | Some p when Sys.file_exists p -> (
+        match L.Config.load_baseline p with
+        | Ok b -> b
+        | Error m -> bad_input m)
+      | Some _ | None -> []
+    in
+    let config =
+      { L.Config.default with L.Config.waivers; baseline; disabled }
+    in
+    let o = L.Lint.run ~config nl in
+    (match format with
+    | `Text -> Format.printf "%a@." L.Render.text o
+    | `Summary -> Format.printf "%a@." L.Render.summary o
+    | `Json -> Format.printf "%a" L.Render.json o);
+    (match (update_baseline, baseline_path) with
+    | true, Some p ->
+      L.Config.save_baseline p
+        (L.Config.baseline_of_findings nl o.L.Lint.findings);
+      Format.printf "wrote baseline %s (%d findings)@." p
+        (List.length o.L.Lint.findings)
+    | true, None -> bad_input "--update-baseline requires --baseline FILE"
+    | false, _ -> ());
+    let fail =
+      (not update_baseline)
+      &&
+      match fail_on with
+      | `Never -> false
+      | `Sev s -> L.Lint.fails ~fail_on:s o
+    in
+    if fail then begin
+      Format.print_flush ();
+      exit 1
+    end;
+    `Ok ()
+  end
 
 let lint_cmd =
+  (* deliberately [string], not [Arg.file]: an unreadable netlist must
+     reach the lint handler so it exits 2, not cmdliner's 124 *)
+  let lint_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "f"; "file" ] ~docv:"FILE"
+          ~doc:
+            "Structural-Verilog netlist to lint instead of a generated \
+             configuration (roles read from //@role annotations).")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json); ("summary", `Summary) ])
+          `Text
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "Output format: $(b,text) (one line per finding), $(b,json) \
+             (SARIF-flavoured, with rule metadata), or $(b,summary) \
+             (per-rule table).")
+  in
+  let rules_only =
+    Arg.(
+      value & flag
+      & info [ "rules" ] ~doc:"List the rule catalogue and exit.")
+  in
+  let waivers =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "waivers" ] ~docv:"FILE"
+          ~doc:
+            "Waiver file: lines of CODE NODE [reason]; NODE is an exact \
+             name, a prefix ending in *, or * for any.  Unused waivers \
+             are reported.")
+  in
+  let baseline =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Baseline file of known-finding fingerprints to suppress; \
+             create or refresh it with $(b,--update-baseline).")
+  in
+  let update_baseline =
+    Arg.(
+      value & flag
+      & info [ "update-baseline" ]
+          ~doc:
+            "Write the current live findings to the $(b,--baseline) file \
+             and exit successfully.")
+  in
+  let fail_on =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("error", `Sev Olfu_lint.Rule.Error);
+               ("warning", `Sev Olfu_lint.Rule.Warning);
+               ("info", `Sev Olfu_lint.Rule.Info);
+               ("never", `Never);
+             ])
+          (`Sev Olfu_lint.Rule.Error)
+      & info [ "fail-on" ] ~docv:"SEV"
+          ~doc:
+            "Exit 1 when a finding at or above this severity survives \
+             waivers and baseline: $(b,error) (default), $(b,warning), \
+             $(b,info), or $(b,never).")
+  in
+  let disabled =
+    Arg.(
+      value & opt_all string []
+      & info [ "disable" ] ~docv:"CODE"
+          ~doc:"Disable a rule code or a whole category (repeatable).")
+  in
+  let exits =
+    Cmd.Exit.info 0 ~doc:"no finding at or above the $(b,--fail-on) level."
+    :: Cmd.Exit.info 1
+         ~doc:"findings at or above the $(b,--fail-on) level."
+    :: Cmd.Exit.info 2
+         ~doc:"bad input: unreadable netlist, waiver or baseline file."
+    :: Cmd.Exit.defaults
+  in
   Cmd.v
-    (Cmd.info "lint"
-       ~doc:"Design-for-testability lint (scan, reset, dead logic, SCOAP).")
-    Term.(ret (const lint $ config_arg $ file_arg))
+    (Cmd.info "lint" ~exits
+       ~doc:
+         "Netlist static analysis: scan/shift-path integrity, reset and \
+          clock domains, X and constant propagation, debug tie-off \
+          preconditions, dead logic, structural metrics, SCOAP.")
+    Term.(
+      ret
+        (const lint $ config_arg $ lint_file $ format $ rules_only $ waivers
+       $ baseline $ update_baseline $ fail_on $ disabled))
 
 (* --- equiv --- *)
 

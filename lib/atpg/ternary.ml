@@ -14,7 +14,7 @@ type t = {
    binary values over the mission, it is not constant. *)
 let join a b = if Logic4.equal a b then a else Logic4.X
 
-let run ?(ff_mode = Steady_state) ?(max_iters = 64) nl =
+let run ?(ff_mode = Steady_state) ?(assume = []) ?(max_iters = 64) nl =
   let env = Comb_sim.init nl Logic4.X in
   let seqs = Netlist.seq_nodes nl in
   let resets = Netlist.nodes_with_role nl Netlist.Reset in
@@ -24,7 +24,8 @@ let run ?(ff_mode = Steady_state) ?(max_iters = 64) nl =
       (fun i ->
         if Cell.equal_kind (Netlist.kind nl i) Cell.Input then
           env.(i) <- (if reset_active then Logic4.L0 else Logic4.L1))
-      resets
+      resets;
+    List.iter (fun (i, v) -> env.(i) <- v) assume
   in
   match ff_mode with
   | Cut ->

@@ -33,11 +33,22 @@ type t = {
   converged : bool;  (** [false] if [max_iters] was hit (Steady_state) *)
 }
 
-val run : ?ff_mode:ff_mode -> ?max_iters:int -> Netlist.t -> t
+val run :
+  ?ff_mode:ff_mode ->
+  ?assume:(int * Logic4.t) list ->
+  ?max_iters:int ->
+  Netlist.t ->
+  t
 (** [max_iters] (default 64) bounds the sequential fixed point.  Inputs
     with the {!Netlist.Reset} role are held at their active-low asserted
     value (0) to compute the post-reset state, then released to constant
-    inactive (1) — mission mode cannot toggle reset (Sec. 2). *)
+    inactive (1) — mission mode cannot toggle reset (Sec. 2).
+
+    [assume] forces the listed {e input} nodes to constants throughout
+    the analysis (both during and after reset) — the mission tie script
+    expressed as implication assumptions, without editing the netlist.
+    Non-input nodes in [assume] are overwritten by evaluation and have
+    no effect. *)
 
 val const_of : t -> int -> Logic4.t
 val is_const : t -> int -> bool

@@ -1,0 +1,9 @@
+(** The built-in rule catalogue: the ten historical [Dft_lint] checks
+    ported onto the registry (same codes and severities) plus the new
+    shift-path, reset/clock, X-propagation, mission-constant, debug
+    tie-off and structural-metric passes.  See README "Static analysis"
+    for the full catalogue. *)
+
+val all : Rule.t list
+(** Registry order: scan, loops/drivers, reset/clock, nets/constants,
+    observability/testability, debug, structure. *)

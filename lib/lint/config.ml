@@ -1,0 +1,117 @@
+type waiver = { w_code : string; w_node : string option; w_reason : string }
+
+type t = {
+  disabled : string list;
+  severity_overrides : (string * Rule.severity) list;
+  waivers : waiver list;
+  baseline : string list;
+  thresholds : Ctx.thresholds;
+}
+
+let default =
+  {
+    disabled = [];
+    severity_overrides = [];
+    waivers = [];
+    baseline = [];
+    thresholds = Ctx.default_thresholds;
+  }
+
+let rule_enabled t (r : Rule.t) =
+  (not (List.mem r.Rule.code t.disabled))
+  && not (List.mem (Rule.category_name r.Rule.category) t.disabled)
+
+let effective_severity t (r : Rule.t) =
+  match List.assoc_opt r.Rule.code t.severity_overrides with
+  | Some s -> s
+  | None -> r.Rule.severity
+
+let parse_waivers text =
+  let lines = String.split_on_char '\n' text in
+  let rec go acc n = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+      let line =
+        match String.index_opt line '#' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      match
+        String.split_on_char ' ' line
+        |> List.concat_map (String.split_on_char '\t')
+        |> List.filter (fun s -> s <> "")
+      with
+      | [] -> go acc (n + 1) rest
+      | [ _ ] ->
+        Error (Printf.sprintf "waiver line %d: expected CODE NODE [reason]" n)
+      | code :: node :: reason ->
+        let w_node = if node = "*" then None else Some node in
+        go
+          ({ w_code = code; w_node; w_reason = String.concat " " reason }
+          :: acc)
+          (n + 1) rest)
+  in
+  go [] 1 lines
+
+let load_waivers path =
+  match
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with
+  | exception Sys_error m -> Error m
+  | text -> parse_waivers text
+
+let node_name nl = function
+  | None -> "-"
+  | Some i -> Ctx.node_label nl i
+
+let waiver_matches nl w (f : Rule.finding) =
+  w.w_code = f.Rule.code
+  &&
+  match w.w_node with
+  | None -> true
+  | Some pat ->
+    let name = node_name nl f.Rule.node in
+    let np = String.length pat in
+    if np > 0 && pat.[np - 1] = '*' then
+      let prefix = String.sub pat 0 (np - 1) in
+      String.length name >= String.length prefix
+      && String.sub name 0 (String.length prefix) = prefix
+    else name = pat
+
+let fingerprint nl (f : Rule.finding) =
+  Printf.sprintf "%s\t%s\t%s" f.Rule.code (node_name nl f.Rule.node)
+    f.Rule.message
+
+let load_baseline path =
+  match
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with
+  | exception Sys_error m -> Error m
+  | text ->
+    Ok
+      (String.split_on_char '\n' text
+      |> List.filter (fun l -> String.trim l <> ""))
+
+let baseline_of_findings nl findings = List.map (fingerprint nl) findings
+
+let save_baseline path lines =
+  let oc = open_out path in
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    lines;
+  close_out oc
+
+let pp_waiver ppf w =
+  Format.fprintf ppf "%s %s%s" w.w_code
+    (match w.w_node with None -> "*" | Some n -> n)
+    (if w.w_reason = "" then "" else " # " ^ w.w_reason)

@@ -1,0 +1,53 @@
+open Olfu_netlist
+
+(** Lint configuration: rule selection, severity overrides, waivers and
+    baselines.
+
+    {b Waiver files} are line-oriented:
+    {v
+    # comment
+    SCAN-001 core.ff12   known unstitched prototype cell
+    NET-001  dbg_*       floated on purpose
+    OBS-001  *           whole rule waived
+    v}
+    First token: rule code.  Second token: exact node name, a prefix
+    pattern ending in [*], or [*] for any node (also matches findings
+    without a node).  The rest of the line is the reason.
+
+    {b Baseline files} record one fingerprint per line
+    ([code\tnode\tmessage]); findings whose fingerprint appears in the
+    baseline are suppressed, so a legacy netlist can be brought under
+    lint without fixing historical findings first. *)
+
+type waiver = {
+  w_code : string;
+  w_node : string option;  (** [None] = any node ([*]) *)
+  w_reason : string;
+}
+
+type t = {
+  disabled : string list;
+      (** rule codes or category names, case-sensitive *)
+  severity_overrides : (string * Rule.severity) list;  (** by rule code *)
+  waivers : waiver list;
+  baseline : string list;  (** finding fingerprints *)
+  thresholds : Ctx.thresholds;
+}
+
+val default : t
+
+val rule_enabled : t -> Rule.t -> bool
+val effective_severity : t -> Rule.t -> Rule.severity
+
+val parse_waivers : string -> (waiver list, string) result
+(** Parse waiver-file contents. *)
+
+val load_waivers : string -> (waiver list, string) result
+val waiver_matches : Netlist.t -> waiver -> Rule.finding -> bool
+
+val fingerprint : Netlist.t -> Rule.finding -> string
+val load_baseline : string -> (string list, string) result
+val baseline_of_findings : Netlist.t -> Rule.finding list -> string list
+val save_baseline : string -> string list -> unit
+
+val pp_waiver : Format.formatter -> waiver -> unit

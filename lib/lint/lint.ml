@@ -1,0 +1,79 @@
+open Olfu_netlist
+
+type outcome = {
+  netlist : Netlist.t;
+  findings : Rule.finding list;
+  waived : (Rule.finding * Config.waiver) list;
+  baselined : Rule.finding list;
+  unused_waivers : Config.waiver list;
+  rules : Rule.t list;
+}
+
+let registry = Builtin.all
+let find_rule code = List.find_opt (fun r -> r.Rule.code = code) registry
+
+let run ?(config = Config.default) nl =
+  let ctx = Ctx.create ~thresholds:config.Config.thresholds nl in
+  let rules = List.filter (Config.rule_enabled config) registry in
+  let all =
+    List.concat_map
+      (fun (r : Rule.t) ->
+        let severity = Config.effective_severity config r in
+        List.map
+          (fun (raw : Rule.raw) ->
+            {
+              Rule.code = r.Rule.code;
+              severity;
+              message = raw.Rule.r_message;
+              node = raw.Rule.r_node;
+              path = raw.Rule.r_path;
+            })
+          (r.Rule.run ctx))
+      rules
+  in
+  let used = Hashtbl.create 7 in
+  let waived, rest =
+    List.fold_left
+      (fun (waived, rest) f ->
+        match
+          List.find_opt
+            (fun w -> Config.waiver_matches nl w f)
+            config.Config.waivers
+        with
+        | Some w ->
+          Hashtbl.replace used w ();
+          ((f, w) :: waived, rest)
+        | None -> (waived, f :: rest))
+      ([], []) all
+  in
+  let waived = List.rev waived and rest = List.rev rest in
+  let baselined, findings =
+    List.partition
+      (fun f -> List.mem (Config.fingerprint nl f) config.Config.baseline)
+      rest
+  in
+  let unused_waivers =
+    List.filter (fun w -> not (Hashtbl.mem used w)) config.Config.waivers
+  in
+  { netlist = nl; findings; waived; baselined; unused_waivers; rules }
+
+let findings ?config nl = (run ?config nl).findings
+let errors =
+  List.filter (fun (f : Rule.finding) -> f.Rule.severity = Rule.Error)
+
+let max_severity o =
+  List.fold_left
+    (fun acc (f : Rule.finding) ->
+      match acc with
+      | None -> Some f.Rule.severity
+      | Some s ->
+        if Rule.severity_rank f.Rule.severity > Rule.severity_rank s then
+          Some f.Rule.severity
+        else acc)
+    None o.findings
+
+let fails ~fail_on o =
+  List.exists
+    (fun (f : Rule.finding) ->
+      Rule.severity_rank f.Rule.severity >= Rule.severity_rank fail_on)
+    o.findings

@@ -1,0 +1,34 @@
+open Olfu_netlist
+
+(** The lint engine: run the rule registry over a netlist under a
+    configuration, applying waivers and baseline suppression. *)
+
+type outcome = {
+  netlist : Netlist.t;
+  findings : Rule.finding list;  (** live findings, registry order *)
+  waived : (Rule.finding * Config.waiver) list;
+  baselined : Rule.finding list;
+  unused_waivers : Config.waiver list;
+      (** waivers that matched no finding — stale suppressions *)
+  rules : Rule.t list;  (** the rules that ran (enabled ones) *)
+}
+
+val registry : Rule.t list
+(** {!Builtin.all}. *)
+
+val find_rule : string -> Rule.t option
+
+val run : ?config:Config.t -> Netlist.t -> outcome
+(** Runs every enabled rule over one shared {!Ctx.t}.  Each raw finding
+    gets the rule's code and effective severity; findings matching a
+    waiver or a baseline fingerprint are moved to [waived]/[baselined]. *)
+
+val findings : ?config:Config.t -> Netlist.t -> Rule.finding list
+(** [(run nl).findings] — convenience for callers that only want the
+    live findings (the compatibility shim). *)
+
+val errors : Rule.finding list -> Rule.finding list
+val max_severity : outcome -> Rule.severity option
+
+val fails : fail_on:Rule.severity -> outcome -> bool
+(** True when some live finding is at least as severe as [fail_on]. *)

@@ -1,0 +1,241 @@
+open Olfu_netlist
+
+(* ---------------------------------------------------------------- *)
+(* Minimal JSON emitter (no JSON library in the toolchain)          *)
+(* ---------------------------------------------------------------- *)
+
+type json =
+  | Obj of (string * json) list
+  | Arr of json list
+  | Str of string
+  | Int of int
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let rec emit ppf = function
+  | Str s -> Format.fprintf ppf "\"%s\"" (escape s)
+  | Int i -> Format.fprintf ppf "%d" i
+  | Arr [] -> Format.fprintf ppf "[]"
+  | Arr l ->
+    Format.fprintf ppf "@[<v 2>[@,%a@]@,]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@,")
+         emit)
+      l
+  | Obj [] -> Format.fprintf ppf "{}"
+  | Obj fields ->
+    Format.fprintf ppf "@[<v 2>{@,%a@]@,}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@,")
+         (fun ppf (k, v) -> Format.fprintf ppf "\"%s\": %a" (escape k) emit v))
+      fields
+
+(* ---------------------------------------------------------------- *)
+(* Text                                                             *)
+(* ---------------------------------------------------------------- *)
+
+let severity_pad = function
+  | Rule.Error -> "error  "
+  | Rule.Warning -> "warning"
+  | Rule.Info -> "info   "
+
+let pp_finding nl ppf (f : Rule.finding) =
+  Format.fprintf ppf "%s %-10s %s" (severity_pad f.Rule.severity) f.Rule.code
+    f.Rule.message;
+  match f.Rule.node with
+  | Some i when f.Rule.message <> "" ->
+    Format.fprintf ppf "  [%s]" (Ctx.node_label nl i)
+  | _ -> ()
+
+let count sev =
+  List.fold_left
+    (fun acc (f : Rule.finding) ->
+      if f.Rule.severity = sev then acc + 1 else acc)
+    0
+
+let text ppf (o : Lint.outcome) =
+  let nl = o.Lint.netlist in
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun f -> Format.fprintf ppf "%a@," (pp_finding nl) f) o.findings;
+  List.iter
+    (fun w ->
+      Format.fprintf ppf "warning: unused waiver: %a@," Config.pp_waiver w)
+    o.Lint.unused_waivers;
+  Format.fprintf ppf "%d findings (%d errors, %d warnings, %d info)"
+    (List.length o.Lint.findings)
+    (count Rule.Error o.Lint.findings)
+    (count Rule.Warning o.Lint.findings)
+    (count Rule.Info o.Lint.findings);
+  if o.Lint.waived <> [] || o.Lint.baselined <> [] then
+    Format.fprintf ppf "; %d waived, %d baselined"
+      (List.length o.Lint.waived)
+      (List.length o.Lint.baselined);
+  Format.fprintf ppf "@]"
+
+(* ---------------------------------------------------------------- *)
+(* Summary table                                                    *)
+(* ---------------------------------------------------------------- *)
+
+let summary ppf (o : Lint.outcome) =
+  let per_rule =
+    List.filter_map
+      (fun (r : Rule.t) ->
+        let fs =
+          List.filter
+            (fun (f : Rule.finding) -> f.Rule.code = r.Rule.code)
+            o.Lint.findings
+        in
+        match fs with
+        | [] -> None
+        | f :: _ ->
+          Some (r.Rule.code, f.Rule.severity, r.Rule.category,
+                List.length fs, r.Rule.title))
+      o.Lint.rules
+  in
+  Format.fprintf ppf "@[<v>%-11s %-8s %-13s %5s  %s@," "code" "severity"
+    "category" "count" "title";
+  List.iter
+    (fun (code, sev, cat, n, title) ->
+      Format.fprintf ppf "%-11s %-8s %-13s %5d  %s@," code
+        (Rule.severity_name sev)
+        (Rule.category_name cat)
+        n title)
+    per_rule;
+  Format.fprintf ppf "%d rules fired of %d run; %d findings (%d errors)"
+    (List.length per_rule)
+    (List.length o.Lint.rules)
+    (List.length o.Lint.findings)
+    (List.length (Lint.errors o.Lint.findings));
+  if o.Lint.waived <> [] || o.Lint.baselined <> [] then
+    Format.fprintf ppf "; %d waived, %d baselined"
+      (List.length o.Lint.waived)
+      (List.length o.Lint.baselined);
+  Format.fprintf ppf "@]"
+
+(* ---------------------------------------------------------------- *)
+(* SARIF-flavoured JSON                                             *)
+(* ---------------------------------------------------------------- *)
+
+let sarif_level = function
+  | Rule.Error -> "error"
+  | Rule.Warning -> "warning"
+  | Rule.Info -> "note"
+
+let location nl i =
+  Obj
+    [
+      ( "logicalLocations",
+        Arr
+          [
+            Obj
+              [
+                ("name", Str (Ctx.node_label nl i));
+                ("index", Int i);
+                ("kind", Str "net");
+              ];
+          ] );
+    ]
+
+let json ppf (o : Lint.outcome) =
+  let nl = o.Lint.netlist in
+  let rules =
+    List.map
+      (fun (r : Rule.t) ->
+        Obj
+          [
+            ("id", Str r.Rule.code);
+            ("shortDescription", Obj [ ("text", Str r.Rule.title) ]);
+            ("fullDescription", Obj [ ("text", Str r.Rule.doc) ]);
+            ( "defaultConfiguration",
+              Obj [ ("level", Str (sarif_level r.Rule.severity)) ] );
+            ( "properties",
+              Obj [ ("category", Str (Rule.category_name r.Rule.category)) ]
+            );
+          ])
+      o.Lint.rules
+  in
+  let result (f : Rule.finding) =
+    Obj
+      ([
+         ("ruleId", Str f.Rule.code);
+         ("level", Str (sarif_level f.Rule.severity));
+         ("message", Obj [ ("text", Str f.Rule.message) ]);
+       ]
+      @ (match f.Rule.node with
+        | Some i -> [ ("locations", Arr [ location nl i ]) ]
+        | None -> [])
+      @
+      match f.Rule.path with
+      | [] -> []
+      | path -> [ ("relatedLocations", Arr (List.map (location nl) path)) ])
+  in
+  let doc =
+    Obj
+      [
+        ("$schema", Str "https://json.schemastore.org/sarif-2.1.0.json");
+        ("version", Str "2.1.0");
+        ( "runs",
+          Arr
+            [
+              Obj
+                [
+                  ( "tool",
+                    Obj
+                      [
+                        ( "driver",
+                          Obj
+                            [
+                              ("name", Str "olfu_lint");
+                              ("version", Str "1.0.0");
+                              ( "informationUri",
+                                Str
+                                  "https://example.invalid/olfu (DATE 2013 \
+                                   reproduction)" );
+                              ("rules", Arr rules);
+                            ] );
+                      ] );
+                  ("results", Arr (List.map result o.Lint.findings));
+                  ( "properties",
+                    Obj
+                      [
+                        ("netlistNodes", Int (Netlist.length nl));
+                        ("waived", Int (List.length o.Lint.waived));
+                        ("baselined", Int (List.length o.Lint.baselined));
+                        ( "unusedWaivers",
+                          Arr
+                            (List.map
+                               (fun w ->
+                                 Str
+                                   (Format.asprintf "%a" Config.pp_waiver w))
+                               o.Lint.unused_waivers) );
+                      ] );
+                ];
+            ] );
+      ]
+  in
+  Format.fprintf ppf "%a@." emit doc
+
+let rules_catalogue ppf rules =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (r : Rule.t) ->
+      Format.fprintf ppf "%-11s %-8s %-13s %s@," r.Rule.code
+        (Rule.severity_name r.Rule.severity)
+        (Rule.category_name r.Rule.category)
+        r.Rule.title)
+    rules;
+  Format.fprintf ppf "%d rules@]" (List.length rules)

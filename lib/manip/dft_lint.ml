@@ -1,5 +1,7 @@
-open Olfu_logic
-open Olfu_netlist
+(* Deprecated shim: the real engine now lives in `olfu_lint` (lib/lint),
+   which subsumes these checks as registry rules with the same codes.
+   This module keeps the historical API compiling for existing callers
+   and maps the new findings back onto the old record. *)
 
 type severity = Error | Warning | Info
 
@@ -10,111 +12,19 @@ type finding = {
   node : int option;
 }
 
-let name_of nl i =
-  match Netlist.name nl i with Some s -> s | None -> Printf.sprintf "n%d" i
+let of_lint (f : Olfu_lint.Rule.finding) =
+  {
+    severity =
+      (match f.Olfu_lint.Rule.severity with
+      | Olfu_lint.Rule.Error -> Error
+      | Olfu_lint.Rule.Warning -> Warning
+      | Olfu_lint.Rule.Info -> Info);
+    code = f.Olfu_lint.Rule.code;
+    message = f.Olfu_lint.Rule.message;
+    node = f.Olfu_lint.Rule.node;
+  }
 
-let run nl =
-  let findings = ref [] in
-  let add severity code ?node message =
-    findings := { severity; code; message; node } :: !findings
-  in
-  (* --- scan structure --- *)
-  let chains = Scan_trace.trace nl in
-  let on_chain = Hashtbl.create 97 in
-  List.iter
-    (fun c ->
-      List.iter (fun ff -> Hashtbl.replace on_chain ff ()) c.Scan_trace.cells)
-    chains;
-  Array.iter
-    (fun ff ->
-      match Netlist.kind nl ff with
-      | Cell.Sdff | Cell.Sdffr ->
-        if not (Hashtbl.mem on_chain ff) then
-          add Warning "SCAN-001" ~node:ff
-            (Printf.sprintf "scan cell %s is on no traceable chain"
-               (name_of nl ff))
-      | Cell.Dff | Cell.Dffr ->
-        add Warning "SCAN-001" ~node:ff
-          (Printf.sprintf "flip-flop %s is not scan-replaced" (name_of nl ff))
-      | _ -> ())
-    (Netlist.seq_nodes nl);
-  List.iter
-    (fun c ->
-      if c.Scan_trace.cells = [] then
-        add Error "SCAN-002" ~node:c.Scan_trace.scan_in
-          (Printf.sprintf "scan-in %s reaches no scan cell"
-             (name_of nl c.Scan_trace.scan_in))
-      else if c.Scan_trace.scan_out = None then
-        add Warning "SCAN-003" ~node:c.Scan_trace.scan_in
-          (Printf.sprintf "chain from %s has no scan-out port"
-             (name_of nl c.Scan_trace.scan_in)))
-    chains;
-  let se_nets = Hashtbl.create 7 in
-  Array.iter
-    (fun ff ->
-      match Netlist.kind nl ff with
-      | Cell.Sdff | Cell.Sdffr ->
-        Hashtbl.replace se_nets (Netlist.fanin nl ff).(2) ()
-      | _ -> ())
-    (Netlist.seq_nodes nl);
-  if Hashtbl.length se_nets > 1 then
-    add Warning "SCAN-004"
-      (Printf.sprintf "%d distinct scan-enable nets" (Hashtbl.length se_nets));
-  (* --- reset --- *)
-  let unreset =
-    Array.to_list (Netlist.seq_nodes nl)
-    |> List.filter (fun ff ->
-           match Netlist.kind nl ff with
-           | Cell.Dff | Cell.Sdff -> true
-           | _ -> false)
-  in
-  if unreset <> [] then
-    add Warning "RST-001"
-      (Printf.sprintf "%d flip-flops without reset (e.g. %s)"
-         (List.length unreset)
-         (name_of nl (List.hd unreset)));
-  if Array.length (Netlist.nodes_with_role nl Netlist.Reset) = 0 then
-    add Info "RST-002" "no input carries the reset role";
-  (* --- nets --- *)
-  Netlist.iter_nodes
-    (fun i nd ->
-      if nd.Netlist.kind = Cell.Tiex then
-        add Warning "NET-001" ~node:i
-          (Printf.sprintf "floating net %s" (name_of nl i)))
-    nl;
-  let t = Olfu_atpg.Ternary.run nl in
-  let const_count = ref 0 in
-  Netlist.iter_nodes
-    (fun i nd ->
-      if
-        (not (Cell.is_tie nd.Netlist.kind))
-        && nd.Netlist.kind <> Cell.Output
-        && Logic4.is_binary (Olfu_atpg.Ternary.const_of t i)
-      then incr const_count)
-    nl;
-  if !const_count > 0 then
-    add Info "NET-002"
-      (Printf.sprintf "%d nets constant in mission steady state" !const_count);
-  (* --- observability --- *)
-  let dead = Sweep.dead_nodes nl in
-  if dead <> [] then
-    add Warning "OBS-001"
-      (Printf.sprintf "%d cells with no path to any output (e.g. %s)"
-         (List.length dead)
-         (name_of nl (List.hd dead)));
-  (* --- testability hotspots --- *)
-  let s = Olfu_atpg.Scoap.run nl in
-  (match Olfu_atpg.Scoap.hardest s ~n:3 with
-  | [] -> ()
-  | hard ->
-    add Info "TEST-001"
-      (Printf.sprintf "hardest nets by SCOAP: %s"
-         (String.concat ", "
-            (List.map
-               (fun (i, score) -> Printf.sprintf "%s (%d)" (name_of nl i) score)
-               hard))));
-  List.rev !findings
-
+let run nl = List.map of_lint (Olfu_lint.Lint.findings nl)
 let errors = List.filter (fun f -> f.severity = Error)
 
 let pp_finding nl ppf f =

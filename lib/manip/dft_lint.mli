@@ -1,7 +1,15 @@
 open Olfu_netlist
 
-(** Design-for-testability lint: the checks a test engineer runs before
-    trusting a netlist in a flow like this paper's. *)
+(** Deprecated compatibility shim over the {!Olfu_lint} static-analysis
+    framework.
+
+    New code should call {!Olfu_lint.Lint.run} directly: it exposes the
+    full rule registry (this module's ten historical checks plus the
+    shift-path, reset-domain, X-propagation, mission-constant, debug
+    tie-off and structural passes), configuration (waivers, baselines,
+    severity overrides) and the text/JSON/summary renderers.  [run]
+    below returns {e all} live findings of the new engine, mapped onto
+    the historical record type. *)
 
 type severity = Error | Warning | Info
 
@@ -13,21 +21,10 @@ type finding = {
 }
 
 val run : Netlist.t -> finding list
-(** Checks, each with a stable code:
-    {ul
-    {- SCAN-001 (warning): flip-flop not reachable by any scan chain;}
-    {- SCAN-002 (error): a scan-in port that traces to no scan cell;}
-    {- SCAN-003 (warning): a scan chain without a scan-out port;}
-    {- SCAN-004 (warning): scan cells driven by more than one scan-enable
-       net;}
-    {- RST-001 (warning): flip-flops without reset;}
-    {- RST-002 (info): no input carries the reset role;}
-    {- NET-001 (warning): floating ([Tiex]) net;}
-    {- NET-002 (info): net constant in mission steady state (outside tie
-       cells);}
-    {- OBS-001 (warning): logic with no structural path to any output
-       (dead cone);}
-    {- TEST-001 (info): the hardest-to-test nets by SCOAP score.}} *)
+(** Equivalent to {!Olfu_lint.Lint.findings} with the default
+    configuration.  The historical codes (SCAN-001..004, RST-001..002,
+    NET-001..002, OBS-001, TEST-001) keep their old severities and
+    message shapes; see the README rule catalogue for the full set. *)
 
 val errors : finding list -> finding list
 val pp_finding : Netlist.t -> Format.formatter -> finding -> unit

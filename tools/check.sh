@@ -1,0 +1,10 @@
+#!/bin/sh
+# Tier-1 gate: build, run the unit tests, then require the tcore32
+# generator to come out of the lint registry with no errors.
+set -e
+cd "$(dirname "$0")/.."
+
+dune build
+dune runtest
+
+dune exec bin/olfu_cli.exe -- lint -c tcore32 --fail-on error
