@@ -436,6 +436,33 @@ let bench_lint =
     (Staged.stage (fun () -> Olfu_lint.Lint.run (Lazy.force t32)))
 
 (* ---------------------------------------------------------------- *)
+(* Static analysis — abstract interpretation of the SBST suite      *)
+(* ---------------------------------------------------------------- *)
+
+let absint_suite cfg =
+  List.map
+    (fun p -> Olfu_absint.Absint.of_program cfg p)
+    (Olfu_sbst.Programs.suite cfg)
+
+let print_absint () =
+  section "Static analysis — absint over the SBST suite (tcore32)";
+  let cfg = Soc.tcore32 in
+  let summaries = absint_suite cfg in
+  let consts = Olfu_absint.Absint.constant_addr_bits ~width:cfg.Soc.xlen summaries in
+  let check =
+    Olfu_absint.Absint.cross_check ~width:cfg.Soc.xlen summaries
+      (Memmap.paper_case_study ())
+  in
+  Format.printf
+    "  %d programs analysed, %d constant address bits, map cross-check: %s@."
+    (List.length summaries) (List.length consts)
+    (if check.Olfu_absint.Absint.ok then "OK" else "VIOLATION")
+
+let bench_absint =
+  Test.make ~name:"absint_suite/tcore32"
+    (Staged.stage (fun () -> absint_suite Soc.tcore32))
+
+(* ---------------------------------------------------------------- *)
 (* Ablations (DESIGN.md section 5)                                  *)
 (* ---------------------------------------------------------------- *)
 
@@ -539,7 +566,7 @@ let micro_benchmarks =
   [
     bench_table1; bench_fig1; bench_fig2; bench_fig3; bench_fig4; bench_fig5;
     bench_fig6; bench_screening; bench_memmap; bench_coverage_unit;
-    bench_tdf; bench_lint;
+    bench_tdf; bench_lint; bench_absint;
   ]
 
 let run_benchmarks () =
@@ -583,6 +610,7 @@ let () =
   print_bmc_check ();
   print_pathdelay ();
   print_lint ();
+  print_absint ();
   print_ablation_sweep ();
   print_ablation_ff_mode ();
   print_ablation_collapse ();

@@ -282,7 +282,7 @@ let report_cmd =
 (* --- lint --- *)
 
 let lint cfg file format rules_only waivers_path baseline_path
-    update_baseline fail_on disabled =
+    update_baseline fail_on disabled software =
   let module L = Olfu_lint in
   if rules_only then begin
     Format.printf "%a@." L.Render.rules_catalogue L.Lint.registry;
@@ -320,7 +320,23 @@ let lint cfg file format rules_only waivers_path baseline_path
     let config =
       { L.Config.default with L.Config.waivers; baseline; disabled }
     in
-    let o = L.Lint.run ~config nl in
+    let sw =
+      if not software then None
+      else
+        (* program-side facts for the SW-* rules: abstract-interpret the
+           bundled SBST suite against this configuration *)
+        let named =
+          List.map
+            (fun p ->
+              ( p.Olfu_sbst.Programs.pname,
+                Olfu_absint.Absint.of_program cfg p ))
+            (Olfu_sbst.Programs.suite cfg)
+        in
+        Some
+          (Olfu_absint.Absint.software_facts
+             ~label:(cfg.Olfu_soc.Soc.name ^ "-suite") cfg nl named)
+    in
+    let o = L.Lint.run ~config ?software:sw nl in
     (match format with
     | `Text -> Format.printf "%a@." L.Render.text o
     | `Summary -> Format.printf "%a@." L.Render.summary o
@@ -426,6 +442,16 @@ let lint_cmd =
       & info [ "disable" ] ~docv:"CODE"
           ~doc:"Disable a rule code or a whole category (repeatable).")
   in
+  let software =
+    Arg.(
+      value & flag
+      & info [ "software" ]
+          ~doc:
+            "Abstract-interpret the bundled SBST suite and feed the proven \
+             program-side facts (constant address bits, dead code, store \
+             observability) to the SW-* rules and the mission ternary \
+             analysis.")
+  in
   let exits =
     Cmd.Exit.info 0 ~doc:"no finding at or above the $(b,--fail-on) level."
     :: Cmd.Exit.info 1
@@ -443,7 +469,7 @@ let lint_cmd =
     Term.(
       ret
         (const lint $ config_arg $ lint_file $ format $ rules_only $ waivers
-       $ baseline $ update_baseline $ fail_on $ disabled))
+       $ baseline $ update_baseline $ fail_on $ disabled $ software))
 
 (* --- equiv --- *)
 
@@ -573,6 +599,180 @@ let simulate_cmd =
        ~doc:"Run an SBST program on the gate-level SoC (optional VCD).")
     Term.(ret (const simulate $ config_arg $ prog $ asm $ vcd))
 
+(* --- absint --- *)
+
+let absint cfg progs whole_suite asm_file format =
+  let module A = Olfu_absint.Absint in
+  let module P = Olfu_sbst.Programs in
+  (* exit codes mirror lint: 2 = bad input, 1 = unsound/degraded, 0 = ok *)
+  let bad_input msg =
+    Format.eprintf "olfu absint: %s@." msg;
+    exit 2
+  in
+  let suite = P.suite cfg in
+  let named =
+    match asm_file with
+    | Some path -> (
+      try [ (Filename.basename path, A.of_items cfg (Olfu_sbst.Asm.parse_file path)) ]
+      with
+      | Olfu_sbst.Asm.Parse_error { line; message } ->
+        bad_input (Printf.sprintf "%s:%d: %s" path line message)
+      | Invalid_argument m | Sys_error m -> bad_input m)
+    | None ->
+      let chosen =
+        if whole_suite || progs = [] then suite
+        else
+          List.map
+            (fun name ->
+              match List.find_opt (fun p -> p.P.pname = name) suite with
+              | Some p -> p
+              | None ->
+                bad_input
+                  (Printf.sprintf "unknown program %S (one of: %s)" name
+                     (String.concat ", " (List.map (fun p -> p.P.pname) suite))))
+            progs
+      in
+      List.map (fun p -> (p.P.pname, A.of_program cfg p)) chosen
+  in
+  let ts = List.map snd named in
+  let width = cfg.Olfu_soc.Soc.xlen in
+  let regions = [ cfg.Olfu_soc.Soc.rom; cfg.Olfu_soc.Soc.ram ] in
+  let consts = A.constant_addr_bits ~width ts in
+  let rdata = A.rdata_constant_bits ~width ts in
+  let check = A.cross_check ~width ts regions in
+  let never = A.never_written ts cfg.Olfu_soc.Soc.ram in
+  let nl = Olfu_soc.Soc.generate cfg in
+  let assume = A.netlist_assume ~width ts nl in
+  let degraded = List.exists (fun t -> A.degraded t <> None) ts in
+  (match format with
+  | `Text ->
+    List.iter
+      (fun (name, t) ->
+        match A.degraded t with
+        | Some msg ->
+          Format.printf "%-18s %4d words  DEGRADED: %s@." name
+            (A.image_length t) msg
+        | None ->
+          Format.printf "%-18s %4d words  %3d dead  %d store sites  %d passes@."
+            name (A.image_length t)
+            (List.length (A.dead_pcs t))
+            (A.store_sites t) (A.passes t))
+      named;
+    let pp_bits ppf bits =
+      if bits = [] then Format.fprintf ppf "none"
+      else
+        Format.pp_print_list
+          ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+          (fun ppf (bit, v) -> Format.fprintf ppf "%d=%d" bit (Bool.to_int v))
+          ppf bits
+    in
+    Format.printf "constant address bits: %a@." pp_bits consts;
+    Format.printf "constant rdata bits:   %a@." pp_bits rdata;
+    Format.printf "netlist assumptions:   %d nodes@." (List.length assume);
+    List.iter
+      (fun (lo, hi) ->
+        Format.printf "never-written RAM:     [0x%X, 0x%X]@." lo hi)
+      never;
+    if check.A.ok then
+      Format.printf "cross-check vs memory map: OK@."
+    else
+      List.iter
+        (fun v -> Format.printf "cross-check VIOLATION: %s@." v)
+        check.A.violations
+  | `Json ->
+    let esc s =
+      String.concat ""
+        (List.map
+           (function
+             | '"' -> "\\\"" | '\\' -> "\\\\" | '\n' -> "\\n"
+             | c when Char.code c < 0x20 ->
+               Printf.sprintf "\\u%04x" (Char.code c)
+             | c -> String.make 1 c)
+           (List.init (String.length s) (String.get s)))
+    in
+    let bits_json bits =
+      String.concat ","
+        (List.map
+           (fun (bit, v) ->
+             Printf.sprintf "{\"bit\":%d,\"value\":%d}" bit (Bool.to_int v))
+           bits)
+    in
+    Format.printf "{@.";
+    Format.printf "  \"config\": \"%s\",@." (esc cfg.Olfu_soc.Soc.name);
+    Format.printf "  \"programs\": [@.";
+    List.iteri
+      (fun k (name, t) ->
+        Format.printf
+          "    {\"name\":\"%s\",\"words\":%d,\"dead\":%d,\"stores\":%d,\"passes\":%d,\"degraded\":%s}%s@."
+          (esc name) (A.image_length t)
+          (List.length (A.dead_pcs t))
+          (A.store_sites t) (A.passes t)
+          (match A.degraded t with
+          | None -> "null"
+          | Some m -> Printf.sprintf "\"%s\"" (esc m))
+          (if k < List.length named - 1 then "," else ""))
+      named;
+    Format.printf "  ],@.";
+    Format.printf "  \"constant_addr_bits\": [%s],@." (bits_json consts);
+    Format.printf "  \"constant_rdata_bits\": [%s],@." (bits_json rdata);
+    Format.printf "  \"assume_nodes\": %d,@." (List.length assume);
+    Format.printf "  \"never_written_ram\": [%s],@."
+      (String.concat ","
+         (List.map (fun (lo, hi) -> Printf.sprintf "[%d,%d]" lo hi) never));
+    Format.printf "  \"cross_check_ok\": %b,@." check.A.ok;
+    Format.printf "  \"violations\": [%s]@."
+      (String.concat ","
+         (List.map (fun v -> Printf.sprintf "\"%s\"" (esc v)) check.A.violations));
+    Format.printf "}@.");
+  if (not check.A.ok) || degraded then begin
+    Format.print_flush ();
+    exit 1
+  end;
+  `Ok ()
+
+let absint_cmd =
+  let progs =
+    Arg.(
+      value & opt_all string []
+      & info [ "p"; "program" ] ~docv:"NAME"
+          ~doc:
+            "Analyze this bundled SBST program (repeatable; default: the \
+             whole suite).")
+  in
+  let whole_suite =
+    Arg.(
+      value & flag
+      & info [ "suite" ]
+          ~doc:"Analyze the whole bundled SBST suite (the default).")
+  in
+  let asm =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "f"; "asm" ] ~docv:"FILE"
+          ~doc:"Assembly source to analyze instead of bundled programs.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
+  in
+  let exits =
+    Cmd.Exit.info 0 ~doc:"analysis clean and consistent with the memory map."
+    :: Cmd.Exit.info 1
+         ~doc:"an analysis degraded or the memory-map cross-check failed."
+    :: Cmd.Exit.info 2 ~doc:"bad input: unknown program or unreadable file."
+    :: Cmd.Exit.defaults
+  in
+  Cmd.v
+    (Cmd.info "absint" ~exits
+       ~doc:
+         "Abstract interpretation of the mission software: prove constant \
+          address bits, dead code and never-written memory from the \
+          program side, cross-checked against the memory map (Sec. 3.3).")
+    Term.(ret (const absint $ config_arg $ progs $ whole_suite $ asm $ format))
+
 (* --- atpg --- *)
 
 let atpg cfg prune =
@@ -612,7 +812,8 @@ let main_cmd =
           processor cores (DATE 2013 reproduction).")
     [
       generate_cmd; analyze_cmd; trace_scan_cmd; memmap_cmd; categories_cmd;
-      coverage_cmd; atpg_cmd; simulate_cmd; equiv_cmd; lint_cmd; report_cmd;
+      coverage_cmd; atpg_cmd; absint_cmd; simulate_cmd; equiv_cmd; lint_cmd;
+      report_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,147 @@
+open Olfu_sbst
+
+(* Reduced product of the bitwise three-valued domain and the
+   value-set/interval domain.  [reduce] pushes information both ways:
+   sets are filtered through the bit view and small sets rebuild an
+   exact bit view; intervals are clipped to the bit view's hull.
+   Bottom is represented by [vals = Vset.Bot]. *)
+
+type t = { bits : Bitval.t; vals : Vset.t }
+
+let width t = Bitval.width t.bits
+let msk w = (1 lsl w) - 1
+
+let bot w = { bits = Bitval.top w; vals = Vset.Bot }
+let is_bot t = t.vals = Vset.Bot
+let top w = { bits = Bitval.top w; vals = Vset.Top }
+let exact w x =
+  let x = x land msk w in
+  { bits = Bitval.exact w x; vals = Vset.exact x }
+
+let reduce t =
+  let w = width t in
+  match t.vals with
+  | Vset.Bot -> bot w
+  | Vset.Set vs -> (
+    match List.filter (fun v -> Bitval.contains t.bits v) vs with
+    | [] -> bot w
+    | vs ->
+      let from_set = Bitval.of_values w vs in
+      let bits =
+        match Bitval.meet t.bits from_set with
+        | Some b -> b
+        | None -> from_set (* unreachable: every v satisfies t.bits *)
+      in
+      { bits; vals = Vset.of_list vs })
+  | Vset.Range (lo, hi) ->
+    let lo = max lo (Bitval.min_val t.bits)
+    and hi = min hi (Bitval.max_val t.bits) in
+    if lo > hi then bot w
+    else if lo = hi then if Bitval.contains t.bits lo then exact w lo else bot w
+    else { bits = t.bits; vals = Vset.Range (lo, hi) }
+  | Vset.Top -> (
+    match Bitval.to_exact t.bits with Some x -> exact w x | None -> t)
+
+let of_values w vs =
+  reduce { bits = Bitval.of_values w vs; vals = Vset.of_list vs }
+
+let join a b =
+  if is_bot a then b
+  else if is_bot b then a
+  else { bits = Bitval.join a.bits b.bits; vals = Vset.join a.vals b.vals }
+
+let widen a b =
+  if is_bot a then b
+  else if is_bot b then a
+  else { bits = Bitval.join a.bits b.bits; vals = Vset.widen a.vals b.vals }
+
+let equal a b = Bitval.equal a.bits b.bits && Vset.equal a.vals b.vals
+
+let contains t x =
+  let x = x land msk (width t) in
+  (not (is_bot t)) && Bitval.contains t.bits x && Vset.contains t.vals x
+
+let to_exact t =
+  if is_bot t then None
+  else
+    match Vset.to_list t.vals with
+    | Some [ v ] -> Some v
+    | _ -> Bitval.to_exact t.bits
+
+let values t = if is_bot t then Some [] else Vset.to_list t.vals
+
+let bit t i = Bitval.bit t.bits i
+
+let bounds t =
+  if is_bot t then None
+  else
+    match Vset.bounds t.vals with
+    | Some (lo, hi) ->
+      Some (max lo (Bitval.min_val t.bits), min hi (Bitval.max_val t.bits))
+    | None -> Some (Bitval.min_val t.bits, Bitval.max_val t.bits)
+
+let lift1 fexact fbits a =
+  if is_bot a then a
+  else reduce { bits = fbits a.bits; vals = Vset.map fexact a.vals }
+
+let lift2 fexact fbits a b =
+  if is_bot a || is_bot b then bot (width a)
+  else reduce { bits = fbits a.bits b.bits; vals = Vset.map2 fexact a.vals b.vals }
+
+(* Every [fexact] below replicates Isa_sim's concrete step on masked
+   operands, so Set elements stay bit-exact. *)
+let add a b =
+  let m = msk (width a) in
+  lift2 (fun x y -> (x + y) land m) (fun x y -> Bitval.add x y) a b
+
+let sub a b =
+  let m = msk (width a) in
+  lift2 (fun x y -> (x - y) land m) Bitval.sub a b
+
+let logand a b = lift2 (fun x y -> x land y) Bitval.logand a b
+let logor a b = lift2 (fun x y -> x lor y) Bitval.logor a b
+let logxor a b = lift2 (fun x y -> x lxor y) Bitval.logxor a b
+
+let shift_left a k =
+  let m = msk (width a) in
+  lift1 (fun x -> (x lsl k) land m) (fun b -> Bitval.shift_left b k) a
+
+let shift_right a k = lift1 (fun x -> x lsr k) (fun b -> Bitval.shift_right b k) a
+
+let mul a b =
+  let m = msk (width a) in
+  lift2 (fun x y -> (x * y) land m) Bitval.mul a b
+
+let mulh a b =
+  let w = width a in
+  let m = msk w in
+  lift2
+    (fun x y ->
+      let p = Int64.mul (Int64.of_int x) (Int64.of_int y) in
+      Int64.to_int (Int64.shift_right_logical p w) land m)
+    (fun _ _ -> Bitval.top w)
+    a b
+
+let div a b =
+  let w = width a in
+  lift2
+    (fun x y -> fst (Isa_sim.divmod ~w x y) land msk w)
+    (fun _ _ -> Bitval.top w)
+    a b
+
+let rem_ a b =
+  let w = width a in
+  lift2 (fun x y -> snd (Isa_sim.divmod ~w x y)) (fun _ _ -> Bitval.top w) a b
+
+let refine_eq t x = if contains t x then Some (exact (width t) x) else None
+
+let refine_ne t x =
+  if is_bot t then None
+  else if Bitval.to_exact t.bits = Some x then None
+  else
+    let r = reduce { t with vals = Vset.remove x t.vals } in
+    if is_bot r then None else Some r
+
+let pp ppf t =
+  if is_bot t then Format.fprintf ppf "bot"
+  else Format.fprintf ppf "%a %a" Bitval.pp t.bits Vset.pp t.vals

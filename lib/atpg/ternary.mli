@@ -44,11 +44,14 @@ val run :
     value (0) to compute the post-reset state, then released to constant
     inactive (1) — mission mode cannot toggle reset (Sec. 2).
 
-    [assume] forces the listed {e input} nodes to constants throughout
-    the analysis (both during and after reset) — the mission tie script
-    expressed as implication assumptions, without editing the netlist.
-    Non-input nodes in [assume] are overwritten by evaluation and have
-    no effect. *)
+    [assume] forces the listed nodes to constants throughout the
+    analysis (both during and after reset) — the mission tie script, or
+    software-derived facts, expressed as implication assumptions without
+    editing the netlist.  Input nodes are forced in the environment;
+    sequential nodes are pinned in state space every iteration (the
+    paper's "tie the flip flops the mission holds constant").  Assumed
+    combinational non-sequential nodes are overwritten by evaluation and
+    have no effect. *)
 
 val const_of : t -> int -> Logic4.t
 val is_const : t -> int -> bool

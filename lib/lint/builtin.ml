@@ -1,6 +1,7 @@
 (* The built-in rule catalogue.
 
-   The first ten rules port the historical `Olfu_manip.Dft_lint` checks
+   The first ten rules port the checks of the original (since deleted)
+   `Olfu_manip.Dft_lint` pass
    (same codes, severities and message shapes); the rest are the passes
    the OLFU flow needs before trusting a netlist: shift-path integrity,
    reset/clock domain hygiene, X-source and mission-constant
@@ -583,12 +584,13 @@ let const_001 =
     ~title:"nets that become constant under the mission tie script"
     ~doc:
       "Ternary implication re-run with every free Debug_control input \
-       assumed tied to 0 (the Sec. 3.2 script): the nets newly proven \
-       constant are exactly what the debug rule will claim.  Counts \
-       exclude the assumed inputs themselves."
+       assumed tied to 0 (the Sec. 3.2 script), plus any software-derived \
+       assumptions: the nets newly proven constant are exactly what the \
+       debug rule will claim.  Counts exclude the assumed nodes \
+       themselves."
     (fun ctx ->
       let nl = Ctx.nl ctx in
-      let assumed = Ctx.mission_assume nl in
+      let assumed = Ctx.assumptions ctx in
       if assumed = [] then []
       else begin
         let plain = Ctx.ternary ctx in
@@ -611,8 +613,8 @@ let const_001 =
           [
             Rule.raw ~node:(List.hd l) ~path:l
               (Printf.sprintf
-                 "%d nets become constant when the %d debug controls are \
-                  tied (e.g. %s)"
+                 "%d nets become constant when the %d mission assumptions \
+                  are tied (e.g. %s)"
                  (List.length l) (List.length assumed)
                  (name ctx (List.hd l)));
           ]
@@ -793,10 +795,116 @@ let struct_002 =
         ]
       else [])
 
+(* ---------------------------------------------------------------- *)
+(* Software facts (Sec. 3.3: what the mission software can drive)   *)
+(* ---------------------------------------------------------------- *)
+
+(* All SW-* rules are silent unless the caller supplied software facts
+   (olfu lint --software, or Lint.run ?software): the netlist alone
+   cannot know what the program side proves. *)
+
+let sw_001 =
+  Rule.make ~code:"SW-CONST" ~category:Rule.Software ~severity:Rule.Info
+    ~title:"address bits proven constant by software but not tied"
+    ~doc:
+      "The abstract interpreter proved these address bits constant over \
+       every analysed program (fetch and data), yet plain ternary \
+       implication cannot show the corresponding address-register flops \
+       constant: each one is a Sec. 3.3 tie/assume opportunity, and the \
+       faults below it are functionally untestable on-line."
+    (fun ctx ->
+      match Ctx.software ctx with
+      | None -> []
+      | Some sw ->
+        let nl = Ctx.nl ctx in
+        let plain = Ctx.ternary ctx in
+        let untied =
+          List.filter_map
+            (fun (bit, v) ->
+              let flops =
+                Netlist.nodes_with_role nl (Netlist.Address_reg bit)
+                |> Array.to_list
+                |> List.filter (fun i ->
+                       not
+                         (Logic4.is_binary (Olfu_atpg.Ternary.const_of plain i)))
+              in
+              if flops = [] then None else Some ((bit, v), flops))
+            sw.Ctx.sw_const_addr_bits
+        in
+        (match untied with
+        | [] -> []
+        | ((bit0, v0), flops0) :: _ ->
+          let nodes = List.concat_map snd untied in
+          [
+            Rule.raw ~node:(List.hd flops0) ~path:nodes
+              (Printf.sprintf
+                 "%s proves %d address bits constant (e.g. bit %d = %d at \
+                  %s) with %d address-register flops left untied"
+                 sw.Ctx.sw_label (List.length untied) bit0
+                 (if v0 then 1 else 0)
+                 (name ctx (List.hd flops0))
+                 (List.length nodes));
+          ]))
+
+let sw_002 =
+  Rule.make ~code:"SW-DEAD" ~category:Rule.Software ~severity:Rule.Warning
+    ~title:"unreachable instruction words in a routine"
+    ~doc:
+      "Instruction words the abstract interpreter proves no execution of \
+       the routine can ever fetch.  Dead code inflates the stored image \
+       without exercising anything; if it was meant as a reachable test \
+       pattern, the routine has a control-flow bug."
+    (fun ctx ->
+      match Ctx.software ctx with
+      | None -> []
+      | Some sw ->
+        List.map
+          (fun (pname, pcs) ->
+            Rule.raw
+              (Printf.sprintf
+                 "routine %s: %d unreachable instruction words (first at \
+                  0x%X)"
+                 pname (List.length pcs) (List.hd pcs)))
+          sw.Ctx.sw_dead_code)
+
+let sw_003 =
+  Rule.make ~code:"SW-OBS" ~category:Rule.Software ~severity:Rule.Error
+    ~title:"no signature store provably reaches RAM"
+    ~doc:
+      "Memory content is the only on-line observation point (Sec. 4): a \
+       suite whose stores never provably land in data RAM observes \
+       nothing, so every fault it was meant to catch escapes."
+    (fun ctx ->
+      match Ctx.software ctx with
+      | None -> []
+      | Some sw ->
+        if sw.Ctx.sw_store_total = 0 then
+          [ Rule.raw (sw.Ctx.sw_label ^ " performs no signature store at all") ]
+        else if not sw.Ctx.sw_ram_stores then
+          [
+            Rule.raw
+              (Printf.sprintf
+                 "none of the %d store sites in %s provably lands in data RAM"
+                 sw.Ctx.sw_store_total sw.Ctx.sw_label);
+          ]
+        else [])
+
+let sw_004 =
+  Rule.make ~code:"SW-MAP" ~category:Rule.Software ~severity:Rule.Warning
+    ~title:"memory access may escape every mapped region"
+    ~doc:
+      "A load or store whose abstract address is not contained in the \
+       ROM or RAM region: it may hit unmapped space, where the bus model \
+       and the memory-map constant-bit argument both stop holding."
+    (fun ctx ->
+      match Ctx.software ctx with
+      | None -> []
+      | Some sw -> List.map (fun s -> Rule.raw s) sw.Ctx.sw_unmapped)
+
 let all =
   [
     scan_001; scan_002; scan_003; scan_004; scan_005; scan_006; scan_007;
     loop_001; drv_001; drv_002; rst_001; rst_002; rst_003; rst_004; rst_005;
     rst_006; clk_001; net_001; net_002; xprop_001; const_001; obs_001; test_001;
-    dbg_001; dbg_002; struct_001; struct_002;
+    dbg_001; dbg_002; struct_001; struct_002; sw_001; sw_002; sw_003; sw_004;
   ]

@@ -1,9 +1,11 @@
-(** The built-in rule catalogue: the ten historical [Dft_lint] checks
-    ported onto the registry (same codes and severities) plus the new
+(** The built-in rule catalogue: the ten checks of the original
+    [Dft_lint] pass (since deleted) ported onto the registry (same codes
+    and severities) plus the new
     shift-path, reset/clock, X-propagation, mission-constant, debug
-    tie-off and structural-metric passes.  See README "Static analysis"
-    for the full catalogue. *)
+    tie-off and structural-metric passes, plus the SW-* rules consuming
+    software facts from the abstract interpreter.  See README "Static
+    analysis" for the full catalogue. *)
 
 val all : Rule.t list
 (** Registry order: scan, loops/drivers, reset/clock, nets/constants,
-    observability/testability, debug, structure. *)
+    observability/testability, debug, structure, software. *)

@@ -22,9 +22,21 @@ type chain = {
 
 type trace = { origin : int; inverted : bool; through : int list }
 
+type software = {
+  sw_label : string;
+  sw_width : int;
+  sw_const_addr_bits : (int * bool) list;
+  sw_assume : (int * Logic4.t) list;
+  sw_dead_code : (string * int list) list;
+  sw_store_total : int;
+  sw_ram_stores : bool;
+  sw_unmapped : string list;
+}
+
 type t = {
   nl : Netlist.t;
   limits : thresholds;
+  software : software option;
   ternary : Olfu_atpg.Ternary.t Lazy.t;
   mission_ternary : Olfu_atpg.Ternary.t Lazy.t;
   scoap : Olfu_atpg.Scoap.t Lazy.t;
@@ -212,15 +224,20 @@ let data_fanout nl i =
       if wiring then acc else acc + 1)
     0 (Netlist.fanout nl i)
 
-let create ?(thresholds = default_thresholds) nl =
+let combined_assume nl software =
+  mission_assume nl
+  @ (match software with Some s -> s.sw_assume | None -> [])
+
+let create ?(thresholds = default_thresholds) ?software nl =
   let chains = lazy (trace_chains nl) in
   let ternary = lazy (Olfu_atpg.Ternary.run nl) in
   {
     nl;
     limits = thresholds;
+    software;
     ternary;
     mission_ternary =
-      lazy (Olfu_atpg.Ternary.run ~assume:(mission_assume nl) nl);
+      lazy (Olfu_atpg.Ternary.run ~assume:(combined_assume nl software) nl);
     scoap = lazy (Olfu_atpg.Scoap.run nl);
     observe =
       lazy
@@ -240,6 +257,8 @@ let create ?(thresholds = default_thresholds) nl =
 
 let nl t = t.nl
 let limits t = t.limits
+let software t = t.software
+let assumptions t = combined_assume t.nl t.software
 let name t i = node_label t.nl i
 let ternary t = Lazy.force t.ternary
 let mission_ternary t = Lazy.force t.mission_ternary

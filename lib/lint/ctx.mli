@@ -11,8 +11,8 @@ open Olfu_netlist
 
     The scan tracer is deliberately richer than
     [Olfu_manip.Scan_trace.trace] (which this library must not depend on —
-    [olfu_manip] depends back on [olfu_lint] for the compatibility shim):
-    it records the buffers/inverters of every shift-path hop, which feeds
+    [olfu_manip] sits above [olfu_lint] in the dependency order): it
+    records the buffers/inverters of every shift-path hop, which feeds
     the polarity, census and loop rules. *)
 
 (** Tunable limits consumed by the structural rules. *)
@@ -45,11 +45,40 @@ type trace = {
   through : int list;  (** crossed buffers/inverters, origin side first *)
 }
 
+(** Facts proven about the mission software by an external analysis
+    (in practice {!Olfu_absint} over the SBST suite; this library stays
+    below [olfu_absint] in the dependency order, so the facts arrive as
+    plain data).  Consumed by the SW-* rules and folded into
+    {!mission_ternary}. *)
+type software = {
+  sw_label : string;  (** provenance, e.g. ["sbst-suite"] *)
+  sw_width : int;  (** address width the bit indices refer to *)
+  sw_const_addr_bits : (int * bool) list;
+      (** address bits never toggled by any analysed program *)
+  sw_assume : (int * Logic4.t) list;
+      (** netlist nodes (address-register flops, constant [bus_rdata]
+          input bits) forced by the software, for [Ternary.run ?assume] *)
+  sw_dead_code : (string * int list) list;
+      (** per program: instruction word addresses proven unreachable *)
+  sw_store_total : int;  (** store sites across the analysed programs *)
+  sw_ram_stores : bool;
+      (** some store provably lands in data RAM (the on-line observation
+          point of the paper) *)
+  sw_unmapped : string list;
+      (** accesses that may escape every mapped region *)
+}
+
 type t
 
-val create : ?thresholds:thresholds -> Netlist.t -> t
+val create : ?thresholds:thresholds -> ?software:software -> Netlist.t -> t
 val nl : t -> Netlist.t
 val limits : t -> thresholds
+
+val software : t -> software option
+
+val assumptions : t -> (int * Logic4.t) list
+(** Everything {!mission_ternary} assumes: {!mission_assume} plus the
+    software [sw_assume] facts when present. *)
 
 val node_label : Netlist.t -> int -> string
 (** Hierarchical name of the net, or ["n<id>"]. *)
@@ -73,7 +102,7 @@ val mission_assume : Netlist.t -> (int * Logic4.t) list
     [Debug_control] input still present as a free input, tied to 0. *)
 
 val mission_ternary : t -> Olfu_atpg.Ternary.t
-(** Ternary implication with {!mission_assume} applied. *)
+(** Ternary implication with {!assumptions} applied. *)
 
 val scoap : t -> Olfu_atpg.Scoap.t
 val observe : t -> Olfu_atpg.Observe.t

@@ -18,14 +18,17 @@ val registry : Rule.t list
 
 val find_rule : string -> Rule.t option
 
-val run : ?config:Config.t -> Netlist.t -> outcome
+val run : ?config:Config.t -> ?software:Ctx.software -> Netlist.t -> outcome
 (** Runs every enabled rule over one shared {!Ctx.t}.  Each raw finding
     gets the rule's code and effective severity; findings matching a
-    waiver or a baseline fingerprint are moved to [waived]/[baselined]. *)
+    waiver or a baseline fingerprint are moved to [waived]/[baselined].
+    [software] supplies program-side facts to the SW-* rules and to
+    {!Ctx.mission_ternary} (they stay silent without it). *)
 
-val findings : ?config:Config.t -> Netlist.t -> Rule.finding list
+val findings :
+  ?config:Config.t -> ?software:Ctx.software -> Netlist.t -> Rule.finding list
 (** [(run nl).findings] — convenience for callers that only want the
-    live findings (the compatibility shim). *)
+    live findings. *)
 
 val errors : Rule.finding list -> Rule.finding list
 val max_severity : outcome -> Rule.severity option

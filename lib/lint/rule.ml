@@ -22,6 +22,7 @@ type category =
   | Debug
   | Structure
   | Testability
+  | Software
 
 let category_name = function
   | Scan -> "scan"
@@ -32,9 +33,13 @@ let category_name = function
   | Debug -> "debug"
   | Structure -> "structure"
   | Testability -> "testability"
+  | Software -> "software"
 
 let all_categories =
-  [ Scan; Reset; Clock; Net; Observability; Debug; Structure; Testability ]
+  [
+    Scan; Reset; Clock; Net; Observability; Debug; Structure; Testability;
+    Software;
+  ]
 
 let category_of_name s =
   List.find_opt (fun c -> category_name c = s) all_categories

@@ -22,6 +22,7 @@ type category =
   | Debug
   | Structure
   | Testability
+  | Software  (** facts proven about the mission software (SW rules) *)
 
 val category_name : category -> string
 val category_of_name : string -> category option

@@ -1,5 +1,13 @@
 open Olfu_soc
 
+type event =
+  | Fetch of { pc : int; instr : Isa.instr }
+  | Reg_write of { reg : int; value : int }
+  | Mem_read of { addr : int; value : int }
+  | Mem_write of { addr : int; value : int }
+
+type outcome = { steps : int; halted : bool }
+
 type t = {
   xlen : int;
   regs : int array;
@@ -7,6 +15,7 @@ type t = {
   mutable pcv : int;
   mutable halt : bool;
   mutable write_log : (int * int) list;
+  mutable hooks : (event -> unit) list;  (* registration order *)
 }
 
 let create ~xlen =
@@ -18,6 +27,7 @@ let create ~xlen =
     pcv = 0;
     halt = false;
     write_log = [];
+    hooks = [];
   }
 
 let mask t v = v land ((1 lsl t.xlen) - 1)
@@ -30,11 +40,14 @@ let pc t = t.pcv
 let halted t = t.halt
 let mem t a = Option.value ~default:0 (Hashtbl.find_opt t.memory a)
 
+let on_event t f = t.hooks <- t.hooks @ [ f ]
+let emit t e = List.iter (fun f -> f e) t.hooks
+
 let sext8 v = if v land 0x80 <> 0 then v - 256 else v
 
 (* Bit-exact mirror of the gate-level restoring divider, including its
    truncate-to-w+1-bits behaviour when the divisor is zero. *)
-let divmod_restoring ~w dividend divisor =
+let divmod ~w dividend divisor =
   let cap = (1 lsl (w + 1)) - 1 in
   let rem = ref 0 and q = ref 0 in
   for i = w - 1 downto 0 do
@@ -50,19 +63,23 @@ let step t =
   if not t.halt then begin
     let w = mem t t.pcv in
     let i = Isa.decode w in
+    emit t (Fetch { pc = t.pcv; instr = i });
     let next = mask t (t.pcv + 1) in
-    let wr rd v = t.regs.(rd) <- mask t v in
+    let wr rd v =
+      t.regs.(rd) <- mask t v;
+      emit t (Reg_write { reg = rd; value = t.regs.(rd) })
+    in
     (match i with
     | Isa.Nop -> t.pcv <- next
     | Isa.Mul (rd, rs) ->
       wr rd (t.regs.(rd) * t.regs.(rs));
       t.pcv <- next
     | Isa.Div (rd, rs) ->
-      let q, _ = divmod_restoring ~w:t.xlen t.regs.(rd) t.regs.(rs) in
+      let q, _ = divmod ~w:t.xlen t.regs.(rd) t.regs.(rs) in
       wr rd q;
       t.pcv <- next
     | Isa.Rem (rd, rs) ->
-      let _, r = divmod_restoring ~w:t.xlen t.regs.(rd) t.regs.(rs) in
+      let _, r = divmod ~w:t.xlen t.regs.(rd) t.regs.(rs) in
       wr rd r;
       t.pcv <- next
     | Isa.Mulh (rd, rs) ->
@@ -98,12 +115,16 @@ let step t =
       wr rd (mask t t.regs.(rd) lsr sh);
       t.pcv <- next
     | Isa.Lw (rd, rs) ->
-      wr rd (mem t t.regs.(rs));
+      let a = t.regs.(rs) in
+      let v = mem t a in
+      emit t (Mem_read { addr = a; value = v });
+      wr rd v;
       t.pcv <- next
     | Isa.Sw (rd, rs) ->
       let a = t.regs.(rs) and v = t.regs.(rd) in
       Hashtbl.replace t.memory a v;
       t.write_log <- (a, v) :: t.write_log;
+      emit t (Mem_write { addr = a; value = v });
       t.pcv <- next
     | Isa.Beqz (rs, off) ->
       t.pcv <- (if t.regs.(rs) = 0 then mask t (next + sext8 off) else next)
@@ -119,6 +140,6 @@ let run ?(max_steps = 100_000) t =
     step t;
     incr steps
   done;
-  !steps
+  { steps = !steps; halted = t.halt }
 
 let writes t = List.rev t.write_log

@@ -1,8 +1,22 @@
+open Olfu_soc
 
 (** Behavioural (golden) simulator of the tcore ISA, used to validate the
-    gate-level core and to precompute SBST expected signatures. *)
+    gate-level core, to precompute SBST expected signatures, and as the
+    concrete semantics against which {!Olfu_absint} is checked. *)
 
 type t
+
+(** Per-step trace events, in execution order.  [Fetch] fires before the
+    instruction mutates any state, so a hook sees the pre-state through
+    {!reg}/{!pc}/{!mem}; [Reg_write]/[Mem_read]/[Mem_write] fire as the
+    instruction performs them, values already masked to [xlen]. *)
+type event =
+  | Fetch of { pc : int; instr : Isa.instr }
+  | Reg_write of { reg : int; value : int }
+  | Mem_read of { addr : int; value : int }
+  | Mem_write of { addr : int; value : int }
+
+type outcome = { steps : int; halted : bool }
 
 val create : xlen:int -> t
 val load : t -> addr:int -> int array -> unit
@@ -12,11 +26,21 @@ val halted : t -> bool
 val mem : t -> int -> int
 (** Unwritten memory reads 0. *)
 
+val on_event : t -> (event -> unit) -> unit
+(** Register a trace hook; hooks run in registration order on every
+    event of every subsequent {!step}. *)
+
 val step : t -> unit
 (** Execute one instruction (no-op once halted). *)
 
-val run : ?max_steps:int -> t -> int
-(** Steps until [halted] or the bound; returns steps executed. *)
+val run : ?max_steps:int -> t -> outcome
+(** Steps until [halted] or the bound; [halted] distinguishes a clean
+    [Halt] from hitting the step bound. *)
 
 val writes : t -> (int * int) list
 (** Memory writes in program order (addr, value). *)
+
+val divmod : w:int -> int -> int -> int * int
+(** [divmod ~w a b] is the (quotient, remainder) of the gate-level
+    restoring divider on [w]-bit operands, bit-exact including its
+    divide-by-zero truncation.  Exposed for the abstract interpreter. *)

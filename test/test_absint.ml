@@ -1,0 +1,438 @@
+open Olfu_logic
+open Olfu_soc
+open Olfu_sbst
+open Olfu_absint
+module Memmap = Olfu_manip.Memmap
+
+let l4 = Alcotest.testable Logic4.pp Logic4.equal
+let cfg = Soc.tcore32
+
+(* --- domains ---------------------------------------------------------- *)
+
+let test_bitval_ops () =
+  let w = 8 in
+  let a = Bitval.exact w 0x5A and b = Bitval.exact w 0x0F in
+  Alcotest.(check (option int)) "add" (Some 0x69) (Bitval.to_exact (Bitval.add a b));
+  Alcotest.(check (option int)) "sub" (Some 0x4B) (Bitval.to_exact (Bitval.sub a b));
+  Alcotest.(check (option int)) "and" (Some 0x0A) (Bitval.to_exact (Bitval.logand a b));
+  let j = Bitval.join a b in
+  (* 0x5A = 01011010, 0x0F = 00001111: agree on bits 1 (1), 3 (1), 5 (0), 7 (0) *)
+  Alcotest.check l4 "joined bit1" Logic4.L1 (Bitval.bit j 1);
+  Alcotest.check l4 "joined bit7" Logic4.L0 (Bitval.bit j 7);
+  Alcotest.check l4 "joined bit0" Logic4.X (Bitval.bit j 0);
+  Alcotest.(check bool) "contains a" true (Bitval.contains j 0x5A);
+  Alcotest.(check bool) "contains b" true (Bitval.contains j 0x0F);
+  (* partial add: unknown low bit poisons the carry chain upward only
+     from where the carry can differ *)
+  let x = Bitval.make w ~known:0xFE ~value:0x02 in
+  let s = Bitval.add x (Bitval.exact w 0x01) in
+  Alcotest.check l4 "sum bit0 unknown" Logic4.X (Bitval.bit s 0);
+  Alcotest.(check bool) "sum admits 3" true (Bitval.contains s 0x03);
+  Alcotest.(check bool) "sum admits 4" true (Bitval.contains s 0x04)
+
+let test_vset_widen () =
+  let s = Vset.of_list [ 1; 2; 3 ] in
+  Alcotest.(check bool) "set join" true
+    (Vset.equal (Vset.join s (Vset.exact 4)) (Vset.of_list [ 1; 2; 3; 4 ]));
+  let big = Vset.of_list (List.init (Vset.cap + 1) (fun i -> i)) in
+  (match big with
+  | Vset.Range (0, hi) -> Alcotest.(check int) "hull hi" Vset.cap hi
+  | _ -> Alcotest.fail "expected Range after overflow");
+  (* a Range that grows again under widen must give up *)
+  Alcotest.(check bool) "widen to top" true
+    (Vset.equal (Vset.widen big (Vset.exact 100_000)) Vset.Top)
+
+let test_aval_reduce () =
+  let w = 16 in
+  let a = Aval.of_values w [ 0x10; 0x11; 0x30 ] in
+  Alcotest.check l4 "bit4 const 1" Logic4.L1 (Aval.bit a 4);
+  Alcotest.check l4 "bit0 free" Logic4.X (Aval.bit a 0);
+  Alcotest.(check bool) "contains" true (Aval.contains a 0x30);
+  Alcotest.(check bool) "excludes" false (Aval.contains a 0x12);
+  let sum = Aval.add a (Aval.exact w 0x100) in
+  Alcotest.(check bool) "sum admits 0x110" true (Aval.contains sum 0x110);
+  Alcotest.(check bool) "sum admits 0x111" true (Aval.contains sum 0x111);
+  Alcotest.(check bool) "sum excludes 0x112" false (Aval.contains sum 0x112)
+
+(* --- straight-line and control-flow precision ------------------------- *)
+
+let test_straightline () =
+  let items =
+    [
+      Asm.I (Isa.Li (1, 0x42));
+      Asm.I (Isa.Sll (1, 4));
+      Asm.I (Isa.Addi (1, 0x01));
+      Asm.I (Isa.Li (2, 0x0F));
+      Asm.I (Isa.And_ (2, 1));
+      Asm.I (Isa.Halt);
+    ]
+  in
+  let a = Absint.analyze ~xlen:16 (Asm.assemble items) in
+  Alcotest.(check (option string)) "not degraded" None (Absint.degraded a);
+  Alcotest.(check (option int)) "r1 at halt" (Some 0x421)
+    (Aval.to_exact (Absint.reg_at a ~pc:5 1));
+  Alcotest.(check (option int)) "r2 at halt" (Some 0x01)
+    (Aval.to_exact (Absint.reg_at a ~pc:5 2));
+  Alcotest.(check bool) "halt reachable" true (Absint.pc_reachable a 5);
+  Alcotest.(check (list int)) "no dead code" [] (Absint.dead_pcs a)
+
+let test_counted_loop () =
+  (* r1 counts 5,4,..,1; loop exits with r1 = 0; r2 accumulates *)
+  let items =
+    [
+      Asm.I (Isa.Li (1, 5));
+      Asm.L "loop";
+      Asm.I (Isa.Addi (2, 1));
+      Asm.I (Isa.Addi (1, 0xFF));
+      Asm.Bnez (1, "loop");
+      Asm.I (Isa.Halt);
+    ]
+  in
+  let a = Absint.analyze ~xlen:16 (Asm.assemble items) in
+  Alcotest.(check (option string)) "not degraded" None (Absint.degraded a);
+  (* branch refinement: after the loop (halt at word 4) r1 is exactly 0 *)
+  Alcotest.(check (option int)) "r1 refined to 0" (Some 0)
+    (Aval.to_exact (Absint.reg_at a ~pc:4 1));
+  (* at the loop head r1 is the precise counter set *)
+  let head = Absint.reg_at a ~pc:1 1 in
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "head admits %d" v)
+        true (Aval.contains head v))
+    [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check bool) "head excludes 6" false (Aval.contains head 6)
+
+let test_dead_code () =
+  let items =
+    [
+      Asm.I (Isa.Li (1, 3));
+      Asm.Bnez (1, "skip");
+      Asm.I (Isa.Li (2, 0x55));
+      (* unreachable: r1 is exactly 3 *)
+      Asm.L "skip";
+      Asm.I (Isa.Halt);
+    ]
+  in
+  let a = Absint.analyze ~xlen:16 (Asm.assemble items) in
+  Alcotest.(check (list int)) "li r2 dead" [ 2 ] (Absint.dead_pcs a)
+
+let test_degrade_self_modify () =
+  (* a store aimed into the image degrades every claim *)
+  let items = [ Asm.I (Isa.Sw (1, 0)); Asm.I (Isa.Halt) ] in
+  let a = Absint.analyze ~xlen:16 (Asm.assemble items) in
+  Alcotest.(check bool) "degraded" true (Absint.degraded a <> None);
+  Alcotest.(check bool) "claims nothing dead" true (Absint.dead_pcs a = []);
+  Alcotest.(check bool) "pc trivially reachable" true
+    (Absint.pc_reachable a 0x1234);
+  Alcotest.(check bool) "regs trivially top" true
+    (Aval.contains (Absint.reg_at a ~pc:0 7) 0xABC)
+
+(* --- the SBST suite --------------------------------------------------- *)
+
+let suite_summaries = lazy (
+  List.map (fun p -> (p.Programs.pname, Absint.of_program cfg p))
+    (Programs.suite cfg))
+
+let test_suite_analyzes () =
+  List.iter
+    (fun (name, a) ->
+      Alcotest.(check (option string)) (name ^ " not degraded") None
+        (Absint.degraded a);
+      Alcotest.(check bool) (name ^ " stores to ram") true
+        (Absint.stores_in a cfg.Soc.ram > 0);
+      Alcotest.(check bool)
+        (name ^ " no unmapped accesses")
+        true
+        (Absint.unmapped_accesses a [ cfg.Soc.rom; cfg.Soc.ram ] = []))
+    (Lazy.force suite_summaries)
+
+let test_suite_dead_code () =
+  (* branch_exerciser deliberately jumps over one instruction with jr;
+     everything else is fully reachable *)
+  List.iter
+    (fun (name, a) ->
+      let dead = Absint.dead_pcs a in
+      if name = "branch_exerciser" then
+        Alcotest.(check bool) "has skipped words" true (dead <> [])
+      else
+        Alcotest.(check (list int)) (name ^ " fully reachable") [] dead)
+    (Lazy.force suite_summaries)
+
+let test_suite_constant_bits () =
+  let ts = List.map snd (Lazy.force suite_summaries) in
+  let consts = Absint.constant_addr_bits ~width:32 ts in
+  (* the suite's fetches stay low in ROM and its data stays at the bottom
+     of RAM: every map-level constant bit must also be program-constant *)
+  let map_consts =
+    Memmap.constant_bits ~width:32 [ cfg.Soc.rom; cfg.Soc.ram ]
+  in
+  List.iter
+    (fun (bit, v) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "map-const bit %d also program-const" bit)
+        true
+        (List.mem (bit, v) consts))
+    map_consts;
+  (* bit 30 separates ROM (0) from RAM (1): the suite toggles it *)
+  Alcotest.check l4 "bit 30 toggles" Logic4.X (Absint.addr_bit ts ~bit:30);
+  Alcotest.check l4 "bit 31 constant 0" Logic4.L0 (Absint.addr_bit ts ~bit:31)
+
+(* The acceptance regression: on the paper's Sec. 4 memory map, the
+   absint-derived constant address bits of the whole suite agree exactly
+   with Memmap.constant_bits. *)
+let test_paper_case_regression () =
+  let regions = Memmap.paper_case_study () in
+  let flash = List.nth regions 0 and ram = List.nth regions 1 in
+  let pcfg = { cfg with Soc.name = "tcore32-paper"; rom = flash; ram } in
+  let ts = List.map (Absint.of_program pcfg) (Programs.suite pcfg) in
+  List.iter
+    (fun a ->
+      Alcotest.(check (option string)) "paper suite not degraded" None
+        (Absint.degraded a))
+    ts;
+  let derived = Absint.region_constant_bits ~width:32 ts regions in
+  let expected = Memmap.constant_bits ~width:32 regions in
+  Alcotest.(check (list (pair int bool))) "matches Memmap.constant_bits"
+    expected derived;
+  let check = Absint.cross_check ~width:32 ts regions in
+  Alcotest.(check (list string)) "no violations" [] check.Absint.violations;
+  Alcotest.(check bool) "ok" true check.Absint.ok
+
+let test_never_written () =
+  let ts = List.map snd (Lazy.force suite_summaries) in
+  let gaps = Absint.never_written ts cfg.Soc.ram in
+  Alcotest.(check bool) "has untouched tail" true (gaps <> []);
+  (* the suite writes the bottom of RAM, so the base address is excluded *)
+  Alcotest.(check bool) "base is written" true
+    (List.for_all (fun (lo, _) -> lo > cfg.Soc.ram.Memmap.lo) gaps);
+  (* every gap really is never written *)
+  List.iter
+    (fun (lo, hi) ->
+      List.iter
+        (fun a ->
+          Alcotest.(check bool) "no store in gap" false
+            (Absint.may_write a ~addr:lo || Absint.may_write a ~addr:hi))
+        ts)
+    gaps
+
+let test_rdata_upper_half_constant () =
+  (* 16-bit encodings fetched over a 32-bit bus: the upper half of
+     bus_rdata can never toggle, and the signature loads stay narrow *)
+  let ts = List.map snd (Lazy.force suite_summaries) in
+  let consts = Absint.rdata_constant_bits ~width:32 ts in
+  List.iter
+    (fun bit ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rdata bit %d constant 0" bit)
+        true
+        (List.mem (bit, false) consts))
+    [ 16; 20; 31 ]
+
+(* --- hand-off to the structural side ---------------------------------- *)
+
+let test_netlist_assume_and_ternary () =
+  let nl = Soc.generate cfg in
+  let ts = List.map snd (Lazy.force suite_summaries) in
+  let assume = Absint.netlist_assume ~width:32 ts nl in
+  Alcotest.(check bool) "nonempty assumption set" true (assume <> []);
+  (* forcing software constants can only help: strictly more constant
+     nets than the plain mission analysis *)
+  let plain = Olfu_atpg.Ternary.run nl in
+  let sw = Olfu_atpg.Ternary.run ~assume nl in
+  Alcotest.(check bool) "more constants" true
+    (Olfu_atpg.Ternary.num_const sw > Olfu_atpg.Ternary.num_const plain);
+  (* the assumed nodes themselves hold their value in the result *)
+  List.iter
+    (fun (node, v) ->
+      Alcotest.check l4 "assumed node held" v
+        (Olfu_atpg.Ternary.const_of sw node))
+    assume
+
+let test_assume_script () =
+  let nl = Soc.generate cfg in
+  let ts = List.map snd (Lazy.force suite_summaries) in
+  let script = Absint.assume_script ~width:32 ts nl in
+  Alcotest.(check bool) "nonempty script" true (script <> []);
+  (* the script must apply cleanly to the netlist it was derived from *)
+  let nl' = Olfu_manip.Script.apply nl script in
+  Alcotest.(check bool) "applies" true (Olfu_netlist.Netlist.length nl' > 0)
+
+let test_software_facts_lint () =
+  let nl = Soc.generate cfg in
+  let sw =
+    Absint.software_facts ~label:"sbst-suite" cfg nl
+      (Lazy.force suite_summaries)
+  in
+  Alcotest.(check bool) "const bits found" true
+    (sw.Olfu_lint.Ctx.sw_const_addr_bits <> []);
+  Alcotest.(check bool) "ram observed" true sw.Olfu_lint.Ctx.sw_ram_stores;
+  Alcotest.(check (list string)) "all accesses mapped" []
+    sw.Olfu_lint.Ctx.sw_unmapped;
+  let outcome = Olfu_lint.Lint.run ~software:sw nl in
+  let codes =
+    List.map
+      (fun (f : Olfu_lint.Rule.finding) -> f.Olfu_lint.Rule.code)
+      outcome.Olfu_lint.Lint.findings
+  in
+  Alcotest.(check bool) "SW-CONST fires" true (List.mem "SW-CONST" codes);
+  Alcotest.(check bool) "SW-DEAD fires (branch_exerciser)" true
+    (List.mem "SW-DEAD" codes);
+  Alcotest.(check bool) "SW-OBS silent" false (List.mem "SW-OBS" codes);
+  Alcotest.(check bool) "SW-MAP silent" false (List.mem "SW-MAP" codes);
+  Alcotest.(check bool) "no errors with software facts" true
+    (Olfu_lint.Lint.errors outcome.Olfu_lint.Lint.findings = []);
+  (* without software facts the SW rules stay silent *)
+  let codes0 =
+    List.map
+      (fun (f : Olfu_lint.Rule.finding) -> f.Olfu_lint.Rule.code)
+      (Olfu_lint.Lint.findings nl)
+  in
+  Alcotest.(check bool) "silent without facts" false
+    (List.exists (fun c -> String.length c >= 3 && String.sub c 0 3 = "SW-") codes0)
+
+let test_sw_obs_fires_on_storeless_program () =
+  let nl = Soc.generate cfg in
+  let storeless =
+    { Programs.pname = "no-store"; items = [ Asm.I (Isa.Li (1, 1)); Asm.I Isa.Halt ] }
+  in
+  let a = Absint.of_program cfg storeless in
+  let sw = Absint.software_facts ~label:"no-store" cfg nl [ ("no-store", a) ] in
+  let outcome = Olfu_lint.Lint.run ~software:sw nl in
+  Alcotest.(check bool) "SW-OBS error" true
+    (List.exists
+       (fun (f : Olfu_lint.Rule.finding) -> f.Olfu_lint.Rule.code = "SW-OBS")
+       (Olfu_lint.Lint.errors outcome.Olfu_lint.Lint.findings))
+
+(* --- qcheck soundness harness ----------------------------------------- *)
+
+(* Structured random programs: arithmetic over r0..r5, stores/loads via
+   an address register pointed into a high window, forward skips, and
+   counted loops — assembled flat, run concretely with the trace hook,
+   and every concrete value must lie inside the abstract one. *)
+let gen_items =
+  let open QCheck2.Gen in
+  let label_id = ref 0 in
+  let fresh prefix =
+    incr label_id;
+    Printf.sprintf "%s%d" prefix !label_id
+  in
+  let reg = int_range 0 5 in
+  let arith =
+    oneof
+      [
+        map2 (fun rd v -> [ Asm.I (Isa.Li (rd, v)) ]) reg (int_bound 255);
+        map2 (fun rd v -> [ Asm.I (Isa.Addi (rd, v)) ]) reg (int_bound 255);
+        map2 (fun rd rs -> [ Asm.I (Isa.Add (rd, rs)) ]) reg reg;
+        map2 (fun rd rs -> [ Asm.I (Isa.Sub (rd, rs)) ]) reg reg;
+        map2 (fun rd rs -> [ Asm.I (Isa.And_ (rd, rs)) ]) reg reg;
+        map2 (fun rd rs -> [ Asm.I (Isa.Or_ (rd, rs)) ]) reg reg;
+        map2 (fun rd rs -> [ Asm.I (Isa.Xor_ (rd, rs)) ]) reg reg;
+        map2 (fun rd rs -> [ Asm.I (Isa.Mul (rd, rs)) ]) reg reg;
+        map2 (fun rd rs -> [ Asm.I (Isa.Mulh (rd, rs)) ]) reg reg;
+        map2 (fun rd rs -> [ Asm.I (Isa.Div (rd, rs)) ]) reg reg;
+        map2 (fun rd rs -> [ Asm.I (Isa.Rem (rd, rs)) ]) reg reg;
+        map2 (fun rd sh -> [ Asm.I (Isa.Sll (rd, sh)) ]) reg (int_bound 15);
+        map2 (fun rd sh -> [ Asm.I (Isa.Srl (rd, sh)) ]) reg (int_bound 15);
+      ]
+  in
+  let mem =
+    (* r6 := 0x4000+k (far from the image), then store or load there *)
+    map3
+      (fun k rs load ->
+        Asm.load_const_fixed 6 (0x4000 + k) ~nibbles:4
+        @ [ Asm.I (if load then Isa.Lw (rs, 6) else Isa.Sw (rs, 6)) ])
+      (int_bound 63) reg bool
+  in
+  let skip body =
+    map2
+      (fun rs items ->
+        let l = fresh "skip" in
+        (Asm.Beqz (rs, l) :: items) @ [ Asm.L l ])
+      reg body
+  in
+  let loop body =
+    map2
+      (fun n items ->
+        let l = fresh "loop" in
+        [ Asm.I (Isa.Li (7, n)) ]
+        @ [ Asm.L l ] @ items
+        @ [ Asm.I (Isa.Addi (7, 0xFF)); Asm.Bnez (7, l) ])
+      (int_range 1 6)
+      body
+  in
+  let block =
+    oneof [ arith; arith; arith; mem ] |> list_size (int_range 1 6)
+    >|= List.concat
+  in
+  let structured =
+    oneof [ block; skip block; loop block ] |> list_size (int_range 1 5)
+    >|= List.concat
+  in
+  structured >|= fun items -> items @ [ Asm.I Isa.Halt ]
+
+let prop_soundness =
+  QCheck2.Test.make ~count:150 ~name:"concrete trace inside abstraction"
+    gen_items (fun items ->
+      let words = Asm.assemble items in
+      let a = Absint.analyze ~xlen:16 words in
+      let sim = Isa_sim.create ~xlen:16 in
+      Isa_sim.load sim ~addr:0 words;
+      let ok = ref true in
+      Isa_sim.on_event sim (function
+        | Isa_sim.Fetch { pc; _ } ->
+          if not (Absint.pc_reachable a pc) then ok := false;
+          for r = 0 to 15 do
+            if not (Aval.contains (Absint.reg_at a ~pc r) (Isa_sim.reg sim r))
+            then ok := false
+          done
+        | Isa_sim.Mem_write { addr; value } ->
+          if not (Absint.may_write a ~addr) then ok := false;
+          if not (Aval.contains (Absint.store_value a ~addr) value) then
+            ok := false
+        | Isa_sim.Reg_write _ | Isa_sim.Mem_read _ -> ());
+      ignore (Isa_sim.run ~max_steps:5_000 sim : Isa_sim.outcome);
+      !ok)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "absint"
+    [
+      ( "domains",
+        [
+          Alcotest.test_case "bitval ops" `Quick test_bitval_ops;
+          Alcotest.test_case "vset widen" `Quick test_vset_widen;
+          Alcotest.test_case "aval reduce" `Quick test_aval_reduce;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "straight line" `Quick test_straightline;
+          Alcotest.test_case "counted loop" `Quick test_counted_loop;
+          Alcotest.test_case "dead code" `Quick test_dead_code;
+          Alcotest.test_case "degrade on self-modify" `Quick
+            test_degrade_self_modify;
+        ] );
+      ( "suite",
+        [
+          Alcotest.test_case "analyzes clean" `Quick test_suite_analyzes;
+          Alcotest.test_case "dead code" `Quick test_suite_dead_code;
+          Alcotest.test_case "constant address bits" `Quick
+            test_suite_constant_bits;
+          Alcotest.test_case "paper case regression" `Quick
+            test_paper_case_regression;
+          Alcotest.test_case "never-written ram" `Quick test_never_written;
+          Alcotest.test_case "rdata upper half" `Quick
+            test_rdata_upper_half_constant;
+        ] );
+      ( "handoff",
+        [
+          Alcotest.test_case "ternary assume" `Quick
+            test_netlist_assume_and_ternary;
+          Alcotest.test_case "script applies" `Quick test_assume_script;
+          Alcotest.test_case "lint software rules" `Quick
+            test_software_facts_lint;
+          Alcotest.test_case "sw-obs on storeless" `Quick
+            test_sw_obs_fires_on_storeless_program;
+        ] );
+      ("soundness", [ qt prop_soundness ]);
+    ]

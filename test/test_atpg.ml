@@ -151,6 +151,31 @@ let test_ternary_counts () =
   (* d tie, rstn tie, ff, and the output marker echo are all constant *)
   Alcotest.(check int) "constants" 4 (Ternary.num_const t)
 
+let test_ternary_seq_assume () =
+  (* A flop fed by a free input is X on its own; assuming it constant
+     pins the state slot through the whole fixed point and the fact
+     propagates into the fanout — the software-derived tie of Sec. 3.3
+     expressed without editing the netlist. *)
+  let b = B.create () in
+  let d = B.input b "d" in
+  let rst = B.input b ~roles:[ Netlist.Reset ] "rstn" in
+  let ff = B.dffr b ~name:"ff" ~d ~rstn:rst in
+  let g = B.not_ b ~name:"g" ff in
+  let _ = B.output b "q" g in
+  let nl = B.freeze_exn b in
+  let plain = Ternary.run nl in
+  Alcotest.(check bool) "free flop is X" true
+    (Logic4.equal (Ternary.const_of plain ff) Logic4.X);
+  let t = Ternary.run ~assume:[ (ff, Logic4.L1) ] nl in
+  Alcotest.(check bool) "assumed flop held" true
+    (Logic4.equal (Ternary.const_of t ff) Logic4.L1);
+  Alcotest.(check bool) "fanout constant" true
+    (Logic4.equal (Ternary.const_of t (Netlist.find_exn nl "g")) Logic4.L0);
+  (* input assumptions still work through the same knob *)
+  let ti = Ternary.run ~assume:[ (d, Logic4.L0) ] nl in
+  Alcotest.(check bool) "assumed input reaches the flop" true
+    (Logic4.equal (Ternary.const_of ti ff) Logic4.L0)
+
 let test_observe_floating_output () =
   (* disconnecting the only observation point makes the whole cone dead *)
   let b = B.create () in
@@ -554,6 +579,7 @@ let () =
           Alcotest.test_case "ff modes" `Quick test_ternary_modes;
           Alcotest.test_case "oscillator" `Quick test_ternary_oscillator;
           Alcotest.test_case "counts" `Quick test_ternary_counts;
+          Alcotest.test_case "seq assume" `Quick test_ternary_seq_assume;
         ] );
       ( "observe",
         [ Alcotest.test_case "floating output" `Quick test_observe_floating_output ] );

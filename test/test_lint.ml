@@ -443,6 +443,98 @@ let test_struct_002 () =
   check_silent nl "STRUCT-002"
 
 (* ---------------------------------------------------------------- *)
+(* SW rules: software-derived facts                                 *)
+(* ---------------------------------------------------------------- *)
+
+(* A mission address-register flop fed by free logic: plain ternary
+   cannot call it constant, so a software-proven constant bit is a tie
+   opportunity (SW-CONST).  The other SW rules fire straight off the
+   facts record. *)
+let sw_netlist () =
+  let b = B.create () in
+  let rstn = B.input b ~roles:[ Netlist.Reset ] "rstn" in
+  let d = B.input b "d" in
+  let ff =
+    B.dffr b ~name:"pc[5]" ~roles:[ Netlist.Address_reg 5 ] ~d ~rstn
+  in
+  let _ = B.output b "q" ff in
+  B.freeze_exn b
+
+let sw_facts =
+  {
+    Ctx.sw_label = "synthetic-suite";
+    sw_width = 16;
+    sw_const_addr_bits = [ (5, false) ];
+    sw_assume = [];
+    sw_dead_code = [ ("routine_a", [ 0x12; 0x13 ]) ];
+    sw_store_total = 0;
+    sw_ram_stores = false;
+    sw_unmapped = [ "routine_a: store at 0x7 to top" ];
+  }
+
+let sw_codes nl software =
+  Lint.findings ?software nl
+  |> List.map (fun (f : Rule.finding) -> f.Rule.code)
+  |> List.sort_uniq compare
+
+let test_sw_rules () =
+  let nl = sw_netlist () in
+  let with_facts = sw_codes nl (Some sw_facts) in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) (c ^ " fires") true (List.mem c with_facts))
+    [ "SW-CONST"; "SW-DEAD"; "SW-OBS"; "SW-MAP" ];
+  (* SW-OBS distinguishes no-store from no-RAM-store *)
+  let facts_stores = { sw_facts with Ctx.sw_store_total = 4 } in
+  (match
+     List.find_opt
+       (fun (f : Rule.finding) -> f.Rule.code = "SW-OBS")
+       (Lint.findings ~software:facts_stores nl)
+   with
+  | Some f ->
+    Alcotest.(check bool) "message names the store count" true
+      (String.length f.Rule.message > 0
+      && String.sub f.Rule.message 0 4 = "none")
+  | None -> Alcotest.fail "SW-OBS should fire without RAM stores");
+  (* a healthy record silences everything *)
+  let healthy =
+    {
+      sw_facts with
+      Ctx.sw_const_addr_bits = [];
+      sw_dead_code = [];
+      sw_store_total = 4;
+      sw_ram_stores = true;
+      sw_unmapped = [];
+    }
+  in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) (c ^ " silent when healthy") false
+        (List.mem c (sw_codes nl (Some healthy))))
+    [ "SW-CONST"; "SW-DEAD"; "SW-OBS"; "SW-MAP" ];
+  (* and without any facts the rules never run *)
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) (c ^ " silent without facts") false
+        (List.mem c (sw_codes nl None)))
+    [ "SW-CONST"; "SW-DEAD"; "SW-OBS"; "SW-MAP" ]
+
+let test_sw_assume_feeds_const_001 () =
+  (* software assumptions join the mission tie script inside
+     mission_ternary, so CONST-001 sees the flop as mission-constant *)
+  let nl = sw_netlist () in
+  let ff = Netlist.find_exn nl "pc[5]" in
+  let facts =
+    { sw_facts with Ctx.sw_assume = [ (ff, Logic4.L0) ] }
+  in
+  let ctx = Ctx.create ~software:facts nl in
+  Alcotest.(check bool) "assumption recorded" true
+    (List.mem_assoc ff (Ctx.assumptions ctx));
+  let mt = Ctx.mission_ternary ctx in
+  Alcotest.(check bool) "mission ternary holds the flop" true
+    (Logic4.equal (Olfu_atpg.Ternary.const_of mt ff) Logic4.L0)
+
+(* ---------------------------------------------------------------- *)
 (* Registry invariants                                              *)
 (* ---------------------------------------------------------------- *)
 
@@ -831,6 +923,9 @@ let () =
         [
           Alcotest.test_case "STRUCT-001" `Quick test_struct_001;
           Alcotest.test_case "STRUCT-002" `Quick test_struct_002;
+          Alcotest.test_case "SW rules" `Quick test_sw_rules;
+          Alcotest.test_case "SW assume into CONST-001" `Quick
+            test_sw_assume_feeds_const_001;
         ] );
       ( "config",
         [

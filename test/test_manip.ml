@@ -281,13 +281,18 @@ let test_sweep_keeps_everything_when_alive () =
   Alcotest.(check int) "nothing dead" 0 removed;
   Alcotest.(check int) "same size" (Netlist.length nl) (Netlist.length swept)
 
+(* These two cases exercised the deprecated [Dft_lint] shim; with the
+   shim deleted they drive [Olfu_lint] directly, pinning the same
+   historical codes and severities. *)
 let test_dft_lint_clean_soc () =
   let nl = Olfu_soc.Soc.generate Olfu_soc.Soc.tcore16 in
-  let findings = Dft_lint.run nl in
+  let findings = Olfu_lint.Lint.findings nl in
   (* the generated SoC is fully scanned with one SE and a reset: no errors *)
-  Alcotest.(check int) "no errors" 0 (List.length (Dft_lint.errors findings));
+  Alcotest.(check int) "no errors" 0
+    (List.length (Olfu_lint.Lint.errors findings));
   let has code =
-    List.exists (fun f -> f.Dft_lint.code = code) findings
+    List.exists (fun (f : Olfu_lint.Rule.finding) -> f.Olfu_lint.Rule.code = code)
+      findings
   in
   Alcotest.(check bool) "reports steady constants" true (has "NET-002");
   Alcotest.(check bool) "reports scoap hotspots" true (has "TEST-001");
@@ -305,16 +310,20 @@ let test_dft_lint_findings () =
   let si = B.input b ~roles:[ Netlist.Scan_in ] "si" in
   ignore si;
   let nl = B.freeze_exn b in
-  let findings = Dft_lint.run nl in
-  let codes = List.map (fun f -> f.Dft_lint.code) findings in
+  let outcome = Olfu_lint.Lint.run nl in
+  let findings = outcome.Olfu_lint.Lint.findings in
+  let codes =
+    List.map (fun (f : Olfu_lint.Rule.finding) -> f.Olfu_lint.Rule.code)
+      findings
+  in
   List.iter
     (fun c ->
       Alcotest.(check bool) (c ^ " reported") true (List.mem c codes))
     [ "SCAN-001"; "SCAN-002"; "RST-001"; "RST-002"; "NET-001"; "OBS-001" ];
   Alcotest.(check bool) "scan-002 is an error" true
-    (List.length (Dft_lint.errors findings) >= 1);
+    (List.length (Olfu_lint.Lint.errors findings) >= 1);
   (* report prints *)
-  let s = Format.asprintf "%a" (Dft_lint.pp_report nl) findings in
+  let s = Format.asprintf "%a" Olfu_lint.Render.text outcome in
   Alcotest.(check bool) "report text" true (String.length s > 50)
 
 let test_script () =

@@ -18,7 +18,7 @@ let test_asm_forward_branch () =
   in
   let sim = Isa_sim.create ~xlen:16 in
   Isa_sim.load sim ~addr:0 (Asm.assemble prog);
-  ignore (Isa_sim.run sim : int);
+  ignore (Isa_sim.run sim : Isa_sim.outcome);
   (* r2 = 0, so the branch is taken and li r1,2 is skipped *)
   Alcotest.(check int) "r1" 1 (Isa_sim.reg sim 1)
 
@@ -91,7 +91,7 @@ done:
   (* and the program behaves: counts 5 signatures *)
   let sim = Isa_sim.create ~xlen:16 in
   Isa_sim.load sim ~addr:0 words;
-  ignore (Isa_sim.run ~max_steps:500 sim : int);
+  ignore (Isa_sim.run ~max_steps:500 sim : Isa_sim.outcome);
   Alcotest.(check int) "five stores + one load path" 5
     (List.length (Isa_sim.writes sim))
 
@@ -112,7 +112,7 @@ let test_asm_parse_errors () =
 let run_prog ?(xlen = 16) items =
   let sim = Isa_sim.create ~xlen in
   Isa_sim.load sim ~addr:0 (Asm.assemble items);
-  ignore (Isa_sim.run sim : int);
+  ignore (Isa_sim.run sim : Isa_sim.outcome);
   sim
 
 let test_isa_sim_wraparound () =
@@ -163,9 +163,12 @@ let test_programs_assemble_and_halt () =
         (Array.length words > 4);
       let sim = Isa_sim.create ~xlen:cfg.Soc.xlen in
       Isa_sim.load sim ~addr:cfg.Soc.rom.Olfu_manip.Memmap.lo words;
-      let steps = Isa_sim.run ~max_steps:50_000 sim in
-      Alcotest.(check bool) (p.Programs.pname ^ " halts") true (Isa_sim.halted sim);
-      Alcotest.(check bool) (p.Programs.pname ^ " does work") true (steps > 10);
+      let out = Isa_sim.run ~max_steps:50_000 sim in
+      Alcotest.(check bool) (p.Programs.pname ^ " halts") true out.Isa_sim.halted;
+      Alcotest.(check bool)
+        (p.Programs.pname ^ " does work")
+        true
+        (out.Isa_sim.steps > 10);
       Alcotest.(check bool)
         (p.Programs.pname ^ " writes signatures")
         true

@@ -209,7 +209,7 @@ let test_asm_load_const () =
       let prog = Asm.load_const 5 v @ [ Asm.I Isa.Halt ] in
       let sim = Isa_sim.create ~xlen:32 in
       Isa_sim.load sim ~addr:0 (Asm.assemble prog);
-      ignore (Isa_sim.run sim : int);
+      ignore (Isa_sim.run sim : Isa_sim.outcome);
       Alcotest.(check int) (Printf.sprintf "const %x" v) v (Isa_sim.reg sim 5))
     [ 0; 1; 0xFF; 0x4000_0000; 0xDEAD_BEEF; 0x7FFF_FFFF ]
 
@@ -222,7 +222,7 @@ let test_isa_sim_basics () =
   in
   let sim = Isa_sim.create ~xlen:16 in
   Isa_sim.load sim ~addr:0 (Asm.assemble prog);
-  ignore (Isa_sim.run sim : int);
+  ignore (Isa_sim.run sim : Isa_sim.outcome);
   Alcotest.(check int) "r1" 7 (Isa_sim.reg sim 1);
   Alcotest.(check (list (pair int int))) "writes" [ (0x80, 7) ] (Isa_sim.writes sim)
 
@@ -265,7 +265,7 @@ let check_program_equivalence cfg nl prog_items =
   Isa_sim.load gold ~addr:cfg.Soc.rom.Olfu_manip.Memmap.lo program;
   (* isa sim starts at pc 0; tcore fetches from pc 0 too, so programs must
      be linked at rom base = pc reset value *)
-  ignore (Isa_sim.run gold : int);
+  ignore (Isa_sim.run gold : Isa_sim.outcome);
   let run = Testbench.record cfg nl ~program in
   Alcotest.(check bool) "gate-level run halted" true run.Testbench.halted;
   Alcotest.(check (list (pair int int)))
@@ -326,7 +326,7 @@ let prop_core_matches_isa_sim =
       let program = Asm.assemble items in
       let gold = Isa_sim.create ~xlen:cfg.Soc.xlen in
       Isa_sim.load gold ~addr:cfg.Soc.rom.Olfu_manip.Memmap.lo program;
-      ignore (Isa_sim.run gold : int);
+      ignore (Isa_sim.run gold : Isa_sim.outcome);
       let run = Testbench.record cfg nl ~program in
       run.Testbench.halted && Isa_sim.writes gold = run.Testbench.writes)
 
@@ -354,7 +354,7 @@ let test_dft_transparent () =
   in
   let gold = Isa_sim.create ~xlen:cfg.Soc.xlen in
   Isa_sim.load gold ~addr:0 program;
-  ignore (Isa_sim.run gold : int);
+  ignore (Isa_sim.run gold : Isa_sim.outcome);
   let run = Testbench.record cfg nl ~program in
   Alcotest.(check bool) "halted" true run.Testbench.halted;
   Alcotest.(check (list (pair int int)))

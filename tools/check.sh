@@ -1,6 +1,9 @@
 #!/bin/sh
 # Tier-1 gate: build, run the unit tests, then require the tcore32
-# generator to come out of the lint registry with no errors.
+# generator to come out of the lint registry with no errors, the
+# abstract interpreter to analyse the SBST suite cleanly (including
+# the cross-check against the memory map), and the software-aware
+# lint pass to stay error-free on every core.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -8,3 +11,9 @@ dune build
 dune runtest
 
 dune exec bin/olfu_cli.exe -- lint -c tcore32 --fail-on error
+
+dune exec bin/olfu_cli.exe -- absint -c tcore32 --suite
+
+for core in tcore32 tcore32_dft tcore16; do
+  dune exec bin/olfu_cli.exe -- lint -c "$core" --software --fail-on error
+done
