@@ -72,6 +72,17 @@ let analyze ?(xlen = 16) ?(origin = 0) ?entry image =
         store_changed := true
       end
   in
+  let record_load i addr value =
+    (* same widening discipline as [record_store]: the instruction runs
+       once per distinct abstract state in explore mode, and the recorded
+       access must cover every one of them, not just the last *)
+    match Hashtbl.find_opt loads i with
+    | None -> Hashtbl.replace loads i { a_addr = addr; a_value = value }
+    | Some old ->
+      let a = Aval.widen old.a_addr addr and v = Aval.widen old.a_value value in
+      if not (Aval.equal a old.a_addr && Aval.equal v old.a_value) then
+        Hashtbl.replace loads i { a_addr = a; a_value = v }
+  in
   let load_value addr =
     (* never-written memory reads 0; the image and any may-aliasing
        store contribute their values *)
@@ -164,7 +175,7 @@ let analyze ?(xlen = 16) ?(origin = 0) ?entry image =
       straight (fun s -> s.(rd) <- Aval.shift_right st.(rd) sh)
     | Isa.Lw (rd, rs) ->
       let v = load_value st.(rs) in
-      Hashtbl.replace loads i { a_addr = st.(rs); a_value = v };
+      record_load i st.(rs) v;
       straight (fun s -> s.(rd) <- v)
     | Isa.Sw (rd, rs) ->
       record_store i st.(rs) st.(rd);
@@ -329,6 +340,20 @@ let store_value t ~addr =
 
 let store_sites t = List.length t.stores
 
+let may_read t ~addr =
+  match t.degraded with
+  | Some _ -> true
+  | None -> List.exists (fun (_, s) -> Aval.contains s.a_addr addr) t.loads
+
+let load_result t ~addr =
+  match t.degraded with
+  | Some _ -> Aval.top t.xlen
+  | None ->
+    List.fold_left
+      (fun acc (_, s) ->
+        if Aval.contains s.a_addr addr then Aval.join acc s.a_value else acc)
+      (Aval.bot t.xlen) t.loads
+
 (* --- address-bit queries ------------------------------------------------ *)
 
 (* toggle-join: a bit is constant only while every access agrees on it,
@@ -490,7 +515,7 @@ let unmapped_accesses t regions =
     List.rev !out
 
 let rdata_bit ts ~bit =
-  if List.exists (fun t -> t.degraded <> None) ts then Logic4.X
+  if ts = [] || List.exists (fun t -> t.degraded <> None) ts then Logic4.X
   else
     (* the bus idles at 0, returns fetched words, and returns load data *)
     List.fold_left

@@ -58,6 +58,14 @@ val store_value : t -> addr:int -> Aval.t
 (** Join of everything that may be stored to [addr] (bottom if nothing). *)
 
 val store_sites : t -> int
+
+val may_read : t -> addr:int -> bool
+(** Some load may read [addr] (trivially true when degraded). *)
+
+val load_result : t -> addr:int -> Aval.t
+(** Join of everything a load from [addr] may return (bottom if no load
+    can read it, top if degraded). *)
+
 val stores_in : t -> Olfu_manip.Memmap.region -> int
 (** Store sites whose address is provably inside the region. *)
 
@@ -99,7 +107,8 @@ val never_written : t list -> Olfu_manip.Memmap.region -> (int * int) list
 
 val rdata_bit : t list -> bit:int -> Logic4.t
 (** Toggle-join over everything the bus can return: the idle 0, fetched
-    instruction words, and load results. *)
+    instruction words, and load results.  [X] on an empty list — with no
+    analysed program there is no basis for claiming any bit constant. *)
 
 val rdata_constant_bits : width:int -> t list -> (int * bool) list
 

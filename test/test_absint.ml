@@ -344,6 +344,17 @@ let gen_items =
         @ [ Asm.I (if load then Isa.Lw (rs, 6) else Isa.Sw (rs, 6)) ])
       (int_bound 63) reg bool
   in
+  let mem_walk =
+    (* store or load through r6, then advance it: inside a loop this
+       walks an address range instead of hitting one constant address *)
+    map3
+      (fun stride rs load ->
+        [
+          Asm.I (if load then Isa.Lw (rs, 6) else Isa.Sw (rs, 6));
+          Asm.I (Isa.Addi (6, stride));
+        ])
+      (int_range 1 8) reg bool
+  in
   let skip body =
     map2
       (fun rs items ->
@@ -362,26 +373,40 @@ let gen_items =
       body
   in
   let block =
-    oneof [ arith; arith; arith; mem ] |> list_size (int_range 1 6)
+    oneof [ arith; arith; arith; mem; mem_walk ] |> list_size (int_range 1 6)
     >|= List.concat
   in
   let structured =
     oneof [ block; skip block; loop block ] |> list_size (int_range 1 5)
     >|= List.concat
   in
-  structured >|= fun items -> items @ [ Asm.I Isa.Halt ]
+  (* r6 starts in the high window so a walk that never resets it still
+     stays clear of the image *)
+  structured >|= fun items ->
+  Asm.load_const_fixed 6 0x4000 ~nibbles:4 @ items @ [ Asm.I Isa.Halt ]
 
 let prop_soundness =
   QCheck2.Test.make ~count:150 ~name:"concrete trace inside abstraction"
     gen_items (fun items ->
       let words = Asm.assemble items in
       let a = Absint.analyze ~xlen:16 words in
+      let rdata_consts = Absint.rdata_constant_bits ~width:16 [ a ] in
+      let rdata_admits v =
+        List.for_all
+          (fun (bit, b) -> (v lsr bit) land 1 = Bool.to_int b)
+          rdata_consts
+      in
       let sim = Isa_sim.create ~xlen:16 in
       Isa_sim.load sim ~addr:0 words;
       let ok = ref true in
       Isa_sim.on_event sim (function
         | Isa_sim.Fetch { pc; _ } ->
           if not (Absint.pc_reachable a pc) then ok := false;
+          if
+            pc >= 0
+            && pc < Array.length words
+            && not (rdata_admits words.(pc))
+          then ok := false;
           for r = 0 to 15 do
             if not (Aval.contains (Absint.reg_at a ~pc r) (Isa_sim.reg sim r))
             then ok := false
@@ -390,7 +415,12 @@ let prop_soundness =
           if not (Absint.may_write a ~addr) then ok := false;
           if not (Aval.contains (Absint.store_value a ~addr) value) then
             ok := false
-        | Isa_sim.Reg_write _ | Isa_sim.Mem_read _ -> ());
+        | Isa_sim.Mem_read { addr; value } ->
+          if not (Absint.may_read a ~addr) then ok := false;
+          if not (Aval.contains (Absint.load_result a ~addr) value) then
+            ok := false;
+          if not (rdata_admits value) then ok := false
+        | Isa_sim.Reg_write _ -> ());
       ignore (Isa_sim.run ~max_steps:5_000 sim : Isa_sim.outcome);
       !ok)
 
