@@ -594,7 +594,97 @@ let run_benchmarks () =
       Format.printf "  %-32s %12.1f us/run@." name (est /. 1_000.))
     (List.sort compare rows)
 
-let () =
+(* ---------------------------------------------------------------- *)
+(* fsim mode: fault-simulation throughput (BENCH_fsim.json)          *)
+(* ---------------------------------------------------------------- *)
+
+(* Measures the cone-limited PPSFP engine against the full-settle
+   baseline on tcore32 (evenly spaced fault sample, 128 patterns) and
+   cross-checks that both engines — and parallel runs — produce
+   bit-identical fault statuses.  Run with: dune exec bench/main.exe -- fsim *)
+let fsim_bench () =
+  let module CF = Olfu_fsim.Comb_fsim in
+  section "fsim throughput — cone engine vs full-settle baseline (tcore32)";
+  let nl = Lazy.force t32 in
+  let universe = Fault.universe nl in
+  let total = Array.length universe in
+  let sample_n = min 1000 total in
+  let stride = max 1 (total / sample_n) in
+  let faults =
+    Array.init sample_n (fun k -> universe.(min (k * stride) (total - 1)))
+  in
+  let npat = 128 in
+  let patterns = CF.random_patterns ~seed:7 nl npat in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let run_cfg ~engine ~jobs =
+    let fl = Flist.create nl faults in
+    let r, secs = time (fun () -> CF.run ~engine ~jobs nl fl patterns) in
+    (fl, r, secs)
+  in
+  let statuses fl = Array.init (Flist.size fl) (Flist.status fl) in
+  let evals secs = float_of_int (sample_n * npat) /. secs in
+  (* warm the per-netlist cone memo so steady-state throughput is measured *)
+  ignore (run_cfg ~engine:CF.Cone ~jobs:1);
+  let flb, rb, base_secs = run_cfg ~engine:CF.Full_settle ~jobs:1 in
+  Format.printf "  full-settle jobs=1: %.3f s  (%.0f fault-pat evals/s)@."
+    base_secs (evals base_secs);
+  let cone =
+    List.map
+      (fun jobs ->
+        let fl, r, secs = run_cfg ~engine:CF.Cone ~jobs in
+        Format.printf "  cone        jobs=%d: %.3f s  (%.0f fault-pat evals/s)@."
+          jobs secs (evals secs);
+        (jobs, fl, r, secs))
+      [ 1; 2; 4 ]
+  in
+  let _, fl2, _, _ = List.nth cone 1 in
+  let ok =
+    statuses flb = statuses fl2
+    && List.for_all (fun (_, fl, _, _) -> statuses fl = statuses flb) cone
+  in
+  let _, _, r4, secs4 =
+    List.find (fun (j, _, _, _) -> j = 4) cone
+  in
+  ignore (r4 : CF.report);
+  let speedup = base_secs /. secs4 in
+  Format.printf "  statuses identical across engines/jobs: %b@." ok;
+  Format.printf "  speedup cone/jobs=4 vs full-settle/jobs=1: %.2fx@." speedup;
+  let oc = open_out "BENCH_fsim.json" in
+  let pc oc (jobs, _, (r : CF.report), secs) =
+    Printf.fprintf oc
+      "    { \"jobs\": %d, \"seconds\": %.6f, \"evals_per_sec\": %.0f, \
+       \"detected\": %d, \"possibly\": %d }"
+      jobs secs (evals secs) r.CF.detected r.CF.possibly
+  in
+  Printf.fprintf oc
+    "{\n  \"netlist\": \"tcore32\",\n  \"faults_sampled\": %d,\n\
+    \  \"patterns\": %d,\n\
+    \  \"baseline_full_settle_jobs1\": { \"seconds\": %.6f, \
+     \"evals_per_sec\": %.0f, \"detected\": %d, \"possibly\": %d },\n\
+    \  \"cone\": [\n"
+    sample_n npat base_secs (evals base_secs) rb.CF.detected rb.CF.possibly;
+  List.iteri
+    (fun k c ->
+      pc oc c;
+      output_string oc (if k < List.length cone - 1 then ",\n" else "\n"))
+    cone;
+  Printf.fprintf oc
+    "  ],\n  \"speedup_4j_vs_baseline\": %.3f,\n\
+    \  \"statuses_identical\": %b\n}\n"
+    speedup ok;
+  close_out oc;
+  Format.printf "  wrote BENCH_fsim.json@.";
+  if not ok then begin
+    prerr_endline
+      "fsim: cone-engine statuses diverge from the full-settle baseline";
+    exit 1
+  end
+
+let main () =
   Format.printf
     "OLFU reproduction harness — every table and figure of the paper@.";
   print_table1 ();
@@ -618,3 +708,7 @@ let () =
   print_ablation_podem_confirm ();
   run_benchmarks ();
   Format.printf "@.done.@."
+
+let () =
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "fsim" then fsim_bench ()
+  else main ()

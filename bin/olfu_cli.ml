@@ -59,6 +59,20 @@ let ff_mode_arg =
           "Sequential constant propagation: steady (mission reading, \
            default), join (sound always-constant), cut (per-block).")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the fault-simulation and classification \
+           engines (results are identical for any value).  Defaults to \
+           $(b,OLFU_JOBS), or 1.")
+
+let jobs_of = function
+  | Some j -> j
+  | None -> Olfu_pool.Pool.default_jobs ()
+
 let load_netlist cfg = function
   | Some path -> (Olfu_verilog.Elaborate.netlist_of_file path, cfg)
   | None -> (Olfu_soc.Soc.generate cfg, cfg)
@@ -97,11 +111,11 @@ let generate_cmd =
 
 (* --- analyze --- *)
 
-let analyze cfg file ff_mode paper =
+let analyze cfg file ff_mode paper jobs =
   let nl, cfg = load_netlist cfg file in
   Format.printf "%a@." Netlist.pp_summary nl;
   let mission = mission_of cfg nl file in
-  let report = Olfu.Flow.run ~ff_mode nl mission in
+  let report = Olfu.Flow.run ~ff_mode ~jobs:(jobs_of jobs) nl mission in
   Format.printf "@.%a@." (Olfu.Flow.pp_table1 ~paper) report;
   Format.printf "@.%a@." Olfu_fault.Flist.pp_summary report.Olfu.Flow.flist;
   `Ok ()
@@ -115,7 +129,9 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Run the on-line untestable fault identification flow (Table I).")
-    Term.(ret (const analyze $ config_arg $ file_arg $ ff_mode_arg $ paper))
+    Term.(
+      ret (const analyze $ config_arg $ file_arg $ ff_mode_arg $ paper
+           $ jobs_arg))
 
 (* --- trace-scan --- *)
 
@@ -201,10 +217,11 @@ let categories_cmd =
 
 (* --- coverage --- *)
 
-let coverage cfg sample =
+let coverage cfg sample jobs =
+  let jobs = jobs_of jobs in
   let nl = Olfu_soc.Soc.generate cfg in
   let mission = Olfu.Mission.of_soc cfg nl in
-  let report = Olfu.Flow.run nl mission in
+  let report = Olfu.Flow.run ~jobs nl mission in
   Format.printf "%a@.@." (Olfu.Flow.pp_table1 ~paper:false) report;
   let fl = report.Olfu.Flow.flist in
   let rng = Random.State.make [| 42 |] in
@@ -221,7 +238,9 @@ let coverage cfg sample =
   List.iteri
     (fun k i -> Olfu_fault.Flist.set_status sub k (Olfu_fault.Flist.status fl i))
     idx;
-  let summary = Olfu_sbst.Coverage.grade cfg nl sub (Olfu_sbst.Programs.suite cfg) in
+  let summary =
+    Olfu_sbst.Coverage.grade ~jobs cfg nl sub (Olfu_sbst.Programs.suite cfg)
+  in
   Format.printf "%a@." Olfu_sbst.Coverage.pp_summary summary;
   `Ok ()
 
@@ -234,7 +253,7 @@ let coverage_cmd =
   Cmd.v
     (Cmd.info "coverage"
        ~doc:"Grade the SBST suite before/after pruning (tcore16 advised).")
-    Term.(ret (const coverage $ config_arg $ sample))
+    Term.(ret (const coverage $ config_arg $ sample $ jobs_arg))
 
 (* --- report --- *)
 
@@ -775,12 +794,12 @@ let absint_cmd =
 
 (* --- atpg --- *)
 
-let atpg cfg prune =
+let atpg cfg prune jobs =
   let nl = Olfu_soc.Soc.generate cfg in
   let fl =
     if prune then begin
       let mission = Olfu.Mission.of_soc cfg nl in
-      let report = Olfu.Flow.run nl mission in
+      let report = Olfu.Flow.run ~jobs:(jobs_of jobs) nl mission in
       Format.printf "%a@.@." (Olfu.Flow.pp_table1 ~paper:false) report;
       report.Olfu.Flow.flist
     end
@@ -802,7 +821,7 @@ let atpg_cmd =
     (Cmd.info "atpg"
        ~doc:
          "Two-phase test generation (random + PODEM) on the full-access           view; use --prune to see the effort reduction.")
-    Term.(ret (const atpg $ config_arg $ prune))
+    Term.(ret (const atpg $ config_arg $ prune $ jobs_arg))
 
 let main_cmd =
   Cmd.group

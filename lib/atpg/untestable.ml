@@ -1,6 +1,17 @@
 open Olfu_logic
 open Olfu_netlist
 open Olfu_fault
+module Pool = Olfu_pool.Pool
+
+(* Per-domain walk state: scratch for cone lookups, generation-stamped
+   [affected] marks, and a verdict memo.  Never shared between domains. *)
+type walker = {
+  an : Analysis.t;
+  scratch : Analysis.Scratch.t;
+  aff : int array;
+  mutable agen : int;
+  cache : (int, bool) Hashtbl.t;
+}
 
 type t = {
   netlist : Netlist.t;
@@ -8,33 +19,53 @@ type t = {
   obs : Observe.t;
   observable_output : int -> bool;
   stem_cache : (int, bool) Hashtbl.t;
+  walker : walker;
 }
 
-let analyze ?ff_mode ?(observable_output = fun _ -> true) nl =
-  let consts = Ternary.run ?ff_mode nl in
+let make_walker ?cache nl =
+  let an = Analysis.get nl in
+  {
+    an;
+    scratch = Analysis.Scratch.create an;
+    aff = Array.make (Netlist.length nl) 0;
+    agen = 0;
+    cache = (match cache with Some c -> c | None -> Hashtbl.create 997);
+  }
+
+let analyze ?ff_mode ?(observable_output = fun _ -> true) ?consts nl =
+  let consts =
+    match consts with Some c -> c | None -> Ternary.run ?ff_mode nl
+  in
   let obs = Observe.run ~observable_output nl ~consts:consts.Ternary.values in
+  let stem_cache = Hashtbl.create 997 in
   {
     netlist = nl;
     consts;
     obs;
     observable_output;
-    stem_cache = Hashtbl.create 997;
+    stem_cache;
+    walker = make_walker ~cache:stem_cache nl;
   }
 
 (* Forward propagation of a hypothetical change on stem [d]: a node is
    [affected] when the difference can reach its output; side inputs that
    are themselves affected are fault-correlated, so their fault-free
-   constants must not be used to block (Observe.pin_allowed_exempt). *)
-let stem_possibly_observable t d =
-  match Hashtbl.find_opt t.stem_cache d with
+   constants must not be used to block (Observe.pin_allowed_exempt).
+   Only the fanout cone of [d] is walked — nodes outside it can never
+   acquire an affected fanin, so the result is the same as a full
+   topological sweep. *)
+let stem_observable_w t w d =
+  match Hashtbl.find_opt w.cache d with
   | Some b -> b
   | None ->
     let nl = t.netlist in
     let consts = t.consts.Ternary.values in
-    let n = Netlist.length nl in
-    let affected = Array.make n false in
-    affected.(d) <- true;
-    let exempt i = affected.(i) in
+    w.agen <- w.agen + 1;
+    let g = w.agen in
+    let aff = w.aff in
+    aff.(d) <- g;
+    let exempt i = aff.(i) = g in
+    let c = Analysis.cone w.an w.scratch d in
     let hit = ref false in
     (* combinational spread in evaluation order *)
     Array.iter
@@ -44,7 +75,7 @@ let stem_possibly_observable t d =
           let prop = ref false in
           Array.iteri
             (fun p drv ->
-              if (not !prop) && affected.(drv)
+              if (not !prop) && aff.(drv) = g
                  && Observe.pin_allowed_exempt ~exempt nl consts i p
               then prop := true)
             fanin;
@@ -52,9 +83,9 @@ let stem_possibly_observable t d =
             if Cell.equal_kind (Netlist.kind nl i) Cell.Output then begin
               if t.observable_output i then hit := true
             end
-            else affected.(i) <- true
+            else aff.(i) <- g
         end)
-      (Netlist.topo nl);
+      c.Analysis.sched;
     (* flip-flop capture credit: an affected value latched into state
        counts as observed (matching Observe's through-FF credit) *)
     if not !hit then
@@ -63,13 +94,15 @@ let stem_possibly_observable t d =
           if not !hit then
             Array.iteri
               (fun p drv ->
-                if affected.(drv)
+                if aff.(drv) = g
                    && Observe.pin_allowed_exempt ~exempt nl consts i p
                 then hit := true)
               (Netlist.fanin nl i))
-        (Netlist.seq_nodes nl);
-    Hashtbl.replace t.stem_cache d !hit;
+        c.Analysis.seqs;
+    Hashtbl.replace w.cache d !hit;
     !hit
+
+let stem_possibly_observable t d = stem_observable_w t t.walker d
 
 let stuck_value (f : Fault.t) = if f.Fault.stuck then Logic4.L1 else Logic4.L0
 
@@ -96,31 +129,31 @@ let captured_const t node =
       if Logic4.equal captured Logic4.L0 then Logic4.L0 else Logic4.X)
   | _ -> invalid_arg "Untestable.captured_const: not sequential"
 
-let clk_verdict t node =
+let clk_verdict t w node =
   (* A stuck clock freezes the register at its current value.  If the
      register is provably constant and keeps capturing that same constant,
      freezing it is invisible: both clock faults are untestable (Fig. 5). *)
   let q = t.consts.Ternary.values.(node) in
   if
     (not (Observe.net t.obs node))
-    && not (stem_possibly_observable t node)
+    && not (stem_observable_w t w node)
   then Some (Status.Undetectable Status.Blocked)
   else if Logic4.is_binary q && Logic4.equal (captured_const t node) q then
     Some (Status.Undetectable Status.Tied)
   else None
 
-let fault_verdict t (f : Fault.t) =
+let verdict_w t w (f : Fault.t) =
   let nl = t.netlist in
   let { Fault.node; pin } = f.Fault.site in
   match pin with
-  | Cell.Pin.Clk -> clk_verdict t node
+  | Cell.Pin.Clk -> clk_verdict t w node
   | Cell.Pin.Out ->
     let c = t.consts.Ternary.values.(node) in
     if Logic4.is_binary c && Logic4.equal c (stuck_value f) then
       Some (Status.Undetectable Status.Tied)
     else if
       (not (Observe.net t.obs node))
-      && not (stem_possibly_observable t node)
+      && not (stem_observable_w t w node)
     then Some (Status.Undetectable Status.Blocked)
     else None
   | Cell.Pin.In p ->
@@ -142,25 +175,43 @@ let fault_verdict t (f : Fault.t) =
         match Netlist.kind nl node with
         | Cell.Output -> t.observable_output node
         | k when Cell.is_seq k -> true (* capture credit *)
-        | _ -> stem_possibly_observable t node
+        | _ -> stem_observable_w t w node
       in
       if through_gate && downstream then None
       else Some (Status.Undetectable Status.Blocked)
     end
 
-let classify t fl =
+let fault_verdict t f = verdict_w t t.walker f
+
+let classify ?jobs t fl =
+  let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
+  let nf = Flist.size fl in
   let changed = ref 0 in
-  Flist.iteri
-    (fun i f st ->
-      match st with
-      | Status.Not_analyzed | Status.Not_detected -> (
-        match fault_verdict t f with
-        | Some v ->
-          Flist.set_status fl i v;
-          incr changed
-        | None -> ())
-      | _ -> ())
-    fl;
+  Pool.with_pool ~jobs (fun pool ->
+      let nw = Pool.jobs pool in
+      (* verdicts are pure in (t, fault); per-worker walkers only memoize,
+         and each fault index is written by exactly one worker, so the
+         outcome is independent of jobs.  Worker 0 reuses [t]'s walker to
+         keep the sequential path warming [t.stem_cache] as before. *)
+      let walkers =
+        Array.init nw (fun k ->
+            if k = 0 then t.walker else make_walker t.netlist)
+      in
+      let wchanged = Array.make nw 0 in
+      Pool.parallel_chunks pool ~n:nf ~chunk:512
+        (fun ~worker ~lo ~hi ->
+          let w = walkers.(worker) in
+          for i = lo to hi - 1 do
+            match Flist.status fl i with
+            | Status.Not_analyzed | Status.Not_detected -> (
+              match verdict_w t w (Flist.fault fl i) with
+              | Some v ->
+                Flist.set_status fl i v;
+                wchanged.(worker) <- wchanged.(worker) + 1
+              | None -> ())
+            | _ -> ()
+          done);
+      changed := Array.fold_left ( + ) 0 wchanged);
   !changed
 
 let untestable_count t nl =

@@ -16,18 +16,26 @@ open Olfu_fault
     analyzed configuration.  Faults left unclassified may still be
     functionally untestable (that is what PODEM / fault simulation refine). *)
 
+type walker
+(** Per-domain walk state (cone scratch, affected marks, verdict memo).
+    Never share one between domains. *)
+
 type t = {
   netlist : Netlist.t;
   consts : Ternary.t;
   obs : Observe.t;
   observable_output : int -> bool;
   stem_cache : (int, bool) Hashtbl.t;
+      (** stem-observability memo of the analysis' own walker; only the
+          calling domain of the sequential API touches it *)
+  walker : walker;
 }
 
 val stem_possibly_observable : t -> int -> bool
 (** Sound per-stem check behind UB verdicts on output pins and clock
-    pins: propagates a hypothetical change on the stem forward, refusing
-    to trust blocking constants on side inputs that lie inside the stem's
+    pins: propagates a hypothetical change on the stem forward through
+    its fanout-cone schedule ({!Olfu_netlist.Analysis}), refusing to
+    trust blocking constants on side inputs that lie inside the stem's
     own fanout cone (reconvergence makes them fault-correlated).  The
     cheap global analysis is only a filter; a stem is classified blocked
     only when this confirms it. *)
@@ -35,16 +43,24 @@ val stem_possibly_observable : t -> int -> bool
 val analyze :
   ?ff_mode:Ternary.ff_mode ->
   ?observable_output:(int -> bool) ->
+  ?consts:Ternary.t ->
   Netlist.t ->
   t
+(** [consts], when given, must be the result of [Ternary.run] on the same
+    netlist; it skips the constant-propagation fixpoint (the flow runs
+    several analyses over one tied netlist that differ only in
+    observability).  [ff_mode] is ignored when [consts] is supplied. *)
 
 val fault_verdict : t -> Fault.t -> Status.t option
 (** [Some (Undetectable _)] when provably untestable, [None] otherwise. *)
 
-val classify : t -> Flist.t -> int
+val classify : ?jobs:int -> t -> Flist.t -> int
 (** Applies {!fault_verdict} to every [Not_analyzed] / [Not_detected]
     fault of the list; returns the number of faults newly classified
-    undetectable. *)
+    undetectable.  [jobs] (default {!Olfu_pool.Pool.default_jobs}) shards
+    the fault list across a domain pool with per-worker walkers; verdicts
+    are pure per fault and indices are owned by single workers, so the
+    result is identical for any [jobs]. *)
 
 val untestable_count : t -> Netlist.t -> int
 (** Number of untestable faults over the full universe of the netlist

@@ -59,31 +59,38 @@ let verify_scan_rule nl =
       (Scan_trace.untestable_faults tied)
 
 (* Classify all still-unclassified faults that the engine proves
-   untestable in the given circuit model. *)
-let engine_step ?ff_mode ?observable_output nl fl =
-  let t = Untestable.analyze ?ff_mode ?observable_output nl in
-  Untestable.classify t fl
+   untestable in the given circuit model.  Returns the ternary constants
+   alongside the count so steps over the same netlist can share them. *)
+let engine_step ?ff_mode ?observable_output ?consts ?jobs nl fl =
+  let t = Untestable.analyze ?ff_mode ?observable_output ?consts nl in
+  (Untestable.classify ?jobs t fl, t.Untestable.consts)
 
-let run ?ff_mode nl mission =
+let run ?ff_mode ?jobs nl mission =
   let t0 = Unix.gettimeofday () in
   let fl = Flist.full nl in
   (* 1. scan rule *)
   let scan_count, scan_t = timed (fun () -> scan_step nl fl) in
   (* 1b. baseline: untestable before any manipulation (reset network,
      steady-state constants of the mission circuit itself) *)
-  let base_count, base_t = timed (fun () -> engine_step ?ff_mode nl fl) in
+  let (base_count, _), base_t =
+    timed (fun () -> engine_step ?ff_mode ?jobs nl fl)
+  in
   (* 2. debug control ties *)
   let tied_controls =
     Script.apply nl (Mission.tie_controls_script mission)
   in
-  let ctl_count, ctl_t =
-    timed (fun () -> engine_step ?ff_mode tied_controls fl)
+  let (ctl_count, tied_consts), ctl_t =
+    timed (fun () -> engine_step ?ff_mode ?jobs tied_controls fl)
   in
-  (* 3. debug observation: stop observing the debug buses (and scan-outs) *)
+  (* 3. debug observation: stop observing the debug buses (and scan-outs).
+     Same netlist as step 2 — only observability changes, so the ternary
+     constants are reused rather than recomputed. *)
   let observable = Mission.observed_in_field mission tied_controls in
   let obs_count, obs_t =
     timed (fun () ->
-        engine_step ?ff_mode ~observable_output:observable tied_controls fl)
+        fst
+          (engine_step ?ff_mode ~observable_output:observable
+             ~consts:tied_consts ?jobs tied_controls fl))
   in
   (* 4. memory map: tie forced address registers and ports *)
   let forced = Mission.address_forcing mission in
@@ -94,7 +101,9 @@ let run ?ff_mode nl mission =
   in
   let mem_count, mem_t =
     timed (fun () ->
-        engine_step ?ff_mode ~observable_output:observable mission_nl fl)
+        fst
+          (engine_step ?ff_mode ~observable_output:observable ?jobs
+             mission_nl fl))
   in
   let steps =
     [

@@ -44,8 +44,17 @@ type report = {
 }
 
 val run :
-  ?ff_mode:Olfu_atpg.Ternary.ff_mode -> Netlist.t -> Mission.t -> report
-(** Default [ff_mode] is [Steady_state] (the paper's mission reading). *)
+  ?ff_mode:Olfu_atpg.Ternary.ff_mode ->
+  ?jobs:int ->
+  Netlist.t ->
+  Mission.t ->
+  report
+(** Default [ff_mode] is [Steady_state] (the paper's mission reading).
+    [jobs] (default [OLFU_JOBS] or 1) parallelizes each classification
+    step over a domain pool; results are identical for any value.  The
+    Debug control and Debug observation steps analyze the same tied
+    netlist, so the ternary constant fixpoint is computed once and
+    shared between them. *)
 
 val scan_step : Netlist.t -> Flist.t -> int
 

@@ -2,7 +2,23 @@ open Olfu_netlist
 
 (** Fault-list container: the working set of faults with their
     classification, supporting the pruning and coverage arithmetic of the
-    paper's flow. *)
+    paper's flow.
+
+    {b Status-update discipline (parallel engines).}  Statuses live in one
+    plain array; there is no internal locking.  The engines that update a
+    list from several domains ({!Olfu_fsim.Comb_fsim.run},
+    {!Olfu_fsim.Seq_fsim.run}, [Olfu_atpg.Untestable.classify]) must
+    follow — and do follow — this discipline:
+    {ul
+    {- during a parallel section, each fault index is {e owned} by exactly
+       one worker; only the owner calls {!set_status} on it;}
+    {- workers read only statuses of indices they own (plus any value
+       written before the section started);}
+    {- aggregate figures are accumulated per worker and summed after the
+       section's barrier.}}
+    Under this discipline results are bit-identical to a sequential run
+    regardless of worker count or scheduling.  Readers from other domains
+    must not call any accessor while a parallel section is running. *)
 
 type t
 

@@ -2,11 +2,12 @@ open Olfu_logic
 open Olfu_netlist
 open Olfu_fault
 open Olfu_sim
+module Pool = Olfu_pool.Pool
 
 type pattern = Logic4.t array
+type engine = Cone | Full_settle
 
-let source_nodes nl =
-  Array.append (Netlist.inputs nl) (Netlist.seq_nodes nl)
+let source_nodes nl = Analysis.sources (Analysis.get nl)
 
 let random_patterns ?(seed = 0) nl n =
   let rng = Random.State.make [| seed |] in
@@ -16,10 +17,37 @@ let random_patterns ?(seed = 0) nl n =
 
 type report = { patterns : int; detected : int; possibly : int }
 
+let stuck_word (f : Fault.t) =
+  Dualrail.const (if f.Fault.stuck then Logic4.L1 else Logic4.L0)
+
+let pt_mask good faulty =
+  (* good binary, faulty unknown: only possibly detected *)
+  Int64.logand (Dualrail.binary_mask good)
+    (Int64.lognot (Dualrail.binary_mask faulty))
+
+(* Next-state value of a sequential cell from its input-pin values. *)
+let capture_ins kind (ins : Dualrail.t array) =
+  match kind with
+  | Cell.Dff -> ins.(0)
+  | Cell.Dffr -> Dualrail.mux ~sel:ins.(1) ~a:Dualrail.zero ~b:ins.(0)
+  | Cell.Sdff -> Dualrail.mux ~sel:ins.(2) ~a:ins.(0) ~b:ins.(1)
+  | Cell.Sdffr ->
+    Dualrail.mux ~sel:ins.(3) ~a:Dualrail.zero
+      ~b:(Dualrail.mux ~sel:ins.(2) ~a:ins.(0) ~b:ins.(1))
+  | _ -> invalid_arg "Comb_fsim.capture_ins"
+
+(* ------------------------------------------------------------------ *)
+(* Full-settle reference engine: re-evaluates the whole netlist for    *)
+(* every fault.  Kept as the oracle the cone engine is tested against  *)
+(* and as the pre-optimization benchmark baseline.                     *)
+(* ------------------------------------------------------------------ *)
+
 (* Settle with a single fault injected, 64 patterns wide.  [env] must have
-   source lanes already loaded. *)
-let settle_faulty nl env (f : Fault.t) =
-  let stuck = Dualrail.const (if f.Fault.stuck then Logic4.L1 else Logic4.L0) in
+   source lanes already loaded.  Operand buffers come from [scratch]
+   instead of a fresh [Array.init] per node. *)
+let settle_faulty an scratch env (f : Fault.t) =
+  let nl = Analysis.netlist an in
+  let stuck = stuck_word f in
   let fnode = f.Fault.site.Fault.node in
   let fpin = f.Fault.site.Fault.pin in
   let stem_faulty i = fpin = Cell.Pin.Out && i = fnode in
@@ -38,9 +66,13 @@ let settle_faulty nl env (f : Fault.t) =
   in
   Array.iter
     (fun i ->
-      let nd = Netlist.node nl i in
-      let ins = Array.init (Array.length nd.Netlist.fanin) (operand i) in
-      let v = Eval.comb_par nd.Netlist.kind ins in
+      let fanin = Netlist.fanin nl i in
+      let a = Array.length fanin in
+      let ins = Analysis.Scratch.ins scratch a in
+      for p = 0 to a - 1 do
+        ins.(p) <- operand i p
+      done;
+      let v = Eval.comb_par (Netlist.kind nl i) ins in
       env.(i) <- (if stem_faulty i then stuck else v))
     (Netlist.topo nl);
   operand
@@ -56,97 +88,265 @@ let capture_par nl operand i =
       ~b:(Dualrail.mux ~sel:(operand i 2) ~a:(operand i 0) ~b:(operand i 1))
   | _ -> invalid_arg "capture_par"
 
-let pt_mask good faulty =
-  (* good binary, faulty unknown: only possibly detected *)
-  Int64.logand (Dualrail.binary_mask good)
-    (Int64.lognot (Dualrail.binary_mask faulty))
+(* det/pt masks of one fault under the full-settle engine. *)
+let eval_fault_full an scratch fenv genv good_cap obs_out observe_captures f =
+  let nl = Analysis.netlist an in
+  Array.iter (fun src -> fenv.(src) <- genv.(src)) (Analysis.sources an);
+  let operand = settle_faulty an scratch fenv f in
+  let det = ref 0L and pt = ref 0L in
+  Array.iter
+    (fun o ->
+      if obs_out.(o) then begin
+        let fv = operand o 0 in
+        det := Int64.logor !det (Dualrail.diff_mask genv.(o) fv);
+        pt := Int64.logor !pt (pt_mask genv.(o) fv)
+      end)
+    (Netlist.outputs nl);
+  if observe_captures then
+    Array.iter
+      (fun s ->
+        let fv = capture_par nl operand s in
+        det := Int64.logor !det (Dualrail.diff_mask good_cap.(s) fv);
+        pt := Int64.logor !pt (pt_mask good_cap.(s) fv))
+      (Netlist.seq_nodes nl);
+  (!det, !pt)
 
-let run ?(observe_captures = true) ?(observable_output = fun _ -> true) nl
-    fl patterns =
-  let srcs = source_nodes nl in
-  let outs =
-    Array.of_list
-      (List.filter observable_output (Array.to_list (Netlist.outputs nl)))
-  in
-  let seqs = Netlist.seq_nodes nl in
-  let n = Netlist.length nl in
-  let detected = ref 0 and possibly = ref 0 in
-  let nbatches = (Array.length patterns + 63) / 64 in
-  for batch = 0 to nbatches - 1 do
-    let base = batch * 64 in
-    let lanes = min 64 (Array.length patterns - base) in
-    let lane_full = if lanes = 64 then -1L else Int64.sub (Int64.shift_left 1L lanes) 1L in
-    let env = Par_sim.init nl Dualrail.unknown in
-    Array.iteri
-      (fun k src ->
-        let v = ref Dualrail.unknown in
-        for lane = 0 to lanes - 1 do
-          v := Dualrail.set !v lane patterns.(base + lane).(k)
-        done;
-        env.(src) <- !v)
-      srcs;
-    Par_sim.settle nl env;
-    let good_out = Array.map (fun o -> env.((Netlist.fanin nl o).(0))) outs in
-    let good_cap =
-      if observe_captures then
-        Array.map (fun (_, v) -> v) (Par_sim.next_states nl env)
-      else [||]
-    in
-    let fenv = Array.make n Dualrail.unknown in
-    Flist.iteri
-      (fun fi f st ->
-        let active =
-          match st with
-          | Status.Not_analyzed | Status.Not_detected
-          | Status.Possibly_detected ->
-            f.Fault.site.Fault.pin <> Cell.Pin.Clk
-          | _ -> false
-        in
-        if active then begin
-          Array.iter (fun src -> fenv.(src) <- env.(src)) srcs;
-          let operand = settle_faulty nl fenv f in
-          let det = ref 0L and pt = ref 0L in
-          Array.iteri
-            (fun k o ->
-              let fv = operand o 0 in
-              det := Int64.logor !det (Dualrail.diff_mask good_out.(k) fv);
-              pt := Int64.logor !pt (pt_mask good_out.(k) fv))
-            outs;
-          if observe_captures then
-            Array.iteri
-              (fun k s ->
-                let fv = capture_par nl operand s in
-                det := Int64.logor !det (Dualrail.diff_mask good_cap.(k) fv);
-                pt := Int64.logor !pt (pt_mask good_cap.(k) fv))
-              seqs;
-          let det = if lanes = 64 then !det else Int64.logand !det lane_full in
-          let pt = if lanes = 64 then !pt else Int64.logand !pt lane_full in
-          if det <> 0L then begin
-            Flist.set_status fl fi Status.Detected;
-            incr detected
-          end
-          else if pt <> 0L && not (Status.equal st Status.Possibly_detected)
-          then begin
-            Flist.set_status fl fi Status.Possibly_detected;
-            incr possibly
-          end
-        end)
-      fl
+(* ------------------------------------------------------------------ *)
+(* Cone-limited engine: good circuit settled once per batch; per fault *)
+(* only the levelized fanout cone of the site is re-evaluated, with    *)
+(* early exit once the event frontier dies out.                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Propagate a differing value [v_start] on [start] through its cone.
+   A node is re-evaluated only when a fanin carries a differing word;
+   values that settle back to the good value are not stamped, so the
+   frontier can die ([last_effect] tracks the furthest schedule position
+   any live difference can still reach). *)
+let walk_cone an s genv good_cap obs_out observe_captures
+    (c : Analysis.cone) start v_start =
+  let nl = Analysis.netlist an in
+  let fval = Analysis.Scratch.fval s and stamp = Analysis.Scratch.stamp s in
+  let gen = Analysis.Scratch.fresh_gen s in
+  stamp.(start) <- gen;
+  fval.(start) <- v_start;
+  let sched = c.Analysis.sched in
+  let last_sink = c.Analysis.last_sink in
+  let last_effect = ref c.Analysis.stem_last in
+  let nsched = Array.length sched in
+  let k = ref 0 in
+  while !k < nsched && !k <= !last_effect do
+    let i = sched.(!k) in
+    let fanin = Netlist.fanin nl i in
+    let a = Array.length fanin in
+    let dirty = ref false in
+    for p = 0 to a - 1 do
+      if stamp.(fanin.(p)) = gen then dirty := true
+    done;
+    if !dirty then begin
+      let ins = Analysis.Scratch.ins s a in
+      for p = 0 to a - 1 do
+        let d = fanin.(p) in
+        ins.(p) <- (if stamp.(d) = gen then fval.(d) else genv.(d))
+      done;
+      let v = Eval.comb_par (Netlist.kind nl i) ins in
+      if not (Dualrail.equal v genv.(i)) then begin
+        fval.(i) <- v;
+        stamp.(i) <- gen;
+        if last_sink.(!k) > !last_effect then last_effect := last_sink.(!k)
+      end
+    end;
+    incr k
   done;
+  let det = ref 0L and pt = ref 0L in
+  Array.iter
+    (fun o ->
+      if obs_out.(o) && stamp.(o) = gen then begin
+        det := Int64.logor !det (Dualrail.diff_mask genv.(o) fval.(o));
+        pt := Int64.logor !pt (pt_mask genv.(o) fval.(o))
+      end)
+    c.Analysis.outs;
+  if observe_captures then
+    Array.iter
+      (fun sq ->
+        let fanin = Netlist.fanin nl sq in
+        let a = Array.length fanin in
+        let ins = Analysis.Scratch.ins s a in
+        let dirty = ref false in
+        for p = 0 to a - 1 do
+          let d = fanin.(p) in
+          if stamp.(d) = gen then begin
+            dirty := true;
+            ins.(p) <- fval.(d)
+          end
+          else ins.(p) <- genv.(d)
+        done;
+        if !dirty then begin
+          let fv = capture_ins (Netlist.kind nl sq) ins in
+          det := Int64.logor !det (Dualrail.diff_mask good_cap.(sq) fv);
+          pt := Int64.logor !pt (pt_mask good_cap.(sq) fv)
+        end)
+      c.Analysis.seqs;
+  (!det, !pt)
+
+let eval_fault_cone an s genv good_cap obs_out observe_captures (f : Fault.t) =
+  let nl = Analysis.netlist an in
+  let stuck = stuck_word f in
+  let fnode = f.Fault.site.Fault.node in
+  match f.Fault.site.Fault.pin with
+  | Cell.Pin.Clk -> (0L, 0L) (* no combinational meaning; filtered earlier *)
+  | Cell.Pin.Out -> (
+    match Netlist.kind nl fnode with
+    | Cell.Tie0 | Cell.Tie1 | Cell.Tiex ->
+      (0L, 0L) (* ties are outside the topo order; never injected *)
+    | _ ->
+      if Dualrail.equal stuck genv.(fnode) then (0L, 0L)
+      else
+        walk_cone an s genv good_cap obs_out observe_captures
+          (Analysis.cone an s fnode) fnode stuck)
+  | Cell.Pin.In p ->
+    let kind = Netlist.kind nl fnode in
+    let fanin = Netlist.fanin nl fnode in
+    let a = Array.length fanin in
+    if p >= a then (0L, 0L)
+    else begin
+    let ins = Analysis.Scratch.ins s a in
+    for q = 0 to a - 1 do
+      ins.(q) <- genv.(fanin.(q))
+    done;
+    ins.(p) <- stuck;
+    if Cell.is_seq kind then
+      (* the only batch-local effect is this flip-flop's capture *)
+      if not observe_captures then (0L, 0L)
+      else begin
+        let fv = capture_ins kind ins in
+        (Dualrail.diff_mask good_cap.(fnode) fv, pt_mask good_cap.(fnode) fv)
+      end
+    else begin
+      let v = Eval.comb_par kind ins in
+      if Dualrail.equal v genv.(fnode) then (0L, 0L)
+      else
+        walk_cone an s genv good_cap obs_out observe_captures
+          (Analysis.cone an s fnode) fnode v
+    end
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Batched run over a fault list, sharded across a domain pool.        *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(observe_captures = true) ?(observable_output = fun _ -> true)
+    ?(engine = Cone) ?jobs nl fl patterns =
+  let jobs =
+    match jobs with Some j -> j | None -> Pool.default_jobs ()
+  in
+  let an = Analysis.get nl in
+  let srcs = Analysis.sources an in
+  let n = Netlist.length nl in
+  let nfaults = Flist.size fl in
+  let obs_out = Array.make n false in
+  Array.iter
+    (fun o -> if observable_output o then obs_out.(o) <- true)
+    (Netlist.outputs nl);
+  let detected = ref 0 and possibly = ref 0 in
+  Pool.with_pool ~jobs (fun pool ->
+      let nw = Pool.jobs pool in
+      let scratches = Array.init nw (fun _ -> Analysis.Scratch.create an) in
+      let fenvs =
+        match engine with
+        | Cone -> [||]
+        | Full_settle ->
+          Array.init nw (fun _ -> Array.make n Dualrail.unknown)
+      in
+      let wdet = Array.make nw 0 and wposs = Array.make nw 0 in
+      let good_cap = Array.make n Dualrail.unknown in
+      let nbatches = (Array.length patterns + 63) / 64 in
+      for batch = 0 to nbatches - 1 do
+        let base = batch * 64 in
+        let lanes = min 64 (Array.length patterns - base) in
+        let lane_full =
+          if lanes = 64 then -1L
+          else Int64.sub (Int64.shift_left 1L lanes) 1L
+        in
+        let genv = Par_sim.init nl Dualrail.unknown in
+        Array.iteri
+          (fun k src ->
+            let v = ref Dualrail.unknown in
+            for lane = 0 to lanes - 1 do
+              v := Dualrail.set !v lane patterns.(base + lane).(k)
+            done;
+            genv.(src) <- !v)
+          srcs;
+        Par_sim.settle nl genv;
+        if observe_captures then
+          Array.iter
+            (fun (s, v) -> good_cap.(s) <- v)
+            (Par_sim.next_states nl genv);
+        (* Sharding discipline: each fault index is processed by exactly
+           one worker per batch; statuses and per-worker counters touch
+           disjoint slots, so results are independent of scheduling. *)
+        Pool.parallel_chunks pool ~n:nfaults ~chunk:256
+          (fun ~worker ~lo ~hi ->
+            let s = scratches.(worker) in
+            for fi = lo to hi - 1 do
+              let st = Flist.status fl fi in
+              let f = Flist.fault fl fi in
+              let active =
+                match st with
+                | Status.Not_analyzed | Status.Not_detected
+                | Status.Possibly_detected ->
+                  f.Fault.site.Fault.pin <> Cell.Pin.Clk
+                | _ -> false
+              in
+              if active then begin
+                let det, pt =
+                  match engine with
+                  | Cone ->
+                    eval_fault_cone an s genv good_cap obs_out
+                      observe_captures f
+                  | Full_settle ->
+                    eval_fault_full an s fenvs.(worker) genv good_cap
+                      obs_out observe_captures f
+                in
+                let det = Int64.logand det lane_full in
+                let pt = Int64.logand pt lane_full in
+                if det <> 0L then begin
+                  Flist.set_status fl fi Status.Detected;
+                  wdet.(worker) <- wdet.(worker) + 1
+                end
+                else if
+                  pt <> 0L && not (Status.equal st Status.Possibly_detected)
+                then begin
+                  Flist.set_status fl fi Status.Possibly_detected;
+                  wposs.(worker) <- wposs.(worker) + 1
+                end
+              end
+            done)
+      done;
+      detected := Array.fold_left ( + ) 0 wdet;
+      possibly := Array.fold_left ( + ) 0 wposs);
   { patterns = Array.length patterns; detected = !detected; possibly = !possibly }
 
+(* ------------------------------------------------------------------ *)
+(* Single-pattern helpers                                              *)
+(* ------------------------------------------------------------------ *)
+
 let faulty_outputs nl f pattern =
-  let srcs = source_nodes nl in
+  let an = Analysis.get nl in
+  let scratch = Analysis.Scratch.create an in
+  let srcs = Analysis.sources an in
   let env = Par_sim.init nl Dualrail.unknown in
   Array.iteri
     (fun k src -> env.(src) <- Dualrail.const pattern.(k))
     srcs;
-  let operand = settle_faulty nl env f in
+  let operand = settle_faulty an scratch env f in
   Netlist.outputs nl |> Array.to_list
   |> List.map (fun o -> (o, Dualrail.get (operand o 0) 0))
 
 let detects ?(observe_captures = true) ?observable_output nl f pattern =
   let fl = Flist.create nl [| f |] in
-  let r = run ~observe_captures ?observable_output nl fl [| pattern |] in
+  let r =
+    run ~engine:Full_settle ~jobs:1 ~observe_captures ?observable_output nl
+      fl [| pattern |]
+  in
   ignore (r : report);
   Status.equal (Flist.status fl 0) Status.Detected

@@ -22,16 +22,34 @@ type report = {
   possibly : int;  (** faults newly marked [Possibly_detected] *)
 }
 
+(** Per-fault evaluation strategy.  Both produce bit-identical fault
+    statuses (a property-tested invariant); [Cone] is the production
+    engine, [Full_settle] the reference and benchmark baseline. *)
+type engine =
+  | Cone
+      (** settle the good circuit once per 64-pattern batch, then per
+          fault re-evaluate only the levelized fanout cone of the fault
+          site, exiting early when the event frontier dies out *)
+  | Full_settle  (** re-evaluate the entire netlist for every fault *)
+
 val run :
   ?observe_captures:bool ->
   ?observable_output:(int -> bool) ->
+  ?engine:engine ->
+  ?jobs:int ->
   Netlist.t ->
   Flist.t ->
   pattern array ->
   report
 (** Marks fault statuses in place.  Faults already [Detected] or
     undetectable are skipped; clock-pin faults are left untouched (they
-    have no combinational meaning). *)
+    have no combinational meaning).
+
+    [engine] defaults to [Cone].  [jobs] (default {!Olfu_pool.Pool.
+    default_jobs}, i.e. [OLFU_JOBS] or 1) shards the fault list across a
+    domain pool per batch; each fault index is owned by exactly one
+    worker, so statuses and counts are bit-identical to a sequential
+    run regardless of [jobs]. *)
 
 val faulty_outputs :
   Netlist.t -> Fault.t -> pattern -> (int * Olfu_logic.Logic4.t) list

@@ -2,6 +2,7 @@ open Olfu_logic
 open Olfu_netlist
 open Olfu_fault
 module Eval = Olfu_sim.Eval
+module Pool = Olfu_pool.Pool
 
 type step = { assign : (int * Logic4.t) list; strobe : bool }
 type stimulus = step array
@@ -59,7 +60,9 @@ let inject_stem b node v =
   let m0 = mask_of b.stem0 node and m1 = mask_of b.stem1 node in
   if m0 = 0L && m1 = 0L then v else Dualrail.force_mask v ~m0 ~m1
 
-let run ?(init = Logic4.X) ?(observe = fun _ -> true) nl fl stimulus =
+let run ?(init = Logic4.X) ?(observe = fun _ -> true) ?jobs nl fl stimulus =
+  let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
+  let an = Analysis.get nl in
   let seqs = Netlist.seq_nodes nl in
   let outs = Array.to_list (Netlist.outputs nl) |> List.filter observe in
   let n = Netlist.length nl in
@@ -83,13 +86,21 @@ let run ?(init = Logic4.X) ?(observe = fun _ -> true) nl fl stimulus =
       let batch, rest = take 63 [] l in
       batch :: batches rest
   in
-  List.iter
-    (fun lane_faults ->
+  let batch_faults = Array.of_list (batches active) in
+  (* One 63-fault batch per unit of parallel work: a fault index lives in
+     exactly one lane of one batch, so concurrent workers write disjoint
+     status slots and the merge is order-independent. *)
+  let run_batch ~wdet ~wposs lane_faults =
       let b = make_batch fl lane_faults in
       let env = Array.make n Dualrail.unknown in
       let state = Array.map (fun _ -> Dualrail.const init) seqs in
       let inputs = Array.make n Dualrail.unknown in
       let det = Array.make 64 false and pt = Array.make 64 false in
+      let ins_by_arity =
+        Array.init
+          (Analysis.max_arity an + 1)
+          (fun k -> Array.make k Dualrail.unknown)
+      in
       let operand node p =
         let v = env.((Netlist.fanin nl node).(p)) in
         let m0 = mask_of b.branch0 (node, p)
@@ -115,9 +126,11 @@ let run ?(init = Logic4.X) ?(observe = fun _ -> true) nl fl stimulus =
           Array.iter
             (fun i ->
               let nd = Netlist.node nl i in
-              let ins =
-                Array.init (Array.length nd.Netlist.fanin) (operand i)
-              in
+              let a = Array.length nd.Netlist.fanin in
+              let ins = ins_by_arity.(a) in
+              for p = 0 to a - 1 do
+                ins.(p) <- operand i p
+              done;
               env.(i) <- inject_stem b i (Eval.comb_par nd.Netlist.kind ins))
             (Netlist.topo nl);
           (* strobe *)
@@ -172,7 +185,7 @@ let run ?(init = Logic4.X) ?(observe = fun _ -> true) nl fl stimulus =
         if fi >= 0 then
           if det.(lane) then begin
             Flist.set_status fl fi Status.Detected;
-            incr detected
+            incr wdet
           end
           else if pt.(lane)
                   && not
@@ -180,10 +193,22 @@ let run ?(init = Logic4.X) ?(observe = fun _ -> true) nl fl stimulus =
                           Status.Possibly_detected)
           then begin
             Flist.set_status fl fi Status.Possibly_detected;
-            incr possibly
+            incr wposs
           end
-      done)
-    (batches active);
+      done
+  in
+  Pool.with_pool ~jobs (fun pool ->
+      let nw = Pool.jobs pool in
+      let wdet = Array.init nw (fun _ -> ref 0) in
+      let wposs = Array.init nw (fun _ -> ref 0) in
+      Pool.parallel_chunks pool ~n:(Array.length batch_faults) ~chunk:1
+        (fun ~worker ~lo ~hi ->
+          for k = lo to hi - 1 do
+            run_batch ~wdet:wdet.(worker) ~wposs:wposs.(worker)
+              batch_faults.(k)
+          done);
+      Array.iter (fun r -> detected := !detected + !r) wdet;
+      Array.iter (fun r -> possibly := !possibly + !r) wposs);
   {
     cycles = Array.length stimulus;
     faults_simulated = List.length active;

@@ -32,6 +32,7 @@ type report = {
 val run :
   ?init:Logic4.t ->
   ?observe:(int -> bool) ->
+  ?jobs:int ->
   Netlist.t ->
   Flist.t ->
   stimulus ->
@@ -39,4 +40,6 @@ val run :
 (** Simulates every fault that is not already detected or undetectable and
     updates the fault list in place.  [observe] selects strobed [Output]
     markers (default: all).  [init] is the power-up flip-flop value
-    (default X). *)
+    (default X).  [jobs] (default {!Olfu_pool.Pool.default_jobs}) shards
+    the 63-fault batches across a domain pool; batches own disjoint fault
+    indices, so results are identical for any [jobs]. *)

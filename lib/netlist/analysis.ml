@@ -1,0 +1,210 @@
+open Olfu_logic
+
+type cone = {
+  sched : int array;
+  last_sink : int array;
+  stem_last : int;
+  outs : int array;
+  seqs : int array;
+}
+
+type t = {
+  nl : Netlist.t;
+  sources : int array;
+  topo_pos : int array;
+  max_arity : int;
+  cones : cone option array;
+  cm : Mutex.t;
+  mutable cone_budget : int;
+}
+
+(* Total sched entries the per-netlist memo may retain; beyond it cones
+   are rebuilt per call (the callers' one-entry caches absorb the cost,
+   fault lists being ordered by site). *)
+let memo_budget = 4_000_000
+
+let netlist t = t.nl
+let sources t = t.sources
+let max_arity t = t.max_arity
+
+type scratch = {
+  owner : t;
+  fval : Dualrail.t array;
+  stamp : int array;
+  mutable gen : int;
+  ins_by_arity : Dualrail.t array array;
+  (* cone-builder state *)
+  cvis : int array;
+  pvis : int array;
+  cposv : int array;
+  mutable cgen : int;
+  mutable last_stem : int;
+  mutable last_cone : cone option;
+}
+
+module Scratch = struct
+  type nonrec t = scratch
+
+  let create a =
+    let n = Netlist.length a.nl in
+    {
+      owner = a;
+      fval = Array.make n Dualrail.unknown;
+      stamp = Array.make n 0;
+      gen = 0;
+      ins_by_arity =
+        Array.init (a.max_arity + 1) (fun k ->
+            Array.make k Dualrail.unknown);
+      cvis = Array.make n 0;
+      pvis = Array.make n 0;
+      cposv = Array.make n 0;
+      cgen = 0;
+      last_stem = -1;
+      last_cone = None;
+    }
+
+  let fval s = s.fval
+  let stamp s = s.stamp
+
+  let fresh_gen s =
+    s.gen <- s.gen + 1;
+    s.gen
+
+  let ins s arity = s.ins_by_arity.(arity)
+end
+
+(* Build the cone of stem [d]: frontier scan over fanouts (stopping at
+   sequential sinks, whose captures — not outputs — belong to the cone),
+   then a topological sort of the visited set. *)
+let build t s d =
+  let nl = t.nl in
+  s.cgen <- s.cgen + 1;
+  let g = s.cgen in
+  let sched_v = Vec.create () in
+  let seqs_v = Vec.create () in
+  let expand i =
+    Array.iter
+      (fun (sink, _pin) ->
+        if s.cvis.(sink) <> g then begin
+          s.cvis.(sink) <- g;
+          if Cell.is_seq (Netlist.kind nl sink) then
+            ignore (Vec.push seqs_v sink : int)
+          else ignore (Vec.push sched_v sink : int)
+        end)
+      (Netlist.fanout nl i)
+  in
+  expand d;
+  let w = ref 0 in
+  while !w < Vec.length sched_v do
+    expand (Vec.get sched_v !w);
+    incr w
+  done;
+  let sched = Vec.to_array sched_v in
+  Array.sort (fun a b -> Int.compare t.topo_pos.(a) t.topo_pos.(b)) sched;
+  Array.iteri
+    (fun k i ->
+      s.pvis.(i) <- g;
+      s.cposv.(i) <- k)
+    sched;
+  let last_sink = Array.make (Array.length sched) (-1) in
+  let stem_last = ref (-1) in
+  Array.iteri
+    (fun k i ->
+      Array.iter
+        (fun drv ->
+          if drv = d then stem_last := k
+          else if s.pvis.(drv) = g then last_sink.(s.cposv.(drv)) <- k)
+        (Netlist.fanin nl i))
+    sched;
+  let outs_v = Vec.create () in
+  if Cell.equal_kind (Netlist.kind nl d) Cell.Output then
+    ignore (Vec.push outs_v d : int);
+  Array.iter
+    (fun i ->
+      if Cell.equal_kind (Netlist.kind nl i) Cell.Output then
+        ignore (Vec.push outs_v i : int))
+    sched;
+  {
+    sched;
+    last_sink;
+    stem_last = !stem_last;
+    outs = Vec.to_array outs_v;
+    seqs = Vec.to_array seqs_v;
+  }
+
+let cone t s d =
+  if s.last_stem = d then Option.get s.last_cone
+  else begin
+    Mutex.lock t.cm;
+    let memoized = t.cones.(d) in
+    Mutex.unlock t.cm;
+    let c =
+      match memoized with
+      | Some c -> c
+      | None ->
+        let c = build t s d in
+        Mutex.lock t.cm;
+        let c =
+          match t.cones.(d) with
+          | Some c' -> c' (* a sibling worker published first; share it *)
+          | None ->
+            let cost = Array.length c.sched in
+            if t.cone_budget >= cost then begin
+              t.cones.(d) <- Some c;
+              t.cone_budget <- t.cone_budget - cost
+            end;
+            c
+        in
+        Mutex.unlock t.cm;
+        c
+    in
+    s.last_stem <- d;
+    s.last_cone <- Some c;
+    c
+  end
+
+let make nl =
+  let n = Netlist.length nl in
+  let topo_pos = Array.make n (-1) in
+  Array.iteri (fun k i -> topo_pos.(i) <- k) (Netlist.topo nl);
+  let max_arity = ref 0 in
+  Netlist.iter_nodes
+    (fun _ nd ->
+      let a = Array.length nd.Netlist.fanin in
+      if a > !max_arity then max_arity := a)
+    nl;
+  {
+    nl;
+    sources = Array.append (Netlist.inputs nl) (Netlist.seq_nodes nl);
+    topo_pos;
+    max_arity = !max_arity;
+    cones = Array.make n None;
+    cm = Mutex.create ();
+    cone_budget = memo_budget;
+  }
+
+(* Weak per-netlist memo, keyed by physical identity: analyses die with
+   their netlist (the value's reference back to the key is exactly what
+   ephemerons are for). *)
+module Tbl = Ephemeron.K1.Make (struct
+  type t = Netlist.t
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+let global : t Tbl.t = Tbl.create 17
+let gm = Mutex.create ()
+
+let get nl =
+  Mutex.lock gm;
+  let a =
+    match Tbl.find_opt global nl with
+    | Some a -> a
+    | None ->
+      let a = make nl in
+      Tbl.add global nl a;
+      a
+  in
+  Mutex.unlock gm;
+  a

@@ -1,0 +1,77 @@
+open Olfu_logic
+
+(** Memoized per-netlist structural analysis shared by the simulation and
+    classification engines.
+
+    One [Analysis.t] per netlist caches what every fault-oriented engine
+    recomputes otherwise: the source-node vector (inputs followed by
+    flip-flops), topological positions, and {e fanout-cone schedules} — for
+    a stem [d], the topologically ordered array of combinational nodes its
+    value can reach, with per-node last-sink positions enabling early exit
+    when an event frontier dies out.  Cone schedules are memoized under a
+    global entry budget (large netlists fall back to per-call builds using
+    the caller's scratch, so memory stays bounded).
+
+    Domain safety: an [Analysis.t] may be shared by concurrent domains; the
+    cone memo is mutex-protected.  A {!Scratch.t} is single-owner state —
+    create one per worker domain. *)
+
+type t
+
+val get : Netlist.t -> t
+(** Memoized accessor (weak per-netlist cache, keyed by physical
+    identity): repeated calls on the same netlist return the same
+    analysis, from any domain. *)
+
+val netlist : t -> Netlist.t
+
+val sources : t -> int array
+(** Primary inputs followed by sequential cells — the pattern-assignment
+    order of the fault simulators.  Computed once (hoists the
+    [Array.append] out of hot loops). *)
+
+val max_arity : t -> int
+
+(** Fanout-cone schedule of one stem. *)
+type cone = {
+  sched : int array;
+      (** combinational (and output-marker) nodes strictly downstream of
+          the stem, in topological evaluation order *)
+  last_sink : int array;
+      (** [last_sink.(k)]: greatest schedule position with [sched.(k)] as
+          a fanin, [-1] when nothing in the schedule consumes it *)
+  stem_last : int;
+      (** greatest schedule position with the stem itself as a fanin *)
+  outs : int array;
+      (** [Output]-marker nodes in the cone (including the stem when the
+          stem is an output marker) *)
+  seqs : int array;
+      (** sequential nodes with at least one fanin in the cone or driven
+          by the stem — the capture observation points of the cone *)
+}
+
+(** Per-worker mutable scratch: value/stamp buffers sized to the netlist,
+    per-arity operand arrays, and a one-entry cone cache.  Never share a
+    scratch between domains. *)
+module Scratch : sig
+  type analysis := t
+  type t
+
+  val create : analysis -> t
+
+  val fval : t -> Dualrail.t array
+  (** Faulty-value buffer, valid only where {!stamp} equals the current
+      generation. *)
+
+  val stamp : t -> int array
+  val fresh_gen : t -> int
+  (** Bumps and returns the generation, invalidating previous stamps. *)
+
+  val ins : t -> int -> Dualrail.t array
+  (** Preallocated operand buffer of exactly the given arity. *)
+end
+
+val cone : t -> Scratch.t -> int -> cone
+(** [cone t scratch d]: the fanout-cone schedule of stem [d], from the
+    scratch's one-entry cache, the shared memo, or built on the fly
+    (memoized while the entry budget lasts). *)

@@ -1,0 +1,150 @@
+let clamp_jobs j = max 1 (min 64 j)
+
+let default_jobs () =
+  match Sys.getenv_opt "OLFU_JOBS" with
+  | None -> 1
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some j -> clamp_jobs j
+    | None -> 1)
+
+type job = {
+  f : worker:int -> lo:int -> hi:int -> unit;
+  n : int;
+  chunk : int;
+  cursor : int Atomic.t;
+  abort : bool Atomic.t;
+}
+
+type t = {
+  m : Mutex.t;
+  work : Condition.t;  (* workers: a new generation is available *)
+  idle : Condition.t;  (* caller: all workers finished the generation *)
+  mutable job : job option;
+  mutable generation : int;
+  mutable running : int;
+  mutable stop : bool;
+  mutable exn : (exn * Printexc.raw_backtrace) option;
+  mutable shut : bool;
+  mutable domains : unit Domain.t array;
+  njobs : int;
+}
+
+let jobs t = t.njobs
+
+let record t e bt =
+  Mutex.lock t.m;
+  if t.exn = None then t.exn <- Some (e, bt);
+  Mutex.unlock t.m
+
+(* Pull contiguous chunks off the job's cursor until it runs dry (or a
+   sibling worker failed). *)
+let consume t j ~worker =
+  let rec loop () =
+    let lo = Atomic.fetch_and_add j.cursor j.chunk in
+    if lo < j.n && not (Atomic.get j.abort) then begin
+      (try j.f ~worker ~lo ~hi:(min j.n (lo + j.chunk))
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         Atomic.set j.abort true;
+         record t e bt);
+      loop ()
+    end
+  in
+  loop ()
+
+let worker_loop t ~worker =
+  let rec loop last_gen =
+    Mutex.lock t.m;
+    while (not t.stop) && t.generation = last_gen do
+      Condition.wait t.work t.m
+    done;
+    if t.stop then Mutex.unlock t.m
+    else begin
+      let gen = t.generation in
+      let j = Option.get t.job in
+      Mutex.unlock t.m;
+      consume t j ~worker;
+      Mutex.lock t.m;
+      t.running <- t.running - 1;
+      if t.running = 0 then Condition.broadcast t.idle;
+      Mutex.unlock t.m;
+      loop gen
+    end
+  in
+  loop 0
+
+let create ~jobs =
+  let njobs = clamp_jobs jobs in
+  let t =
+    {
+      m = Mutex.create ();
+      work = Condition.create ();
+      idle = Condition.create ();
+      job = None;
+      generation = 0;
+      running = 0;
+      stop = false;
+      exn = None;
+      shut = false;
+      domains = [||];
+      njobs;
+    }
+  in
+  t.domains <-
+    Array.init (njobs - 1) (fun k ->
+        Domain.spawn (fun () -> worker_loop t ~worker:(k + 1)));
+  t
+
+let shutdown t =
+  Mutex.lock t.m;
+  if t.shut then Mutex.unlock t.m
+  else begin
+    t.shut <- true;
+    t.stop <- true;
+    Condition.broadcast t.work;
+    Mutex.unlock t.m;
+    Array.iter Domain.join t.domains
+  end
+
+let parallel_chunks t ~n ?chunk f =
+  if n > 0 then begin
+    let chunk =
+      match chunk with
+      | Some c -> max 1 c
+      | None -> max 1 (n / (8 * t.njobs))
+    in
+    if t.njobs = 1 || n <= chunk then f ~worker:0 ~lo:0 ~hi:n
+    else begin
+      let j =
+        { f; n; chunk; cursor = Atomic.make 0; abort = Atomic.make false }
+      in
+      Mutex.lock t.m;
+      if t.shut then begin
+        Mutex.unlock t.m;
+        invalid_arg "Pool.parallel_chunks: pool is shut down"
+      end;
+      t.job <- Some j;
+      t.exn <- None;
+      t.running <- t.njobs - 1;
+      t.generation <- t.generation + 1;
+      Condition.broadcast t.work;
+      Mutex.unlock t.m;
+      consume t j ~worker:0;
+      Mutex.lock t.m;
+      while t.running > 0 do
+        Condition.wait t.idle t.m
+      done;
+      t.job <- None;
+      let e = t.exn in
+      t.exn <- None;
+      Mutex.unlock t.m;
+      match e with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
+  end
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

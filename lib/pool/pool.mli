@@ -1,0 +1,47 @@
+(** Small stdlib-only domain pool ([Domain] + [Mutex]/[Condition]).
+
+    A pool owns [jobs - 1] worker domains (the caller is the remaining
+    worker).  Work is submitted as an index range that workers consume in
+    contiguous chunks through an atomic cursor: chunks keep cache locality
+    for consumers that walk adjacent data (fault lists are ordered by
+    site, so neighbouring indices share fanout cones), while the dynamic
+    cursor balances uneven chunk costs.
+
+    Determinism contract: {!parallel_chunks} guarantees every index in
+    [0, n) is processed by exactly one worker, but the assignment of
+    indices to workers and their interleaving is scheduling-dependent.
+    Callers that need deterministic results must make each index's result
+    independent of the others (write to per-index slots, merge by index
+    order, or reduce with a commutative/associative operation), which is
+    the discipline used by the fault-simulation engines. *)
+
+type t
+
+val default_jobs : unit -> int
+(** Worker count from the [OLFU_JOBS] environment variable, clamped to
+    [1, 64]; [1] when unset or unparsable.  The CLI [--jobs] flag
+    overrides it. *)
+
+val create : jobs:int -> t
+(** Spawns [jobs - 1] worker domains ([jobs] is clamped to [1, 64]).
+    A pool with [jobs = 1] spawns nothing and runs everything inline. *)
+
+val jobs : t -> int
+
+val parallel_chunks :
+  t -> n:int -> ?chunk:int -> (worker:int -> lo:int -> hi:int -> unit) -> unit
+(** [parallel_chunks t ~n f] applies [f ~worker ~lo ~hi] over disjoint
+    chunks covering [0, n), in parallel over the pool, and returns once
+    every index has been processed (a barrier).  [worker] is a stable id
+    in [0, jobs t), usable to index per-worker scratch.  [chunk] is the
+    chunk length (default: [n / (8 * jobs)], at least 1).  The first
+    exception raised by any worker is re-raised in the caller after the
+    barrier; remaining chunks are abandoned. *)
+
+val shutdown : t -> unit
+(** Joins the worker domains.  The pool must be idle; using it after
+    shutdown raises [Invalid_argument].  Idempotent. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] on a fresh pool and shuts it down on
+    exit, including on exception. *)

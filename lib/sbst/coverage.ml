@@ -16,7 +16,7 @@ type summary = {
   undetectable : int;
 }
 
-let grade ?max_cycles cfg nl fl progs =
+let grade ?max_cycles ?jobs cfg nl fl progs =
   let observe = Testbench.observed_outputs nl in
   let results =
     List.map
@@ -24,7 +24,7 @@ let grade ?max_cycles cfg nl fl progs =
         let program = Programs.assemble p in
         let run = Testbench.record ?max_cycles cfg nl ~program in
         let r =
-          Seq_fsim.run ~init:Olfu_logic.Logic4.X ~observe nl fl
+          Seq_fsim.run ~init:Olfu_logic.Logic4.X ~observe ?jobs nl fl
             run.Testbench.stimulus
         in
         {

@@ -23,6 +23,7 @@ type summary = {
 
 val grade :
   ?max_cycles:int ->
+  ?jobs:int ->
   Soc.config ->
   Olfu_netlist.Netlist.t ->
   Flist.t ->
@@ -31,6 +32,7 @@ val grade :
 (** Runs every program (each from reset), marking detections in the fault
     list.  Coverage figures are computed from the final list state, so
     pre-classifying OLFU faults before calling this yields the
-    after-pruning figure. *)
+    after-pruning figure.  [jobs] is passed to {!Olfu_fsim.Seq_fsim.run}
+    (identical results for any value). *)
 
 val pp_summary : Format.formatter -> summary -> unit

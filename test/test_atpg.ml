@@ -326,6 +326,27 @@ let prop_untestable_sound =
         u;
       !ok)
 
+(* Parallel classification is pure per fault: any jobs count yields the
+   same statuses and the same changed-count. *)
+let prop_classify_jobs_deterministic =
+  QCheck2.Test.make ~count:15 ~name:"classify identical for any jobs"
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let nl =
+        if seed mod 2 = 0 then
+          Test_support.random_comb_netlist rng ~inputs:4 ~gates:20
+        else Test_support.random_seq_netlist rng ~inputs:3 ~gates:15 ~flops:3
+      in
+      let t = Untestable.analyze ~ff_mode:Ternary.Cut nl in
+      let run jobs =
+        let fl = Flist.full nl in
+        let changed = Untestable.classify ~jobs t fl in
+        (changed, Array.init (Flist.size fl) (Flist.status fl))
+      in
+      let reference = run 1 in
+      List.for_all (fun jobs -> run jobs = reference) [ 2; 4 ])
+
 (* Whenever PODEM claims a test, independent re-simulation confirms it. *)
 let prop_podem_tests_valid =
   QCheck2.Test.make ~count:15 ~name:"PODEM tests re-validate"
@@ -627,6 +648,6 @@ let () =
       ( "properties",
         [
           qt prop_untestable_sound; qt prop_podem_tests_valid;
-          qt prop_reset_join_sound;
+          qt prop_reset_join_sound; qt prop_classify_jobs_deterministic;
         ] );
     ]

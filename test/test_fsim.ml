@@ -78,6 +78,54 @@ let test_batching () =
   Alcotest.(check bool) "detected all" true
     (Flist.count_status fl Status.Detected = Flist.size fl)
 
+(* --- cone engine vs full-settle oracle, parallel determinism --- *)
+
+let statuses fl = Array.init (Flist.size fl) (Flist.status fl)
+
+let prop_cone_engine_matches_full =
+  QCheck2.Test.make ~count:15
+    ~name:"cone engine = full-settle baseline, statuses identical any jobs"
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let nl =
+        if seed mod 2 = 0 then
+          Test_support.random_comb_netlist rng ~inputs:4 ~gates:25
+        else Test_support.random_seq_netlist rng ~inputs:3 ~gates:18 ~flops:3
+      in
+      (* 100 patterns: two batches, the second partial *)
+      let pats = Comb_fsim.random_patterns ~seed nl 100 in
+      let run engine jobs =
+        let fl = Flist.full nl in
+        let r = Comb_fsim.run ~engine ~jobs nl fl pats in
+        (statuses fl, r)
+      in
+      let reference = run Comb_fsim.Full_settle 1 in
+      List.for_all
+        (fun jobs -> run Comb_fsim.Cone jobs = reference)
+        [ 1; 2; 4 ])
+
+let prop_cone_matches_detects_oracle =
+  QCheck2.Test.make ~count:25
+    ~name:"cone run agrees with the single-fault detects oracle"
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let nl = Test_support.random_comb_netlist rng ~inputs:4 ~gates:20 in
+      let universe = Fault.universe nl in
+      let f = universe.(Random.State.int rng (Array.length universe)) in
+      if f.Fault.site.Fault.pin = Cell.Pin.Clk then true
+      else begin
+        let pat = (Comb_fsim.random_patterns ~seed nl 1).(0) in
+        let fl = Flist.create nl [| f |] in
+        ignore
+          (Comb_fsim.run ~engine:Comb_fsim.Cone ~jobs:1 nl fl [| pat |]
+            : Comb_fsim.report);
+        Bool.equal
+          (Status.equal (Flist.status fl 0) Status.Detected)
+          (Comb_fsim.detects nl f pat)
+      end)
+
 (* --- sequential, fault-parallel --- *)
 
 let shift3 () =
@@ -223,6 +271,34 @@ let prop_seq_matches_scalar =
       check_lone (n / 3);
       !ok)
 
+let prop_seq_jobs_deterministic =
+  QCheck2.Test.make ~count:10
+    ~name:"seq fsim statuses identical for any jobs"
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let nl =
+        Test_support.random_seq_netlist rng ~inputs:3 ~gates:15 ~flops:4
+      in
+      let ins = Netlist.inputs nl in
+      let stim =
+        Array.init 10 (fun _ ->
+            {
+              Seq_fsim.assign =
+                Array.to_list ins
+                |> List.map (fun i ->
+                       (i, Logic4.of_bool (Random.State.bool rng)));
+              strobe = true;
+            })
+      in
+      let run jobs =
+        let fl = Flist.full nl in
+        let r = Seq_fsim.run ~init:Logic4.L0 ~jobs nl fl stim in
+        (statuses fl, r)
+      in
+      let reference = run 1 in
+      List.for_all (fun jobs -> run jobs = reference) [ 2; 4 ])
+
 (* --- diagnosis --- *)
 
 let test_diagnosis_pinpoints_fault () =
@@ -308,6 +384,8 @@ let () =
             test_redundant_never_detected;
           Alcotest.test_case "batching" `Quick test_batching;
           qt prop_untestable_never_detected;
+          qt prop_cone_engine_matches_full;
+          qt prop_cone_matches_detects_oracle;
         ] );
       ( "diagnose",
         [
@@ -323,5 +401,6 @@ let () =
           Alcotest.test_case "unobserved" `Quick test_seq_unobserved_output;
           Alcotest.test_case "scan faults" `Quick test_seq_scan_faults_undetected;
           qt prop_seq_matches_scalar;
+          qt prop_seq_jobs_deterministic;
         ] );
     ]

@@ -1,0 +1,99 @@
+module Pool = Olfu_pool.Pool
+
+(* Every index in [0, n) must be visited exactly once, whatever the worker
+   count or chunk size. *)
+let check_coverage ~jobs ~n ?chunk () =
+  Pool.with_pool ~jobs (fun p ->
+      let hits = Array.make (max n 1) 0 in
+      let m = Mutex.create () in
+      Pool.parallel_chunks p ~n ?chunk (fun ~worker ~lo ~hi ->
+          Alcotest.(check bool) "worker id in range" true
+            (worker >= 0 && worker < Pool.jobs p);
+          Mutex.lock m;
+          for i = lo to hi - 1 do
+            hits.(i) <- hits.(i) + 1
+          done;
+          Mutex.unlock m);
+      for i = 0 to n - 1 do
+        if hits.(i) <> 1 then
+          Alcotest.failf "index %d visited %d times (jobs=%d n=%d)" i
+            hits.(i) jobs n
+      done)
+
+let test_full_coverage () =
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun n -> check_coverage ~jobs ~n ())
+        [ 0; 1; 7; 64; 1000 ];
+      check_coverage ~jobs ~n:100 ~chunk:1 ();
+      check_coverage ~jobs ~n:100 ~chunk:33 ();
+      check_coverage ~jobs ~n:100 ~chunk:1000 ())
+    [ 1; 2; 3; 4 ]
+
+let test_jobs_clamped () =
+  Pool.with_pool ~jobs:0 (fun p ->
+      Alcotest.(check int) "clamped to 1" 1 (Pool.jobs p));
+  Pool.with_pool ~jobs:3 (fun p ->
+      Alcotest.(check int) "as requested" 3 (Pool.jobs p))
+
+exception Boom of int
+
+let test_exception_propagates () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun p ->
+          let raised =
+            try
+              Pool.parallel_chunks p ~n:100 ~chunk:5
+                (fun ~worker:_ ~lo:_ ~hi ->
+                  if hi >= 50 then raise (Boom hi));
+              false
+            with Boom _ -> true
+          in
+          Alcotest.(check bool) "exception re-raised at the barrier" true
+            raised;
+          (* the pool must still be usable afterwards *)
+          let sum = Atomic.make 0 in
+          Pool.parallel_chunks p ~n:10 (fun ~worker:_ ~lo ~hi ->
+              for i = lo to hi - 1 do
+                ignore (Atomic.fetch_and_add sum i : int)
+              done);
+          Alcotest.(check int) "pool survives a failed section" 45
+            (Atomic.get sum)))
+    [ 1; 2; 4 ]
+
+let test_shutdown_idempotent () =
+  let p = Pool.create ~jobs:3 in
+  Pool.parallel_chunks p ~n:5 (fun ~worker:_ ~lo:_ ~hi:_ -> ());
+  Pool.shutdown p;
+  Pool.shutdown p;
+  let rejected =
+    try
+      Pool.parallel_chunks p ~n:100 ~chunk:5 (fun ~worker:_ ~lo:_ ~hi:_ -> ());
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "parallel section after shutdown rejected" true
+    rejected
+
+let test_default_jobs_clamp () =
+  (* default_jobs only reads OLFU_JOBS; whatever it returns must be a
+     legal worker count *)
+  let j = Pool.default_jobs () in
+  Alcotest.(check bool) "default in [1,64]" true (j >= 1 && j <= 64)
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "full index coverage" `Quick test_full_coverage;
+          Alcotest.test_case "jobs clamped" `Quick test_jobs_clamped;
+          Alcotest.test_case "exception propagation" `Quick
+            test_exception_propagates;
+          Alcotest.test_case "shutdown idempotent" `Quick
+            test_shutdown_idempotent;
+          Alcotest.test_case "default jobs" `Quick test_default_jobs_clamp;
+        ] );
+    ]

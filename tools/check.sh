@@ -17,3 +17,8 @@ dune exec bin/olfu_cli.exe -- absint -c tcore32 --suite
 for core in tcore32 tcore32_dft tcore16; do
   dune exec bin/olfu_cli.exe -- lint -c "$core" --software --fail-on error
 done
+
+# Fault-simulation smoke gate: the cone-limited engine at --jobs 2 must
+# reproduce the sequential full-settle statuses exactly on tcore32 (the
+# bench exits non-zero on any divergence) and refreshes BENCH_fsim.json.
+dune exec bench/main.exe -- fsim
