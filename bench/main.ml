@@ -684,6 +684,125 @@ let fsim_bench () =
     exit 1
   end
 
+(* ---------------------------------------------------------------- *)
+(* implic mode: conflict-engine gain and cost (BENCH_implic.json)    *)
+(* ---------------------------------------------------------------- *)
+
+(* Runs the full mission flow on tcore32 with the static implication
+   engine off and on (jobs 1 and 4), reports classification wall-time,
+   conflict-proof counts and the residue left for search, cross-checks
+   jobs-invariance and the structural invariants, and spot-checks a
+   sample of UC verdicts against the bounded model checker on the
+   mission machine.  Run with: dune exec bench/main.exe -- implic *)
+let implic_bench () =
+  section "implic — conflict-engine gain on the mission flow (tcore32)";
+  let nl = Lazy.force t32 in
+  let mission = Lazy.force mission32 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let statuses fl = Array.init (Flist.size fl) (Flist.status fl) in
+  let conflicts (r : Olfu.Flow.report) =
+    Flist.count_status r.Olfu.Flow.flist
+      (Status.Undetectable Status.Conflict)
+  in
+  let residue (r : Olfu.Flow.report) =
+    Flist.size r.Olfu.Flow.flist - r.Olfu.Flow.total_olfu
+  in
+  let off1, off1_s = time (fun () -> Olfu.Flow.run ~implic:false ~jobs:1 nl mission) in
+  let on1, on1_s = time (fun () -> Olfu.Flow.run ~implic:true ~jobs:1 nl mission) in
+  let off4, off4_s = time (fun () -> Olfu.Flow.run ~implic:false ~jobs:4 nl mission) in
+  let on4, on4_s = time (fun () -> Olfu.Flow.run ~implic:true ~jobs:4 nl mission) in
+  let row name secs (r : Olfu.Flow.report) =
+    Format.printf "  %-14s %7.3f s   classified %6d   UC %5d   residue %6d@."
+      name secs r.Olfu.Flow.total_olfu (conflicts r) (residue r)
+  in
+  row "off jobs=1" off1_s off1;
+  row "on  jobs=1" on1_s on1;
+  row "off jobs=4" off4_s off4;
+  row "on  jobs=4" on4_s on4;
+  let gain = on1.Olfu.Flow.total_olfu - off1.Olfu.Flow.total_olfu in
+  Format.printf "  gain over UT+UB: %d faults (%d conflict proofs)@." gain
+    (conflicts on1);
+  let jobs_ok =
+    statuses on1.Olfu.Flow.flist = statuses on4.Olfu.Flow.flist
+    && statuses off1.Olfu.Flow.flist = statuses off4.Olfu.Flow.flist
+  in
+  (* the engine only adds verdicts: anything UT+UB classifies stays
+     classified with the engine on *)
+  let monotone =
+    let son = statuses on1.Olfu.Flow.flist
+    and soff = statuses off1.Olfu.Flow.flist in
+    let ok = ref (Array.length son = Array.length soff) in
+    Array.iteri
+      (fun i st ->
+        if Status.is_undetectable st && not (Status.is_undetectable son.(i))
+        then ok := false)
+      soff;
+    !ok
+  in
+  (* spot-check conflict proofs against the bounded model checker on the
+     full mission machine (scan pins held functional) *)
+  let mnl =
+    Olfu_manip.Script.apply on1.Olfu.Flow.mission_netlist
+      [
+        Olfu_manip.Script.Tie_input ("scan_en", Logic4.L0);
+        Olfu_manip.Script.Tie_input ("scan_in0", Logic4.L0);
+      ]
+  in
+  let observable = Olfu.Mission.observed_in_field mission mnl in
+  let oracle_ok = ref true in
+  let oracle_checked = ref 0 in
+  Flist.iteri
+    (fun _ f st ->
+      if
+        !oracle_checked < 6
+        && st = Status.Undetectable Status.Conflict
+        && f.Fault.site.Fault.pin <> Cell.Pin.Clk
+      then begin
+        incr oracle_checked;
+        match
+          Bmc.run ~cycles:3 ~observable_output:observable
+            ~conflict_limit:20_000 mnl f
+        with
+        | Bmc.Test stim ->
+          if Bmc.confirm_test ~observable_output:observable mnl f stim then begin
+            Format.printf "  ORACLE REFUTED: %s@." (Fault.to_string mnl f);
+            oracle_ok := false
+          end
+        | Bmc.No_test_within _ | Bmc.Unknown -> ()
+      end)
+    on1.Olfu.Flow.flist;
+  Format.printf
+    "  jobs invariant: %b   monotone over UT+UB: %b   oracle sample: %d \
+     checked, ok %b@."
+    jobs_ok monotone !oracle_checked !oracle_ok;
+  let oc = open_out "BENCH_implic.json" in
+  let pr name secs (r : Olfu.Flow.report) last =
+    Printf.fprintf oc
+      "    { \"config\": %S, \"seconds\": %.6f, \"classified\": %d, \
+       \"conflict\": %d, \"residue\": %d }%s\n"
+      name secs r.Olfu.Flow.total_olfu (conflicts r) (residue r)
+      (if last then "" else ",")
+  in
+  Printf.fprintf oc "{\n  \"netlist\": \"tcore32\",\n  \"runs\": [\n";
+  pr "implic_off_jobs1" off1_s off1 false;
+  pr "implic_on_jobs1" on1_s on1 false;
+  pr "implic_off_jobs4" off4_s off4 false;
+  pr "implic_on_jobs4" on4_s on4 true;
+  Printf.fprintf oc
+    "  ],\n  \"gain\": %d,\n  \"jobs_invariant\": %b,\n\
+    \  \"monotone\": %b,\n  \"oracle_checked\": %d,\n  \"oracle_ok\": %b\n}\n"
+    gain jobs_ok monotone !oracle_checked !oracle_ok;
+  close_out oc;
+  Format.printf "  wrote BENCH_implic.json@.";
+  if not (jobs_ok && monotone && !oracle_ok && gain > 0) then begin
+    prerr_endline "implic: gate violated (gain/invariance/oracle)";
+    exit 1
+  end
+
 let main () =
   Format.printf
     "OLFU reproduction harness — every table and figure of the paper@.";
@@ -711,4 +830,6 @@ let main () =
 
 let () =
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "fsim" then fsim_bench ()
+  else if Array.length Sys.argv > 1 && Sys.argv.(1) = "implic" then
+    implic_bench ()
   else main ()

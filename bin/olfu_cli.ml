@@ -257,7 +257,8 @@ let coverage_cmd =
 
 (* --- report --- *)
 
-let report cfg out =
+let report cfg out jobs =
+  let jobs = jobs_of jobs in
   let buf = Buffer.create 4096 in
   let pf fmt = Format.kasprintf (Buffer.add_string buf) fmt in
   let nl = Olfu_soc.Soc.generate cfg in
@@ -265,14 +266,14 @@ let report cfg out =
   pf "# OLFU report — %s@.@." cfg.Olfu_soc.Soc.name;
   pf "## Netlist@.@.```@.%a@.```@.@." Netlist.pp_summary nl;
   pf "## Mission configuration@.@.```@.%a@.```@.@." Olfu.Mission.pp mission;
-  let r = Olfu.Flow.run nl mission in
+  let r = Olfu.Flow.run ~jobs nl mission in
   pf "## Identification (Table I analogue)@.@.```@.%a@.```@.@."
     (Olfu.Flow.pp_table1 ~paper:true) r;
   pf "## Fault classes@.@.```@.%a@.```@.@." Olfu_fault.Flist.pp_summary
     r.Olfu.Flow.flist;
   let cats = Olfu.Categories.compute nl mission in
   pf "## Fig. 1 categories@.@.```@.%a@.```@.@." Olfu.Categories.pp cats;
-  let tdf = Olfu.Tdf_flow.run nl mission in
+  let tdf = Olfu.Tdf_flow.run ~jobs nl mission in
   pf "## Transition-delay extension@.@.```@.%a@.```@.@." Olfu.Tdf_flow.pp tdf;
   let lint = Olfu_lint.Lint.run nl in
   pf "## Static analysis@.@.```@.%a@.```@.@." Olfu_lint.Render.summary lint;
@@ -296,7 +297,7 @@ let report_cmd =
   Cmd.v
     (Cmd.info "report"
        ~doc:"Full markdown report: flow, categories, TDF extension, lint.")
-    Term.(ret (const report $ config_arg $ out))
+    Term.(ret (const report $ config_arg $ out $ jobs_arg))
 
 (* --- lint --- *)
 
@@ -823,6 +824,115 @@ let atpg_cmd =
          "Two-phase test generation (random + PODEM) on the full-access           view; use --prune to see the effort reduction.")
     Term.(ret (const atpg $ config_arg $ prune $ jobs_arg))
 
+(* --- implic --- *)
+
+let implic cfg file ff_mode format learn_depth learn_budget jobs =
+  let jobs = jobs_of jobs in
+  let nl, _ = load_netlist cfg file in
+  let module U = Olfu_atpg.Untestable in
+  let module I = Olfu_atpg.Implic in
+  let t = U.analyze ~ff_mode ~learn_depth ~learn_budget nl in
+  let db =
+    match U.implication_db t with
+    | Some db -> db
+    | None -> assert false (* analyze builds one unless [~implic:false] *)
+  in
+  let s = I.stats db in
+  let scr = I.Scratch.create db in
+  let conflicts = I.conflict_nets ~limit:10 db scr in
+  let fl = Olfu_fault.Flist.full nl in
+  let classified = U.classify ~jobs t fl in
+  let count c = Olfu_fault.Flist.count_status fl (Olfu_fault.Status.Undetectable c) in
+  let ut = count Olfu_fault.Status.Tied
+  and ub = count Olfu_fault.Status.Blocked
+  and uc = count Olfu_fault.Status.Conflict in
+  let tdf_un, tdf_univ = Olfu_atpg.Tdf_classify.count ~jobs t nl in
+  let net_name n =
+    match Netlist.name nl n with Some x -> x | None -> Printf.sprintf "n%d" n
+  in
+  (match format with
+  | `Text ->
+    Format.printf "implication database (%d nodes)@."
+      (Netlist.length nl);
+    Format.printf "  literals      %8d@." s.I.literals;
+    Format.printf "  direct edges  %8d@." s.I.direct_edges;
+    Format.printf "  learned edges %8d  (depth %d, budget %d, spent %d)@."
+      s.I.learned_edges s.I.learn_depth s.I.learn_budget s.I.learn_spent;
+    Format.printf "  impossible    %8d  (build-time sweep)@."
+      s.I.impossible_learned;
+    Format.printf "  build time    %8.3f s@." s.I.build_seconds;
+    Format.printf "stuck-at universe %d: untestable %d (UT %d, UB %d, UC %d)@."
+      (Olfu_fault.Flist.size fl) classified ut ub uc;
+    Format.printf "transition universe %d: untestable %d@." tdf_univ tdf_un;
+    if conflicts <> [] then begin
+      Format.printf "conflict nets (sample):@.";
+      List.iter
+        (fun (n, v) ->
+          Format.printf "  %-24s can never be %d@." (net_name n)
+            (if v then 1 else 0))
+        conflicts
+    end
+  | `Json ->
+    let b = Buffer.create 512 in
+    Printf.bprintf b "{\n";
+    Printf.bprintf b "  \"nodes\": %d,\n" (Netlist.length nl);
+    Printf.bprintf b "  \"literals\": %d,\n" s.I.literals;
+    Printf.bprintf b "  \"direct_edges\": %d,\n" s.I.direct_edges;
+    Printf.bprintf b "  \"learned_edges\": %d,\n" s.I.learned_edges;
+    Printf.bprintf b "  \"impossible_learned\": %d,\n" s.I.impossible_learned;
+    Printf.bprintf b "  \"learn_depth\": %d,\n" s.I.learn_depth;
+    Printf.bprintf b "  \"learn_budget\": %d,\n" s.I.learn_budget;
+    Printf.bprintf b "  \"learn_spent\": %d,\n" s.I.learn_spent;
+    Printf.bprintf b "  \"build_seconds\": %.6f,\n" s.I.build_seconds;
+    Printf.bprintf b "  \"universe\": %d,\n" (Olfu_fault.Flist.size fl);
+    Printf.bprintf b "  \"untestable\": %d,\n" classified;
+    Printf.bprintf b "  \"by_verdict\": { \"UT\": %d, \"UB\": %d, \"UC\": %d },\n"
+      ut ub uc;
+    Printf.bprintf b "  \"tdf_universe\": %d,\n" tdf_univ;
+    Printf.bprintf b "  \"tdf_untestable\": %d,\n" tdf_un;
+    Printf.bprintf b "  \"conflict_nets\": [%s]\n"
+      (String.concat ", "
+         (List.map
+            (fun (n, v) ->
+              Printf.sprintf "{ \"net\": %S, \"impossible_value\": %d }"
+                (net_name n)
+                (if v then 1 else 0))
+            conflicts));
+    Printf.bprintf b "}\n";
+    print_string (Buffer.contents b));
+  `Ok ()
+
+let implic_cmd =
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
+  in
+  let learn_depth =
+    Arg.(
+      value & opt int 2
+      & info [ "learn-depth" ] ~docv:"N"
+          ~doc:"Recursive-learning nesting bound (0 disables learning).")
+  in
+  let learn_budget =
+    Arg.(
+      value
+      & opt int 200_000
+      & info [ "learn-budget" ] ~docv:"N"
+          ~doc:"Closure-visit credits for the build-time learning sweep.")
+  in
+  Cmd.v
+    (Cmd.info "implic"
+       ~doc:
+         "Static implication database: build statistics, conflict nets, \
+          and the untestable-fault counts it proves (FIRE-style UC \
+          verdicts) on the un-manipulated netlist.")
+    Term.(
+      ret
+        (const implic $ config_arg $ file_arg $ ff_mode_arg $ format
+       $ learn_depth $ learn_budget $ jobs_arg))
+
 let main_cmd =
   Cmd.group
     (Cmd.info "olfu" ~version:"1.0.0"
@@ -832,7 +942,7 @@ let main_cmd =
     [
       generate_cmd; analyze_cmd; trace_scan_cmd; memmap_cmd; categories_cmd;
       coverage_cmd; atpg_cmd; absint_cmd; simulate_cmd; equiv_cmd; lint_cmd;
-      report_cmd;
+      report_cmd; implic_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

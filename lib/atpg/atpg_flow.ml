@@ -5,6 +5,7 @@ open Olfu_fault
 type result = {
   patterns : Olfu_fsim.Comb_fsim.pattern list;
   detected : int;
+  static_pruned : int;
   proved_untestable : int;
   aborted : int;
   random_patterns : int;
@@ -27,6 +28,24 @@ let run ?(seed = 1) ?(random_batch = 64) ?(max_random_batches = 32)
   let srcs = Array.append (Netlist.inputs nl) (Netlist.seq_nodes nl) in
   let patterns = ref [] in
   let random_patterns = ref 0 in
+  (* phase 0: static untestability proofs (ternary + implication engine)
+     so the search phases never target a provably dead fault.  [Cut]
+     ff_mode matches the per-frame combinational model the pattern
+     engines use; captures must be observed for the walker's through-FF
+     credit to be sound, so the prune is skipped otherwise *)
+  let static_pruned = ref 0 in
+  if observe_captures then begin
+    let t = Untestable.analyze ~ff_mode:Ternary.Cut ~observable_output nl in
+    Flist.iteri
+      (fun i f st ->
+        if active st then
+          match Untestable.fault_verdict t f with
+          | Some v ->
+            incr static_pruned;
+            Flist.set_status fl i v
+          | None -> ())
+      fl
+  end;
   (* phase 1: random patterns with fault dropping *)
   let exhausted = ref false in
   let batches = ref 0 in
@@ -130,6 +149,7 @@ let run ?(seed = 1) ?(random_batch = 64) ?(max_random_batches = 32)
   {
     patterns = List.rev !patterns;
     detected = Flist.count_status fl Status.Detected;
+    static_pruned = !static_pruned;
     proved_untestable = !proved;
     aborted = !aborted;
     random_patterns = !random_patterns;
@@ -152,8 +172,10 @@ let compact ?observable_output ?(observe_captures = true) nl patterns =
 
 let pp ppf r =
   Format.fprintf ppf
-    "@[<v>patterns: %d (%d random + %d targeted)@,detected: %d@,proved \
-     redundant: %d@,sat-settled: %d@,unresolved: %d@,time: %.2f s@]"
+    "@[<v>patterns: %d (%d random + %d targeted)@,detected: %d@,statically \
+     pruned: %d@,proved redundant: %d@,sat-settled: %d@,unresolved: \
+     %d@,time: %.2f s@]"
     (List.length r.patterns) r.random_patterns
     (List.length r.patterns - r.random_patterns)
-    r.detected r.proved_untestable r.sat_settled r.aborted r.seconds
+    r.detected r.static_pruned r.proved_untestable r.sat_settled r.aborted
+    r.seconds

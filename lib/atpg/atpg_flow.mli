@@ -12,6 +12,9 @@ open Olfu_fault
 type result = {
   patterns : Olfu_fsim.Comb_fsim.pattern list;  (** final compacted test set *)
   detected : int;
+  static_pruned : int;
+      (** classified untestable by the static engines (ternary constants,
+          X-path blocking, implication conflicts) before any search ran *)
   proved_untestable : int;  (** search-exhausted: structurally redundant *)
   aborted : int;  (** unresolved after every phase *)
   random_patterns : int;  (** how many of the patterns came from phase 1 *)
@@ -31,12 +34,17 @@ val run :
   Netlist.t ->
   Flist.t ->
   result
-(** Three phases: random patterns with fault dropping, targeted PODEM,
-    and (when [use_sat], the default) the complete SAT prover for whatever
-    PODEM aborted on.  Updates the fault list in place ([Detected] /
-    [Undetectable Redundant] / [Atpg_untestable]); faults already
-    classified are skipped, so running the OLFU flow first shrinks the
-    ATPG effort (see the bench).  Phase 1 stops after a batch of
+(** A static phase 0 lets {!Untestable} (ternary constants, X-path
+    blocking, and the {!Implic} conflict engine, under the per-frame
+    [Cut] ff_mode matching the combinational pattern model) prune
+    provably untestable faults before any search; it is skipped when
+    [observe_captures] is off (the static walker credits FF captures).
+    Then three search phases: random patterns with fault dropping,
+    targeted PODEM, and (when [use_sat], the default) the complete SAT
+    prover for whatever PODEM aborted on.  Updates the fault list in
+    place ([Detected] / [Undetectable _] / [Atpg_untestable]); faults
+    already classified are skipped, so running the OLFU flow first
+    shrinks the ATPG effort (see the bench).  Phase 1 stops after a batch of
     [random_batch] patterns (default 64) detects nothing new, or after
     [max_random_batches] (default 32).  [observable_output] /
     [observe_captures] select the observation model for all three phases:

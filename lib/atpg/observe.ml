@@ -11,12 +11,12 @@ let is0 v = Logic4.equal v Logic4.L0
 let is1 v = Logic4.equal v Logic4.L1
 let same_binary a b = Logic4.is_binary a && Logic4.equal a b
 
-let pin_allowed_exempt ~exempt nl consts node pin =
+let pin_allowed_gen ~exempt ~value nl node pin =
   let nd = Netlist.node nl node in
   (* a fault-correlated side net cannot be relied on as a constant *)
   let c i =
     let d = nd.Netlist.fanin.(i) in
-    if exempt d then Logic4.X else consts.(d)
+    if exempt d then Logic4.X else value d
   in
   let others_not v =
     let ok = ref true in
@@ -39,7 +39,7 @@ let pin_allowed_exempt ~exempt nl consts node pin =
     | 0 -> not (is0 (c 1))  (* reset permanently asserted swallows D *)
     | _ ->
       (* Asserting reset is visible only if the register could hold 1. *)
-      not (is0 (c 0) && is0 (if exempt node then Logic4.X else consts.(node))))
+      not (is0 (c 0) && is0 (if exempt node then Logic4.X else value node)))
   | Cell.Sdff -> (
     match pin with
     | 0 -> not (is1 (c 2))  (* D dead when scan-enable stuck in shift *)
@@ -54,9 +54,12 @@ let pin_allowed_exempt ~exempt nl consts node pin =
       (* reset visible only if the register could hold 1 *)
       not
         (is0 (Logic4.mux ~sel:(c 2) ~a:(c 0) ~b:(c 1))
-        && is0 (if exempt node then Logic4.X else consts.(node))))
+        && is0 (if exempt node then Logic4.X else value node)))
   | Cell.Input | Cell.Tie0 | Cell.Tie1 | Cell.Tiex ->
     invalid_arg "Observe.pin_allowed: cell has no input pins"
+
+let pin_allowed_exempt ~exempt nl consts node pin =
+  pin_allowed_gen ~exempt ~value:(fun i -> consts.(i)) nl node pin
 
 let pin_allowed nl consts node pin =
   pin_allowed_exempt ~exempt:(fun _ -> false) nl consts node pin

@@ -47,4 +47,17 @@ val pin_allowed_exempt :
     faulty net, so its fault-free constant cannot be trusted (the
     reconvergence trap, e.g. [OR(x, x)] with [x] constant). *)
 
+val pin_allowed_gen :
+  exempt:(int -> bool) ->
+  value:(int -> Logic4.t) ->
+  Netlist.t ->
+  int ->
+  int ->
+  bool
+(** Generalization of {!pin_allowed_exempt} over an arbitrary value
+    function.  Every rule only uses frame-local facts ("this value in the
+    frame under analysis"), so [value] may be stronger than an all-frames
+    constant vector — the implication engine passes the closure of the
+    fault's necessary assignments to block propagation conditionally. *)
+
 val num_unobservable : t -> int

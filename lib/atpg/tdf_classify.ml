@@ -1,4 +1,11 @@
 open Olfu_fault
+module Pool = Olfu_pool.Pool
+
+let verdict_with t w (f : Tdf.t) =
+  let sa0, sa1 = Tdf.as_stuck_pair f in
+  match Untestable.verdict_with t w sa0 with
+  | Some v -> Some v
+  | None -> Untestable.verdict_with t w sa1
 
 let verdict t (f : Tdf.t) =
   let sa0, sa1 = Tdf.as_stuck_pair f in
@@ -6,11 +13,22 @@ let verdict t (f : Tdf.t) =
   | Some v -> Some v
   | None -> Untestable.fault_verdict t sa1
 
-let count t nl =
+let count ?jobs t nl =
+  let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
   let u = Tdf.universe nl in
-  let n =
-    Array.fold_left
-      (fun acc f -> if verdict t f <> None then acc + 1 else acc)
-      0 u
-  in
-  (n, Array.length u)
+  let nu = Array.length u in
+  let n = ref 0 in
+  Pool.with_pool ~jobs (fun pool ->
+      let nw = Pool.jobs pool in
+      (* verdicts are pure in (t, fault) and every index is counted by
+         exactly one worker, so the total is independent of [jobs] *)
+      let walkers = Array.init nw (fun _ -> Untestable.make_walker t) in
+      let wcount = Array.make nw 0 in
+      Pool.parallel_chunks pool ~n:nu ~chunk:512 (fun ~worker ~lo ~hi ->
+          let w = walkers.(worker) in
+          for i = lo to hi - 1 do
+            if verdict_with t w u.(i) <> None then
+              wcount.(worker) <- wcount.(worker) + 1
+          done);
+      Array.iter (fun c -> n := !n + c) wcount);
+  (!n, nu)

@@ -14,5 +14,11 @@ val verdict : Untestable.t -> Tdf.t -> Status.t option
 (** [Some (Undetectable _)] when provably untestable in the analyzed
     configuration. *)
 
-val count : Untestable.t -> Netlist.t -> int * int
-(** [(untestable, universe)] over {!Tdf.universe}. *)
+val verdict_with : Untestable.t -> Untestable.walker -> Tdf.t -> Status.t option
+(** {!verdict} through an explicit walker — the multi-domain entry point. *)
+
+val count : ?jobs:int -> Untestable.t -> Netlist.t -> int * int
+(** [(untestable, universe)] over {!Tdf.universe}.  [jobs] (default
+    {!Olfu_pool.Pool.default_jobs}) shards the universe across a domain
+    pool with per-worker walkers; verdicts are pure per fault, so the
+    count is identical for any [jobs]. *)

@@ -11,6 +11,8 @@ type walker = {
   aff : int array;
   mutable agen : int;
   cache : (int, bool) Hashtbl.t;
+  iscr : Implic.Scratch.t option;
+  dom_lits : (int, int list) Hashtbl.t;
 }
 
 type t = {
@@ -19,10 +21,11 @@ type t = {
   obs : Observe.t;
   observable_output : int -> bool;
   stem_cache : (int, bool) Hashtbl.t;
+  implic : Implic.t option;
   walker : walker;
 }
 
-let make_walker ?cache nl =
+let make_walker_for ?cache nl implic =
   let an = Analysis.get nl in
   {
     an;
@@ -30,22 +33,36 @@ let make_walker ?cache nl =
     aff = Array.make (Netlist.length nl) 0;
     agen = 0;
     cache = (match cache with Some c -> c | None -> Hashtbl.create 997);
+    iscr = Option.map Implic.Scratch.create implic;
+    dom_lits = Hashtbl.create 997;
   }
 
-let analyze ?ff_mode ?(observable_output = fun _ -> true) ?consts nl =
+let analyze ?ff_mode ?(observable_output = fun _ -> true) ?consts
+    ?(implic = true) ?learn_depth ?learn_budget nl =
   let consts =
     match consts with Some c -> c | None -> Ternary.run ?ff_mode nl
   in
   let obs = Observe.run ~observable_output nl ~consts:consts.Ternary.values in
   let stem_cache = Hashtbl.create 997 in
+  let implic =
+    if implic then
+      Some
+        (Implic.build ?learn_depth ?learn_budget
+           ~consts:consts.Ternary.values nl)
+    else None
+  in
   {
     netlist = nl;
     consts;
     obs;
     observable_output;
     stem_cache;
-    walker = make_walker ~cache:stem_cache nl;
+    implic;
+    walker = make_walker_for ~cache:stem_cache nl implic;
   }
+
+let make_walker t = make_walker_for t.netlist t.implic
+let implication_db t = t.implic
 
 (* Forward propagation of a hypothetical change on stem [d]: a node is
    [affected] when the difference can reach its output; side inputs that
@@ -54,53 +71,57 @@ let analyze ?ff_mode ?(observable_output = fun _ -> true) ?consts nl =
    Only the fanout cone of [d] is walked — nodes outside it can never
    acquire an affected fanin, so the result is the same as a full
    topological sweep. *)
+let walk_observable t w ~value d =
+  let nl = t.netlist in
+  w.agen <- w.agen + 1;
+  let g = w.agen in
+  let aff = w.aff in
+  aff.(d) <- g;
+  let exempt i = aff.(i) = g in
+  let c = Analysis.cone w.an w.scratch d in
+  let hit = ref false in
+  (* combinational spread in evaluation order *)
+  Array.iter
+    (fun i ->
+      if not !hit then begin
+        let fanin = Netlist.fanin nl i in
+        let prop = ref false in
+        Array.iteri
+          (fun p drv ->
+            if (not !prop) && aff.(drv) = g
+               && Observe.pin_allowed_gen ~exempt ~value nl i p
+            then prop := true)
+          fanin;
+        if !prop then
+          if Cell.equal_kind (Netlist.kind nl i) Cell.Output then begin
+            if t.observable_output i then hit := true
+          end
+          else aff.(i) <- g
+      end)
+    c.Analysis.sched;
+  (* flip-flop capture credit: an affected value latched into state
+     counts as observed (matching Observe's through-FF credit) *)
+  if not !hit then
+    Array.iter
+      (fun i ->
+        if not !hit then
+          Array.iteri
+            (fun p drv ->
+              if aff.(drv) = g
+                 && Observe.pin_allowed_gen ~exempt ~value nl i p
+              then hit := true)
+            (Netlist.fanin nl i))
+      c.Analysis.seqs;
+  !hit
+
 let stem_observable_w t w d =
   match Hashtbl.find_opt w.cache d with
   | Some b -> b
   | None ->
-    let nl = t.netlist in
     let consts = t.consts.Ternary.values in
-    w.agen <- w.agen + 1;
-    let g = w.agen in
-    let aff = w.aff in
-    aff.(d) <- g;
-    let exempt i = aff.(i) = g in
-    let c = Analysis.cone w.an w.scratch d in
-    let hit = ref false in
-    (* combinational spread in evaluation order *)
-    Array.iter
-      (fun i ->
-        if not !hit then begin
-          let fanin = Netlist.fanin nl i in
-          let prop = ref false in
-          Array.iteri
-            (fun p drv ->
-              if (not !prop) && aff.(drv) = g
-                 && Observe.pin_allowed_exempt ~exempt nl consts i p
-              then prop := true)
-            fanin;
-          if !prop then
-            if Cell.equal_kind (Netlist.kind nl i) Cell.Output then begin
-              if t.observable_output i then hit := true
-            end
-            else aff.(i) <- g
-        end)
-      c.Analysis.sched;
-    (* flip-flop capture credit: an affected value latched into state
-       counts as observed (matching Observe's through-FF credit) *)
-    if not !hit then
-      Array.iter
-        (fun i ->
-          if not !hit then
-            Array.iteri
-              (fun p drv ->
-                if aff.(drv) = g
-                   && Observe.pin_allowed_exempt ~exempt nl consts i p
-                then hit := true)
-              (Netlist.fanin nl i))
-        c.Analysis.seqs;
-    Hashtbl.replace w.cache d !hit;
-    !hit
+    let hit = walk_observable t w ~value:(fun i -> consts.(i)) d in
+    Hashtbl.replace w.cache d hit;
+    hit
 
 let stem_possibly_observable t d = stem_observable_w t t.walker d
 
@@ -142,7 +163,156 @@ let clk_verdict t w node =
     Some (Status.Undetectable Status.Tied)
   else None
 
-let verdict_w t w (f : Fault.t) =
+(* -------------------------------------------------------------------- *)
+(* FIRE-style conflict untestability: compute the assignments every test
+   of the fault requires (excitation value, non-controlling side inputs
+   of the immediate gate, side inputs of the stem's dominators), close
+   them over the static implication database, and classify the fault
+   untestable when the closure contradicts itself.  Sound: every literal
+   fed to the closure provably holds in the good circuit of any
+   detecting frame.                                                     *)
+(* -------------------------------------------------------------------- *)
+
+(* Necessary side-input literals for a difference to pass through input
+   [p] of [node]: single-literal requirements only (XOR-likes and the
+   select pin of a mux have none). *)
+let immediate_necessary nl node p acc =
+  let fanin = Netlist.fanin nl node in
+  let side q v acc' =
+    if q <> p then Implic.lit fanin.(q) v :: acc' else acc'
+  in
+  let all_sides v acc' =
+    let r = ref acc' in
+    Array.iteri (fun q _ -> r := side q v !r) fanin;
+    !r
+  in
+  match Netlist.kind nl node with
+  | Cell.And | Cell.Nand -> all_sides true acc
+  | Cell.Or | Cell.Nor -> all_sides false acc
+  | Cell.Mux2 ->
+    if p = 1 then Implic.lit fanin.(0) false :: acc
+    else if p = 2 then Implic.lit fanin.(0) true :: acc
+    else acc
+  | Cell.Dffr -> if p = 0 then side 1 true acc else acc
+  | Cell.Sdff ->
+    if p = 0 then side 2 false acc
+    else if p = 1 then side 2 true acc
+    else acc
+  | Cell.Sdffr ->
+    if p = 0 then side 3 true (side 2 false acc)
+    else if p = 1 then side 3 true (side 2 true acc)
+    else if p = 2 then side 3 true acc
+    else acc
+  | _ -> acc
+
+(* Side inputs of the stem's dominators that provably lie outside the
+   stem's own fanout cone: any test must hold them non-controlling (the
+   difference has to pass through every dominator, and a fault-free side
+   input at a controlling value kills it).  Cone membership is decided by
+   topological position alone — [topo_pos f < topo_pos stem] puts [f]
+   strictly before anything the stem can reach — so the collection never
+   touches the cone schedule; side inputs the cheap test cannot clear are
+   conservatively skipped. *)
+let dominator_lits t w stem =
+  let doms = Analysis.stem_dominators w.an w.scratch stem in
+  if Array.length doms = 0 then []
+  else begin
+    let nl = t.netlist in
+    let pos = Analysis.topo_pos w.an in
+    (* sources (position -1) never appear inside a cone schedule, and a
+       node scheduled before the stem cannot be downstream of it *)
+    let outside f =
+      f <> stem && (pos.(f) = -1 || pos.(f) < pos.(stem))
+    in
+    let acc = ref [] in
+    Array.iter
+      (fun gn ->
+        let fanin = Netlist.fanin nl gn in
+        match Netlist.kind nl gn with
+        | Cell.And | Cell.Nand ->
+          Array.iter
+            (fun d ->
+              if outside d then acc := Implic.lit d true :: !acc)
+            fanin
+        | Cell.Or | Cell.Nor ->
+          Array.iter
+            (fun d ->
+              if outside d then acc := Implic.lit d false :: !acc)
+            fanin
+        | Cell.Mux2 ->
+          (* the difference reaches this dominator through some fanin; if
+             the select and one data pin are provably fault-free, it must
+             enter through the other data pin, so the select is forced *)
+          let s_ = fanin.(0) and a = fanin.(1) and b = fanin.(2) in
+          if outside s_ then
+            if outside b && not (outside a) then
+              acc := Implic.lit s_ false :: !acc
+            else if outside a && not (outside b) then
+              acc := Implic.lit s_ true :: !acc
+        | _ -> ())
+      doms;
+    !acc
+  end
+
+(* per-walker memo: the dominator literals are a pure per-stem fact *)
+let dominator_necessary t w stem acc =
+  let lits =
+    match Hashtbl.find_opt w.dom_lits stem with
+    | Some l -> l
+    | None ->
+      let l = dominator_lits t w stem in
+      Hashtbl.add w.dom_lits stem l;
+      l
+  in
+  List.rev_append lits acc
+
+(* Conflicts are local: a small closure finds almost all of them, and a
+   budget-capped closure stays sound (it can only miss conflicts). *)
+let conflict_closure_budget = 128
+
+let conflict_verdict t w (f : Fault.t) =
+  match (t.implic, w.iscr) with
+  | None, _ | _, None -> None
+  | Some db, Some iscr -> (
+    let nl = t.netlist in
+    let { Fault.node; pin } = f.Fault.site in
+    match pin with
+    | Cell.Pin.Clk -> None
+    | Cell.Pin.Out | Cell.Pin.In _ ->
+      let exc_v = not f.Fault.stuck in
+      let exc_net =
+        match pin with
+        | Cell.Pin.In p -> (Netlist.fanin nl node).(p)
+        | _ -> node
+      in
+      if Implic.impossible db iscr exc_net exc_v then
+        Some (Status.Undetectable Status.Conflict)
+      else begin
+        (* seeds the closure can rely on in any detecting frame *)
+        let seeds = ref [ Implic.lit exc_net exc_v ] in
+        let necessary = ref [] in
+        (match pin with
+        | Cell.Pin.In p -> (
+          necessary := immediate_necessary nl node p !necessary;
+          (* forced good output of the immediate gate, when it is a
+             single literal given excitation + necessary sides *)
+          match Netlist.kind nl node with
+          | Cell.And | Cell.Or -> seeds := Implic.lit node exc_v :: !seeds
+          | Cell.Nand | Cell.Nor ->
+            seeds := Implic.lit node (not exc_v) :: !seeds
+          | Cell.Mux2 when p = 1 || p = 2 ->
+            seeds := Implic.lit node exc_v :: !seeds
+          | _ -> ())
+        | _ -> ());
+        necessary := dominator_necessary t w node !necessary;
+        let ok =
+          Implic.assume ~budget:conflict_closure_budget db iscr !seeds
+          && Implic.extend db iscr !necessary
+        in
+        if not ok then Some (Status.Undetectable Status.Conflict) else None
+      end)
+
+let structural_verdict_w t w (f : Fault.t) =
   let nl = t.netlist in
   let { Fault.node; pin } = f.Fault.site in
   match pin with
@@ -181,7 +351,13 @@ let verdict_w t w (f : Fault.t) =
       else Some (Status.Undetectable Status.Blocked)
     end
 
+let verdict_w t w f =
+  match structural_verdict_w t w f with
+  | Some v -> Some v
+  | None -> conflict_verdict t w f
+
 let fault_verdict t f = verdict_w t t.walker f
+let verdict_with t w f = verdict_w t w f
 
 let classify ?jobs t fl =
   let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
@@ -194,8 +370,7 @@ let classify ?jobs t fl =
          outcome is independent of jobs.  Worker 0 reuses [t]'s walker to
          keep the sequential path warming [t.stem_cache] as before. *)
       let walkers =
-        Array.init nw (fun k ->
-            if k = 0 then t.walker else make_walker t.netlist)
+        Array.init nw (fun k -> if k = 0 then t.walker else make_walker t)
       in
       let wchanged = Array.make nw 0 in
       Pool.parallel_chunks pool ~n:nf ~chunk:512
@@ -214,7 +389,21 @@ let classify ?jobs t fl =
       changed := Array.fold_left ( + ) 0 wchanged);
   !changed
 
+let untestable_breakdown t nl =
+  let tied = ref 0 and blocked = ref 0 and conflict = ref 0 in
+  Array.iter
+    (fun f ->
+      match fault_verdict t f with
+      | Some (Status.Undetectable Status.Tied) -> incr tied
+      | Some (Status.Undetectable Status.Blocked) -> incr blocked
+      | Some (Status.Undetectable Status.Conflict) -> incr conflict
+      | Some _ | None -> ())
+    (Fault.universe nl);
+  [
+    (Status.Tied, !tied);
+    (Status.Blocked, !blocked);
+    (Status.Conflict, !conflict);
+  ]
+
 let untestable_count t nl =
-  Array.fold_left
-    (fun acc f -> if fault_verdict t f <> None then acc + 1 else acc)
-    0 (Fault.universe nl)
+  List.fold_left (fun acc (_, n) -> acc + n) 0 (untestable_breakdown t nl)

@@ -9,6 +9,11 @@ open Olfu_fault
     {- UT ("untestable due to tied value"): the fault site is held at the
        stuck value, so the fault can never be excited;}
     {- UB (blocked): the fault effect cannot reach any observation point;}
+    {- UC (conflict): the static implication engine ({!Implic}) proves
+       that the assignments every test of the fault requires — excitation
+       value, non-controlling side inputs of the immediate gate, side
+       inputs of the stem's dominators — contradict each other, or that
+       their implied closure blocks every propagation path;}
     {- flip-flop clock faults are untestable when the register provably
        never changes (Fig. 5 of the paper).}}
 
@@ -28,6 +33,9 @@ type t = {
   stem_cache : (int, bool) Hashtbl.t;
       (** stem-observability memo of the analysis' own walker; only the
           calling domain of the sequential API touches it *)
+  implic : Implic.t option;
+      (** the static implication database behind UC verdicts (shared,
+          immutable; [None] when the engine was disabled) *)
   walker : walker;
 }
 
@@ -44,15 +52,32 @@ val analyze :
   ?ff_mode:Ternary.ff_mode ->
   ?observable_output:(int -> bool) ->
   ?consts:Ternary.t ->
+  ?implic:bool ->
+  ?learn_depth:int ->
+  ?learn_budget:int ->
   Netlist.t ->
   t
 (** [consts], when given, must be the result of [Ternary.run] on the same
     netlist; it skips the constant-propagation fixpoint (the flow runs
     several analyses over one tied netlist that differ only in
-    observability).  [ff_mode] is ignored when [consts] is supplied. *)
+    observability).  [ff_mode] is ignored when [consts] is supplied.
+    [implic] (default [true]) builds the static implication database so
+    {!fault_verdict} can return UC verdicts; [learn_depth] /
+    [learn_budget] are passed to {!Implic.build}. *)
 
 val fault_verdict : t -> Fault.t -> Status.t option
 (** [Some (Undetectable _)] when provably untestable, [None] otherwise. *)
+
+val make_walker : t -> walker
+(** A fresh walker for an additional domain (the analysis' own walker
+    serves the calling domain). *)
+
+val verdict_with : t -> walker -> Fault.t -> Status.t option
+(** {!fault_verdict} through an explicit walker — the multi-domain entry
+    point ({!Olfu_core.Tdf_flow} shards fault pairs over a pool). *)
+
+val implication_db : t -> Implic.t option
+(** The database built by {!analyze} (for stats reporting). *)
 
 val classify : ?jobs:int -> t -> Flist.t -> int
 (** Applies {!fault_verdict} to every [Not_analyzed] / [Not_detected]
@@ -65,3 +90,8 @@ val classify : ?jobs:int -> t -> Flist.t -> int
 val untestable_count : t -> Netlist.t -> int
 (** Number of untestable faults over the full universe of the netlist
     (faults on tie cells excluded, as in {!Fault.universe}). *)
+
+val untestable_breakdown : t -> Netlist.t -> (Status.undetectable * int) list
+(** {!untestable_count} split by verdict class —
+    [[Tied, n; Blocked, n; Conflict, n]] in that order — so Table-I-style
+    reports can attribute the proofs to the engine that made them. *)

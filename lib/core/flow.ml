@@ -15,8 +15,42 @@ let source_name = function
 type step_report = {
   source : source;
   classified : int;
+  by_verdict : (Status.undetectable * int) list;
   seconds : float;
 }
+
+let undet_classes =
+  [|
+    Status.Unused; Status.Tied; Status.Blocked; Status.Conflict;
+    Status.Redundant;
+  |]
+
+let undet_tally fl =
+  let a = Array.make (Array.length undet_classes) 0 in
+  Flist.iteri
+    (fun _ _ st ->
+      match st with
+      | Status.Undetectable u ->
+        let k =
+          match u with
+          | Status.Unused -> 0
+          | Status.Tied -> 1
+          | Status.Blocked -> 2
+          | Status.Conflict -> 3
+          | Status.Redundant -> 4
+        in
+        a.(k) <- a.(k) + 1
+      | _ -> ())
+    fl;
+  a
+
+let diff_tally before after =
+  let acc = ref [] in
+  for k = Array.length undet_classes - 1 downto 0 do
+    let d = after.(k) - before.(k) in
+    if d <> 0 then acc := (undet_classes.(k), d) :: !acc
+  done;
+  !acc
 
 type report = {
   universe : int;
@@ -61,36 +95,43 @@ let verify_scan_rule nl =
 (* Classify all still-unclassified faults that the engine proves
    untestable in the given circuit model.  Returns the ternary constants
    alongside the count so steps over the same netlist can share them. *)
-let engine_step ?ff_mode ?observable_output ?consts ?jobs nl fl =
-  let t = Untestable.analyze ?ff_mode ?observable_output ?consts nl in
+let engine_step ?ff_mode ?observable_output ?consts ?jobs ?implic nl fl =
+  let t = Untestable.analyze ?ff_mode ?observable_output ?consts ?implic nl in
   (Untestable.classify ?jobs t fl, t.Untestable.consts)
 
-let run ?ff_mode ?jobs nl mission =
+let run ?ff_mode ?jobs ?implic nl mission =
   let t0 = Unix.gettimeofday () in
   let fl = Flist.full nl in
+  (* wrap each step so its newly classified faults are attributed to the
+     verdict class (UT/UB/UC/...) that proved them *)
+  let stepped f =
+    let before = undet_tally fl in
+    let r, secs = timed f in
+    (r, diff_tally before (undet_tally fl), secs)
+  in
   (* 1. scan rule *)
-  let scan_count, scan_t = timed (fun () -> scan_step nl fl) in
+  let scan_count, scan_v, scan_t = stepped (fun () -> scan_step nl fl) in
   (* 1b. baseline: untestable before any manipulation (reset network,
      steady-state constants of the mission circuit itself) *)
-  let (base_count, _), base_t =
-    timed (fun () -> engine_step ?ff_mode ?jobs nl fl)
+  let (base_count, _), base_v, base_t =
+    stepped (fun () -> engine_step ?ff_mode ?jobs ?implic nl fl)
   in
   (* 2. debug control ties *)
   let tied_controls =
     Script.apply nl (Mission.tie_controls_script mission)
   in
-  let (ctl_count, tied_consts), ctl_t =
-    timed (fun () -> engine_step ?ff_mode ?jobs tied_controls fl)
+  let (ctl_count, tied_consts), ctl_v, ctl_t =
+    stepped (fun () -> engine_step ?ff_mode ?jobs ?implic tied_controls fl)
   in
   (* 3. debug observation: stop observing the debug buses (and scan-outs).
      Same netlist as step 2 — only observability changes, so the ternary
      constants are reused rather than recomputed. *)
   let observable = Mission.observed_in_field mission tied_controls in
-  let obs_count, obs_t =
-    timed (fun () ->
+  let obs_count, obs_v, obs_t =
+    stepped (fun () ->
         fst
           (engine_step ?ff_mode ~observable_output:observable
-             ~consts:tied_consts ?jobs tied_controls fl))
+             ~consts:tied_consts ?jobs ?implic tied_controls fl))
   in
   (* 4. memory map: tie forced address registers and ports *)
   let forced = Mission.address_forcing mission in
@@ -99,19 +140,44 @@ let run ?ff_mode ?jobs nl mission =
       (Const_regs.tie_address_registers tied_controls ~forced)
       ~forced
   in
-  let mem_count, mem_t =
-    timed (fun () ->
+  let mem_count, mem_v, mem_t =
+    stepped (fun () ->
         fst
-          (engine_step ?ff_mode ~observable_output:observable ?jobs
+          (engine_step ?ff_mode ~observable_output:observable ?jobs ?implic
              mission_nl fl))
   in
   let steps =
     [
-      { source = Scan; classified = scan_count; seconds = scan_t };
-      { source = Baseline; classified = base_count; seconds = base_t };
-      { source = Debug_control; classified = ctl_count; seconds = ctl_t };
-      { source = Debug_observe; classified = obs_count; seconds = obs_t };
-      { source = Memory; classified = mem_count; seconds = mem_t };
+      {
+        source = Scan;
+        classified = scan_count;
+        by_verdict = scan_v;
+        seconds = scan_t;
+      };
+      {
+        source = Baseline;
+        classified = base_count;
+        by_verdict = base_v;
+        seconds = base_t;
+      };
+      {
+        source = Debug_control;
+        classified = ctl_count;
+        by_verdict = ctl_v;
+        seconds = ctl_t;
+      };
+      {
+        source = Debug_observe;
+        classified = obs_count;
+        by_verdict = obs_v;
+        seconds = obs_t;
+      };
+      {
+        source = Memory;
+        classified = mem_count;
+        by_verdict = mem_v;
+        seconds = mem_t;
+      };
     ]
   in
   let total = scan_count + base_count + ctl_count + obs_count + mem_count in
@@ -176,4 +242,14 @@ let pp_table1 ?(paper = false) ppf r =
   Format.fprintf ppf
     "  (+ %d reset/steady-state faults outside the paper's accounting;      grand total %d = %.1f%%)"
     (step_count r Baseline) r.total_olfu (100. *. r.fraction);
+  Format.pp_print_cut ppf ();
+  let tally = undet_tally r.flist in
+  Format.fprintf ppf "  by verdict:";
+  Array.iteri
+    (fun k n ->
+      if n > 0 then
+        Format.fprintf ppf " %s=%d"
+          (Status.code (Status.Undetectable undet_classes.(k)))
+          n)
+    tally;
   Format.fprintf ppf "@,analysis time: %.3f s@]" r.seconds

@@ -30,6 +30,10 @@ val source_name : source -> string
 type step_report = {
   source : source;
   classified : int;
+  by_verdict : (Olfu_fault.Status.undetectable * int) list;
+      (** the step's newly classified faults split by verdict class
+          (UT/UB/UC/...), attributing each proof to the engine that made
+          it; only non-zero classes appear *)
   seconds : float;
 }
 
@@ -46,6 +50,7 @@ type report = {
 val run :
   ?ff_mode:Olfu_atpg.Ternary.ff_mode ->
   ?jobs:int ->
+  ?implic:bool ->
   Netlist.t ->
   Mission.t ->
   report
@@ -54,7 +59,9 @@ val run :
     step over a domain pool; results are identical for any value.  The
     Debug control and Debug observation steps analyze the same tied
     netlist, so the ternary constant fixpoint is computed once and
-    shared between them. *)
+    shared between them.  [implic] (default [true]) enables the static
+    implication engine's UC verdicts inside every classification step;
+    disabling it reproduces the pure UT+UB flow. *)
 
 val scan_step : Netlist.t -> Flist.t -> int
 

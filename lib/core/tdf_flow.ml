@@ -14,19 +14,36 @@ type report = {
   seconds : float;
 }
 
-let run ?ff_mode nl mission =
+let run ?ff_mode ?jobs nl mission =
+  let jobs =
+    match jobs with Some j -> j | None -> Olfu_pool.Pool.default_jobs ()
+  in
   let t0 = Unix.gettimeofday () in
   let u = Tdf.universe nl in
   let claimed = Array.make (Array.length u) false in
   let classify_with t =
+    (* each index is read and written by exactly one worker, and verdicts
+       are pure in (t, fault), so the claims are independent of [jobs] *)
     let n = ref 0 in
-    Array.iteri
-      (fun i f ->
-        if (not claimed.(i)) && Tdf_classify.verdict t f <> None then begin
-          claimed.(i) <- true;
-          incr n
-        end)
-      u;
+    Olfu_pool.Pool.with_pool ~jobs (fun pool ->
+        let nw = Olfu_pool.Pool.jobs pool in
+        let walkers =
+          Array.init nw (fun _ -> Untestable.make_walker t)
+        in
+        let wn = Array.make nw 0 in
+        Olfu_pool.Pool.parallel_chunks pool ~n:(Array.length u) ~chunk:512
+          (fun ~worker ~lo ~hi ->
+            let w = walkers.(worker) in
+            for i = lo to hi - 1 do
+              if
+                (not claimed.(i))
+                && Tdf_classify.verdict_with t w u.(i) <> None
+              then begin
+                claimed.(i) <- true;
+                wn.(worker) <- wn.(worker) + 1
+              end
+            done);
+        Array.iter (fun c -> n := !n + c) wn);
     !n
   in
   (* 1. scan rule: every transition fault on a scan-rule site is dead —

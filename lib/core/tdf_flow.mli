@@ -21,6 +21,13 @@ type report = {
 }
 
 val run :
-  ?ff_mode:Olfu_atpg.Ternary.ff_mode -> Netlist.t -> Mission.t -> report
+  ?ff_mode:Olfu_atpg.Ternary.ff_mode ->
+  ?jobs:int ->
+  Netlist.t ->
+  Mission.t ->
+  report
+(** [jobs] (default {!Olfu_pool.Pool.default_jobs}) shards each
+    classification step over a domain pool; the report is identical for
+    any value. *)
 
 val pp : Format.formatter -> report -> unit

@@ -1,4 +1,4 @@
-type undetectable = Unused | Tied | Blocked | Redundant
+type undetectable = Unused | Tied | Blocked | Conflict | Redundant
 
 type t =
   | Not_analyzed
@@ -18,6 +18,7 @@ let code = function
   | Undetectable Unused -> "UU"
   | Undetectable Tied -> "UT"
   | Undetectable Blocked -> "UB"
+  | Undetectable Conflict -> "UC"
   | Undetectable Redundant -> "UR"
   | Atpg_untestable -> "AU"
   | Not_detected -> "ND"

@@ -6,6 +6,10 @@ type undetectable =
   | Unused  (** UU: pruned by a structural rule (e.g. scan-chain rule) *)
   | Tied  (** UT: excitation impossible — the net is tied to the stuck value *)
   | Blocked  (** UB: no sensitizable path to any observation point *)
+  | Conflict
+      (** UC: the static implication engine proved that excitation and
+          propagation demand contradictory assignments (FIRE-style
+          conflict untestability — no search involved) *)
   | Redundant  (** UR: proven untestable by exhaustive ATPG search *)
 
 type t =

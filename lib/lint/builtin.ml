@@ -620,6 +620,40 @@ let const_001 =
           ]
       end)
 
+let conflict_001 =
+  Rule.make ~code:"CONFLICT-001" ~category:Rule.Testability
+    ~severity:Rule.Info
+    ~title:"nets with a value no mission test frame can realize"
+    ~doc:
+      "The static implication engine (direct gate implications, \
+       contrapositives, bounded recursive learning) run over the \
+       mission-tied ternary constants: nets the constants leave unknown \
+       but whose closure proves one value impossible.  Every fault whose \
+       excitation or propagation requires that value is functionally \
+       untestable without any search (FIRE-style conflict \
+       untestability)."
+    (fun ctx ->
+      let nl = Ctx.nl ctx in
+      let mission = Ctx.mission_ternary ctx in
+      let db =
+        Olfu_atpg.Implic.build ~consts:mission.Olfu_atpg.Ternary.values nl
+      in
+      let scr = Olfu_atpg.Implic.Scratch.create db in
+      match Olfu_atpg.Implic.conflict_nets ~limit:20 db scr with
+      | [] -> []
+      | conflicts ->
+        [
+          Rule.raw
+            ~node:(fst (List.hd conflicts))
+            ~path:(List.map fst conflicts)
+            (Printf.sprintf
+               "%d nets have a statically impossible value (e.g. %s can \
+                never be %d)"
+               (List.length conflicts)
+               (name ctx (fst (List.hd conflicts)))
+               (if snd (List.hd conflicts) then 1 else 0));
+        ])
+
 (* ---------------------------------------------------------------- *)
 (* Observability / testability (ported)                             *)
 (* ---------------------------------------------------------------- *)
@@ -905,6 +939,7 @@ let all =
   [
     scan_001; scan_002; scan_003; scan_004; scan_005; scan_006; scan_007;
     loop_001; drv_001; drv_002; rst_001; rst_002; rst_003; rst_004; rst_005;
-    rst_006; clk_001; net_001; net_002; xprop_001; const_001; obs_001; test_001;
-    dbg_001; dbg_002; struct_001; struct_002; sw_001; sw_002; sw_003; sw_004;
+    rst_006; clk_001; net_001; net_002; xprop_001; const_001; conflict_001;
+    obs_001; test_001; dbg_001; dbg_002; struct_001; struct_002; sw_001;
+    sw_002; sw_003; sw_004;
   ]

@@ -14,6 +14,9 @@ type t = {
   topo_pos : int array;
   max_arity : int;
   cones : cone option array;
+  mutable ipdom : int array option;
+      (* global immediate post-dominators towards the virtual observation
+         sink; built lazily under [cm] *)
   cm : Mutex.t;
   mutable cone_budget : int;
 }
@@ -26,6 +29,7 @@ let memo_budget = 4_000_000
 let netlist t = t.nl
 let sources t = t.sources
 let max_arity t = t.max_arity
+let topo_pos t = t.topo_pos
 
 type scratch = {
   owner : t;
@@ -40,6 +44,9 @@ type scratch = {
   mutable cgen : int;
   mutable last_stem : int;
   mutable last_cone : cone option;
+  (* one-entry dominator-chain cache *)
+  mutable last_dom_stem : int;
+  mutable last_dom : int array;
 }
 
 module Scratch = struct
@@ -61,6 +68,8 @@ module Scratch = struct
       cgen = 0;
       last_stem = -1;
       last_cone = None;
+      last_dom_stem = -1;
+      last_dom = [||];
     }
 
   let fval s = s.fval
@@ -163,6 +172,90 @@ let cone t s d =
     c
   end
 
+(* Global immediate post-dominators towards a virtual observation sink,
+   computed once for the whole netlist in one reverse-topological pass:
+   - an [Output] marker is itself an observation point (its ipdom is the
+     virtual sink);
+   - an edge into a sequential cell reaches the virtual sink directly
+     (capture credit: the value is latched into state);
+   - a fanout branch whose sink cannot reach any observation point
+     contributes no paths, so it is excluded from the intersection.
+   Values: node index [>= 0], [-1] the virtual sink, [-2] unreachable.
+   The post-dominator chain of a stem is exactly the set of nodes every
+   stem-to-exit path passes through — its unique-sensitization gates. *)
+let build_ipdom t =
+  let nl = t.nl in
+  let n = Netlist.length nl in
+  let ipdom = Array.make n (-2) in
+  let pos = t.topo_pos in
+  let rec inter a b =
+    if a = b then a
+    else if a = -1 || b = -1 then -1
+    else if pos.(a) < pos.(b) then inter ipdom.(a) b
+    else inter a ipdom.(b)
+  in
+  let of_fanouts i =
+    let cur = ref (-2) in
+    Array.iter
+      (fun (sink, _pin) ->
+        let finger =
+          if Cell.is_seq (Netlist.kind nl sink) then -1
+          else if ipdom.(sink) = -2 then -2
+          else sink
+        in
+        if finger <> -2 then
+          cur := (if !cur = -2 then finger else inter !cur finger))
+      (Netlist.fanout nl i);
+    !cur
+  in
+  let topo = Netlist.topo nl in
+  for k = Array.length topo - 1 downto 0 do
+    let i = topo.(k) in
+    ipdom.(i) <-
+      (if Cell.equal_kind (Netlist.kind nl i) Cell.Output then -1
+       else of_fanouts i)
+  done;
+  (* sources (inputs, ties, sequential cells) are stems too; all their
+     fanout sinks are non-source nodes computed above *)
+  Array.iter
+    (fun i -> if ipdom.(i) = -2 then ipdom.(i) <- of_fanouts i)
+    t.sources;
+  Netlist.iter_nodes
+    (fun i nd ->
+      if Cell.is_tie nd.Netlist.kind && ipdom.(i) = -2 then
+        ipdom.(i) <- of_fanouts i)
+    nl;
+  ipdom
+
+let global_ipdom t =
+  Mutex.lock t.cm;
+  let a =
+    match t.ipdom with
+    | Some a -> a
+    | None ->
+      let a = build_ipdom t in
+      t.ipdom <- Some a;
+      a
+  in
+  Mutex.unlock t.cm;
+  a
+
+let stem_dominators t s d =
+  if s.last_dom_stem = d then s.last_dom
+  else begin
+    let ipdom = global_ipdom t in
+    let acc = ref [] in
+    let p = ref ipdom.(d) in
+    while !p >= 0 do
+      acc := !p :: !acc;
+      p := ipdom.(!p)
+    done;
+    let a = Array.of_list (List.rev !acc) in
+    s.last_dom_stem <- d;
+    s.last_dom <- a;
+    a
+  end
+
 let make nl =
   let n = Netlist.length nl in
   let topo_pos = Array.make n (-1) in
@@ -179,6 +272,7 @@ let make nl =
     topo_pos;
     max_arity = !max_arity;
     cones = Array.make n None;
+    ipdom = None;
     cm = Mutex.create ();
     cone_budget = memo_budget;
   }

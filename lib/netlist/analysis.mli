@@ -32,6 +32,13 @@ val sources : t -> int array
 
 val max_arity : t -> int
 
+val topo_pos : t -> int array
+(** Topological evaluation position per node ([-1] for source nodes,
+    which precede the combinational schedule).  A node [f] with
+    [topo_pos.(f) < topo_pos.(d)] can never lie inside the fanout cone
+    of stem [d] — the cheap membership pre-filter of the conflict
+    engine. *)
+
 (** Fanout-cone schedule of one stem. *)
 type cone = {
   sched : int array;
@@ -75,3 +82,16 @@ val cone : t -> Scratch.t -> int -> cone
 (** [cone t scratch d]: the fanout-cone schedule of stem [d], from the
     scratch's one-entry cache, the shared memo, or built on the fly
     (memoized while the entry budget lasts). *)
+
+val stem_dominators : t -> Scratch.t -> int -> int array
+(** [stem_dominators t scratch d]: the cone nodes every path from stem
+    [d] to any structural observation exit (output marker or flip-flop
+    capture pin) passes through — the unique-sensitization gates of the
+    stem — in topological order, stem excluded.  A fault effect on [d]
+    can only be observed by propagating through every one of them, so
+    their side inputs are {e necessary} assignments for any test.
+    Purely structural (observation exits are not filtered by mission
+    observability, which under-approximates the dominator set and keeps
+    the necessity reading sound).  Extracted as a chain walk over a
+    global immediate post-dominator tree built once per analysis, so the
+    per-stem cost is proportional to the chain length. *)

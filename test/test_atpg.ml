@@ -432,6 +432,44 @@ let test_tdf_superset_of_stuck () =
   let td_untestable, _ = Tdf_classify.count t nl in
   Alcotest.(check bool) "tdf >= sa" true (td_untestable >= sa_untestable)
 
+let test_tdf_half_tied_pin () =
+  (* a pin tied to 1: its stuck-at-0 stays testable, but no transition
+     fault survives — the pin can never be launched to 0 *)
+  let b = B.create () in
+  let x = B.input b "x" in
+  let t1 = B.tie b Logic4.L1 in
+  let g = B.and2 b ~name:"g" x t1 in
+  let _ = B.output b "o" g in
+  let nl = B.freeze_exn b in
+  let t = Untestable.analyze nl in
+  let gi = Netlist.find_exn nl "g" in
+  Alcotest.(check bool) "sa0 testable" true
+    (Untestable.fault_verdict t (Fault.sa0 gi (Cell.Pin.In 1)) = None);
+  Alcotest.(check bool) "sa1 tied" true
+    (is_ut (Untestable.fault_verdict t (Fault.sa1 gi (Cell.Pin.In 1))));
+  let dead pol =
+    Tdf_classify.verdict t
+      { Tdf.site = { Fault.node = gi; pin = Cell.Pin.In 1 }; polarity = pol }
+    <> None
+  in
+  Alcotest.(check bool) "STR dead" true (dead Tdf.Slow_to_rise);
+  Alcotest.(check bool) "STF dead" true (dead Tdf.Slow_to_fall);
+  (* the free pin keeps both transitions *)
+  Alcotest.(check bool) "free pin alive" true
+    (Tdf_classify.verdict t
+       { Tdf.site = { Fault.node = gi; pin = Cell.Pin.In 0 };
+         polarity = Tdf.Slow_to_rise }
+    = None)
+
+let test_tdf_count_jobs_invariant () =
+  let nl, _ = Test_support.scan_cell_mission () in
+  let t = Untestable.analyze nl in
+  let n1, u1 = Tdf_classify.count ~jobs:1 t nl in
+  let n3, u3 = Tdf_classify.count ~jobs:3 t nl in
+  Alcotest.(check int) "universe stable" u1 u3;
+  Alcotest.(check int) "count jobs-invariant" n1 n3;
+  Alcotest.(check bool) "something classified" true (n1 > 0)
+
 let test_scoap_branch_and_hardest () =
   let nl = Test_support.full_adder () in
   let s = Scoap.run nl in
@@ -624,6 +662,9 @@ let () =
             test_tdf_scan_cell_all_dead;
           Alcotest.test_case "superset of stuck" `Quick
             test_tdf_superset_of_stuck;
+          Alcotest.test_case "half-tied pin" `Quick test_tdf_half_tied_pin;
+          Alcotest.test_case "count jobs invariant" `Quick
+            test_tdf_count_jobs_invariant;
         ] );
       ( "scoap extras",
         [

@@ -10,11 +10,10 @@ cd "$(dirname "$0")/.."
 dune build
 dune runtest
 
-dune exec bin/olfu_cli.exe -- lint -c tcore32 --fail-on error
-
 dune exec bin/olfu_cli.exe -- absint -c tcore32 --suite
 
 for core in tcore32 tcore32_dft tcore16; do
+  dune exec bin/olfu_cli.exe -- lint -c "$core" --fail-on error
   dune exec bin/olfu_cli.exe -- lint -c "$core" --software --fail-on error
 done
 
@@ -22,3 +21,8 @@ done
 # reproduce the sequential full-settle statuses exactly on tcore32 (the
 # bench exits non-zero on any divergence) and refreshes BENCH_fsim.json.
 dune exec bench/main.exe -- fsim
+
+# Implication-engine gate: the flow with the conflict engine must classify
+# strictly more faults than UT+UB alone, stay jobs-invariant and monotone,
+# and survive the BMC oracle spot-check; refreshes BENCH_implic.json.
+dune exec bench/main.exe -- implic
