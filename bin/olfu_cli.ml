@@ -111,13 +111,30 @@ let generate_cmd =
 
 (* --- analyze --- *)
 
-let analyze cfg file ff_mode paper jobs =
+module C = Olfu_cli_common
+
+let analyze cfg file ff_mode paper jobs format trace manifest =
   let nl, cfg = load_netlist cfg file in
-  Format.printf "%a@." Netlist.pp_summary nl;
   let mission = mission_of cfg nl file in
-  let report = Olfu.Flow.run ~ff_mode ~jobs:(jobs_of jobs) nl mission in
-  Format.printf "@.%a@." (Olfu.Flow.pp_table1 ~paper) report;
-  Format.printf "@.%a@." Olfu_fault.Flist.pp_summary report.Olfu.Flow.flist;
+  let sink = C.sink_for ~trace ~manifest in
+  let rc =
+    { Olfu.Run_config.default with ff_mode; jobs = jobs_of jobs; trace = sink }
+  in
+  let t0 = Unix.gettimeofday () in
+  let report = Olfu.Flow.run rc nl mission in
+  let wall = Unix.gettimeofday () -. t0 in
+  C.emit format
+    ~text:(fun () ->
+      Format.printf "%a@." Netlist.pp_summary nl;
+      Format.printf "@.%a@." (Olfu.Flow.pp_table1 ~paper) report;
+      Format.printf "@.%a@." Olfu_fault.Flist.pp_summary
+        report.Olfu.Flow.flist)
+    ~json:(fun () -> C.print_json (C.flow_json report))
+    ();
+  C.write_obs ~trace ~manifest
+    ~config:(C.config_fields ~soc:cfg.Olfu_soc.Soc.name rc)
+    ~steps:(C.manifest_steps report) ~prep:report.Olfu.Flow.prep
+    ~wall_seconds:wall sink;
   `Ok ()
 
 let analyze_cmd =
@@ -131,7 +148,36 @@ let analyze_cmd =
        ~doc:"Run the on-line untestable fault identification flow (Table I).")
     Term.(
       ret (const analyze $ config_arg $ file_arg $ ff_mode_arg $ paper
-           $ jobs_arg))
+           $ jobs_arg $ C.format_arg () $ C.trace_arg $ C.manifest_arg))
+
+(* --- tdf --- *)
+
+let tdf cfg file ff_mode jobs trace manifest =
+  let nl, cfg = load_netlist cfg file in
+  let mission = mission_of cfg nl file in
+  let sink = C.sink_for ~trace ~manifest in
+  let rc =
+    { Olfu.Run_config.default with ff_mode; jobs = jobs_of jobs; trace = sink }
+  in
+  let t0 = Unix.gettimeofday () in
+  let r = Olfu.Tdf_flow.run rc nl mission in
+  let wall = Unix.gettimeofday () -. t0 in
+  Format.printf "%a@." Olfu.Tdf_flow.pp r;
+  C.write_obs ~trace ~manifest
+    ~config:(C.config_fields ~soc:cfg.Olfu_soc.Soc.name rc)
+    ~wall_seconds:wall sink;
+  `Ok ()
+
+let tdf_cmd =
+  Cmd.v
+    (Cmd.info "tdf"
+       ~doc:
+         "Replay the identification flow for transition-delay faults (the \
+          paper's announced fault-model extension).")
+    Term.(
+      ret
+        (const tdf $ config_arg $ file_arg $ ff_mode_arg $ jobs_arg
+       $ C.trace_arg $ C.manifest_arg))
 
 (* --- trace-scan --- *)
 
@@ -217,12 +263,16 @@ let categories_cmd =
 
 (* --- coverage --- *)
 
-let coverage cfg sample jobs =
+let coverage cfg sample jobs format trace manifest =
   let jobs = jobs_of jobs in
   let nl = Olfu_soc.Soc.generate cfg in
   let mission = Olfu.Mission.of_soc cfg nl in
-  let report = Olfu.Flow.run ~jobs nl mission in
-  Format.printf "%a@.@." (Olfu.Flow.pp_table1 ~paper:false) report;
+  let sink = C.sink_for ~trace ~manifest in
+  let rc = { Olfu.Run_config.default with jobs; trace = sink } in
+  let t0 = Unix.gettimeofday () in
+  let report = Olfu.Flow.run rc nl mission in
+  if format = C.Text then
+    Format.printf "%a@.@." (Olfu.Flow.pp_table1 ~paper:false) report;
   let fl = report.Olfu.Flow.flist in
   let rng = Random.State.make [| 42 |] in
   let n = Olfu_fault.Flist.size fl in
@@ -239,9 +289,25 @@ let coverage cfg sample jobs =
     (fun k i -> Olfu_fault.Flist.set_status sub k (Olfu_fault.Flist.status fl i))
     idx;
   let summary =
-    Olfu_sbst.Coverage.grade ~jobs cfg nl sub (Olfu_sbst.Programs.suite cfg)
+    Olfu_sbst.Coverage.grade ~jobs ~trace:sink cfg nl sub
+      (Olfu_sbst.Programs.suite cfg)
   in
-  Format.printf "%a@." Olfu_sbst.Coverage.pp_summary summary;
+  let wall = Unix.gettimeofday () -. t0 in
+  C.emit format
+    ~text:(fun () ->
+      Format.printf "%a@." Olfu_sbst.Coverage.pp_summary summary)
+    ~json:(fun () ->
+      C.print_json
+        (Olfu_obs.Json.Obj
+           [
+             ("flow", C.flow_json report);
+             ("coverage", C.coverage_json summary);
+           ]))
+    ();
+  C.write_obs ~trace ~manifest
+    ~config:(C.config_fields ~soc:cfg.Olfu_soc.Soc.name rc)
+    ~steps:(C.manifest_steps report) ~prep:report.Olfu.Flow.prep
+    ~wall_seconds:wall sink;
   `Ok ()
 
 let coverage_cmd =
@@ -253,7 +319,10 @@ let coverage_cmd =
   Cmd.v
     (Cmd.info "coverage"
        ~doc:"Grade the SBST suite before/after pruning (tcore16 advised).")
-    Term.(ret (const coverage $ config_arg $ sample $ jobs_arg))
+    Term.(
+      ret
+        (const coverage $ config_arg $ sample $ jobs_arg $ C.format_arg ()
+       $ C.trace_arg $ C.manifest_arg))
 
 (* --- report --- *)
 
@@ -266,14 +335,15 @@ let report cfg out jobs =
   pf "# OLFU report — %s@.@." cfg.Olfu_soc.Soc.name;
   pf "## Netlist@.@.```@.%a@.```@.@." Netlist.pp_summary nl;
   pf "## Mission configuration@.@.```@.%a@.```@.@." Olfu.Mission.pp mission;
-  let r = Olfu.Flow.run ~jobs nl mission in
+  let rc = { Olfu.Run_config.default with jobs } in
+  let r = Olfu.Flow.run rc nl mission in
   pf "## Identification (Table I analogue)@.@.```@.%a@.```@.@."
     (Olfu.Flow.pp_table1 ~paper:true) r;
   pf "## Fault classes@.@.```@.%a@.```@.@." Olfu_fault.Flist.pp_summary
     r.Olfu.Flow.flist;
   let cats = Olfu.Categories.compute nl mission in
   pf "## Fig. 1 categories@.@.```@.%a@.```@.@." Olfu.Categories.pp cats;
-  let tdf = Olfu.Tdf_flow.run ~jobs nl mission in
+  let tdf = Olfu.Tdf_flow.run rc nl mission in
   pf "## Transition-delay extension@.@.```@.%a@.```@.@." Olfu.Tdf_flow.pp tdf;
   let lint = Olfu_lint.Lint.run nl in
   pf "## Static analysis@.@.```@.%a@.```@.@." Olfu_lint.Render.summary lint;
@@ -357,10 +427,11 @@ let lint cfg file format rules_only waivers_path baseline_path
              ~label:(cfg.Olfu_soc.Soc.name ^ "-suite") cfg nl named)
     in
     let o = L.Lint.run ~config ?software:sw nl in
-    (match format with
-    | `Text -> Format.printf "%a@." L.Render.text o
-    | `Summary -> Format.printf "%a@." L.Render.summary o
-    | `Json -> Format.printf "%a" L.Render.json o);
+    C.emit format
+      ~text:(fun () -> Format.printf "%a@." L.Render.text o)
+      ~summary:(fun () -> Format.printf "%a@." L.Render.summary o)
+      ~json:(fun () -> Format.printf "%a" L.Render.json o)
+      ();
     (match (update_baseline, baseline_path) with
     | true, Some p ->
       L.Config.save_baseline p
@@ -395,17 +466,7 @@ let lint_cmd =
             "Structural-Verilog netlist to lint instead of a generated \
              configuration (roles read from //@role annotations).")
   in
-  let format =
-    Arg.(
-      value
-      & opt (enum [ ("text", `Text); ("json", `Json); ("summary", `Summary) ])
-          `Text
-      & info [ "format" ] ~docv:"FMT"
-          ~doc:
-            "Output format: $(b,text) (one line per finding), $(b,json) \
-             (SARIF-flavoured, with rule metadata), or $(b,summary) \
-             (per-rule table).")
-  in
+  let format = C.format_arg ~summary:true () in
   let rules_only =
     Arg.(
       value & flag
@@ -664,86 +725,86 @@ let absint cfg progs whole_suite asm_file format =
   let nl = Olfu_soc.Soc.generate cfg in
   let assume = A.netlist_assume ~width ts nl in
   let degraded = List.exists (fun t -> A.degraded t <> None) ts in
-  (match format with
-  | `Text ->
-    List.iter
-      (fun (name, t) ->
-        match A.degraded t with
-        | Some msg ->
-          Format.printf "%-18s %4d words  DEGRADED: %s@." name
-            (A.image_length t) msg
-        | None ->
-          Format.printf "%-18s %4d words  %3d dead  %d store sites  %d passes@."
-            name (A.image_length t)
-            (List.length (A.dead_pcs t))
-            (A.store_sites t) (A.passes t))
-      named;
-    let pp_bits ppf bits =
-      if bits = [] then Format.fprintf ppf "none"
-      else
-        Format.pp_print_list
-          ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
-          (fun ppf (bit, v) -> Format.fprintf ppf "%d=%d" bit (Bool.to_int v))
-          ppf bits
-    in
-    Format.printf "constant address bits: %a@." pp_bits consts;
-    Format.printf "constant rdata bits:   %a@." pp_bits rdata;
-    Format.printf "netlist assumptions:   %d nodes@." (List.length assume);
-    List.iter
-      (fun (lo, hi) ->
-        Format.printf "never-written RAM:     [0x%X, 0x%X]@." lo hi)
-      never;
-    if check.A.ok then
-      Format.printf "cross-check vs memory map: OK@."
-    else
+  C.emit format
+    ~text:(fun () ->
       List.iter
-        (fun v -> Format.printf "cross-check VIOLATION: %s@." v)
-        check.A.violations
-  | `Json ->
-    let esc s =
-      String.concat ""
-        (List.map
-           (function
-             | '"' -> "\\\"" | '\\' -> "\\\\" | '\n' -> "\\n"
-             | c when Char.code c < 0x20 ->
-               Printf.sprintf "\\u%04x" (Char.code c)
-             | c -> String.make 1 c)
-           (List.init (String.length s) (String.get s)))
-    in
-    let bits_json bits =
-      String.concat ","
-        (List.map
-           (fun (bit, v) ->
-             Printf.sprintf "{\"bit\":%d,\"value\":%d}" bit (Bool.to_int v))
-           bits)
-    in
-    Format.printf "{@.";
-    Format.printf "  \"config\": \"%s\",@." (esc cfg.Olfu_soc.Soc.name);
-    Format.printf "  \"programs\": [@.";
-    List.iteri
-      (fun k (name, t) ->
-        Format.printf
-          "    {\"name\":\"%s\",\"words\":%d,\"dead\":%d,\"stores\":%d,\"passes\":%d,\"degraded\":%s}%s@."
-          (esc name) (A.image_length t)
-          (List.length (A.dead_pcs t))
-          (A.store_sites t) (A.passes t)
-          (match A.degraded t with
-          | None -> "null"
-          | Some m -> Printf.sprintf "\"%s\"" (esc m))
-          (if k < List.length named - 1 then "," else ""))
-      named;
-    Format.printf "  ],@.";
-    Format.printf "  \"constant_addr_bits\": [%s],@." (bits_json consts);
-    Format.printf "  \"constant_rdata_bits\": [%s],@." (bits_json rdata);
-    Format.printf "  \"assume_nodes\": %d,@." (List.length assume);
-    Format.printf "  \"never_written_ram\": [%s],@."
-      (String.concat ","
-         (List.map (fun (lo, hi) -> Printf.sprintf "[%d,%d]" lo hi) never));
-    Format.printf "  \"cross_check_ok\": %b,@." check.A.ok;
-    Format.printf "  \"violations\": [%s]@."
-      (String.concat ","
-         (List.map (fun v -> Printf.sprintf "\"%s\"" (esc v)) check.A.violations));
-    Format.printf "}@.");
+        (fun (name, t) ->
+          match A.degraded t with
+          | Some msg ->
+            Format.printf "%-18s %4d words  DEGRADED: %s@." name
+              (A.image_length t) msg
+          | None ->
+            Format.printf
+              "%-18s %4d words  %3d dead  %d store sites  %d passes@." name
+              (A.image_length t)
+              (List.length (A.dead_pcs t))
+              (A.store_sites t) (A.passes t))
+        named;
+      let pp_bits ppf bits =
+        if bits = [] then Format.fprintf ppf "none"
+        else
+          Format.pp_print_list
+            ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+            (fun ppf (bit, v) ->
+              Format.fprintf ppf "%d=%d" bit (Bool.to_int v))
+            ppf bits
+      in
+      Format.printf "constant address bits: %a@." pp_bits consts;
+      Format.printf "constant rdata bits:   %a@." pp_bits rdata;
+      Format.printf "netlist assumptions:   %d nodes@." (List.length assume);
+      List.iter
+        (fun (lo, hi) ->
+          Format.printf "never-written RAM:     [0x%X, 0x%X]@." lo hi)
+        never;
+      if check.A.ok then Format.printf "cross-check vs memory map: OK@."
+      else
+        List.iter
+          (fun v -> Format.printf "cross-check VIOLATION: %s@." v)
+          check.A.violations)
+    ~json:(fun () ->
+      let module J = Olfu_obs.Json in
+      let bits_json bits =
+        J.List
+          (List.map
+             (fun (bit, v) ->
+               J.Obj
+                 [ ("bit", J.Int bit); ("value", J.Int (Bool.to_int v)) ])
+             bits)
+      in
+      C.print_json
+        (J.Obj
+           [
+             ("config", J.Str cfg.Olfu_soc.Soc.name);
+             ( "programs",
+               J.List
+                 (List.map
+                    (fun (name, t) ->
+                      J.Obj
+                        [
+                          ("name", J.Str name);
+                          ("words", J.Int (A.image_length t));
+                          ("dead", J.Int (List.length (A.dead_pcs t)));
+                          ("stores", J.Int (A.store_sites t));
+                          ("passes", J.Int (A.passes t));
+                          ( "degraded",
+                            match A.degraded t with
+                            | None -> J.Null
+                            | Some m -> J.Str m );
+                        ])
+                    named) );
+             ("constant_addr_bits", bits_json consts);
+             ("constant_rdata_bits", bits_json rdata);
+             ("assume_nodes", J.Int (List.length assume));
+             ( "never_written_ram",
+               J.List
+                 (List.map
+                    (fun (lo, hi) -> J.List [ J.Int lo; J.Int hi ])
+                    never) );
+             ("cross_check_ok", J.Bool check.A.ok);
+             ( "violations",
+               J.List (List.map (fun v -> J.Str v) check.A.violations) );
+           ]))
+    ();
   if (not check.A.ok) || degraded then begin
     Format.print_flush ();
     exit 1
@@ -772,12 +833,6 @@ let absint_cmd =
       & info [ "f"; "asm" ] ~docv:"FILE"
           ~doc:"Assembly source to analyze instead of bundled programs.")
   in
-  let format =
-    Arg.(
-      value
-      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
-      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
-  in
   let exits =
     Cmd.Exit.info 0 ~doc:"analysis clean and consistent with the memory map."
     :: Cmd.Exit.info 1
@@ -791,24 +846,40 @@ let absint_cmd =
          "Abstract interpretation of the mission software: prove constant \
           address bits, dead code and never-written memory from the \
           program side, cross-checked against the memory map (Sec. 3.3).")
-    Term.(ret (const absint $ config_arg $ progs $ whole_suite $ asm $ format))
+    Term.(
+      ret
+        (const absint $ config_arg $ progs $ whole_suite $ asm
+       $ C.format_arg ()))
 
 (* --- atpg --- *)
 
-let atpg cfg prune jobs =
+let atpg cfg prune jobs trace manifest =
   let nl = Olfu_soc.Soc.generate cfg in
+  let sink = C.sink_for ~trace ~manifest in
+  let rc =
+    { Olfu.Run_config.default with jobs = jobs_of jobs; trace = sink }
+  in
+  let t0 = Unix.gettimeofday () in
   let fl =
     if prune then begin
       let mission = Olfu.Mission.of_soc cfg nl in
-      let report = Olfu.Flow.run ~jobs:(jobs_of jobs) nl mission in
+      let report = Olfu.Flow.run rc nl mission in
       Format.printf "%a@.@." (Olfu.Flow.pp_table1 ~paper:false) report;
       report.Olfu.Flow.flist
     end
     else Olfu_fault.Flist.full nl
   in
-  let r = Olfu_atpg.Atpg_flow.run ~backtrack_limit:400 nl fl in
+  let r =
+    Olfu_atpg.Atpg_flow.run
+      { Olfu_atpg.Atpg_flow.default with backtrack_limit = 400; trace = sink }
+      nl fl
+  in
+  let wall = Unix.gettimeofday () -. t0 in
   Format.printf "%a@." Olfu_atpg.Atpg_flow.pp r;
   Format.printf "@.%a@." Olfu_fault.Flist.pp_summary fl;
+  C.write_obs ~trace ~manifest
+    ~config:(C.config_fields ~soc:cfg.Olfu_soc.Soc.name rc)
+    ~wall_seconds:wall sink;
   `Ok ()
 
 let atpg_cmd =
@@ -822,7 +893,10 @@ let atpg_cmd =
     (Cmd.info "atpg"
        ~doc:
          "Two-phase test generation (random + PODEM) on the full-access           view; use --prune to see the effort reduction.")
-    Term.(ret (const atpg $ config_arg $ prune $ jobs_arg))
+    Term.(
+      ret
+        (const atpg $ config_arg $ prune $ jobs_arg $ C.trace_arg
+       $ C.manifest_arg))
 
 (* --- implic --- *)
 
@@ -850,65 +924,65 @@ let implic cfg file ff_mode format learn_depth learn_budget jobs =
   let net_name n =
     match Netlist.name nl n with Some x -> x | None -> Printf.sprintf "n%d" n
   in
-  (match format with
-  | `Text ->
-    Format.printf "implication database (%d nodes)@."
-      (Netlist.length nl);
-    Format.printf "  literals      %8d@." s.I.literals;
-    Format.printf "  direct edges  %8d@." s.I.direct_edges;
-    Format.printf "  learned edges %8d  (depth %d, budget %d, spent %d)@."
-      s.I.learned_edges s.I.learn_depth s.I.learn_budget s.I.learn_spent;
-    Format.printf "  impossible    %8d  (build-time sweep)@."
-      s.I.impossible_learned;
-    Format.printf "  build time    %8.3f s@." s.I.build_seconds;
-    Format.printf "stuck-at universe %d: untestable %d (UT %d, UB %d, UC %d)@."
-      (Olfu_fault.Flist.size fl) classified ut ub uc;
-    Format.printf "transition universe %d: untestable %d@." tdf_univ tdf_un;
-    if conflicts <> [] then begin
-      Format.printf "conflict nets (sample):@.";
-      List.iter
-        (fun (n, v) ->
-          Format.printf "  %-24s can never be %d@." (net_name n)
-            (if v then 1 else 0))
-        conflicts
-    end
-  | `Json ->
-    let b = Buffer.create 512 in
-    Printf.bprintf b "{\n";
-    Printf.bprintf b "  \"nodes\": %d,\n" (Netlist.length nl);
-    Printf.bprintf b "  \"literals\": %d,\n" s.I.literals;
-    Printf.bprintf b "  \"direct_edges\": %d,\n" s.I.direct_edges;
-    Printf.bprintf b "  \"learned_edges\": %d,\n" s.I.learned_edges;
-    Printf.bprintf b "  \"impossible_learned\": %d,\n" s.I.impossible_learned;
-    Printf.bprintf b "  \"learn_depth\": %d,\n" s.I.learn_depth;
-    Printf.bprintf b "  \"learn_budget\": %d,\n" s.I.learn_budget;
-    Printf.bprintf b "  \"learn_spent\": %d,\n" s.I.learn_spent;
-    Printf.bprintf b "  \"build_seconds\": %.6f,\n" s.I.build_seconds;
-    Printf.bprintf b "  \"universe\": %d,\n" (Olfu_fault.Flist.size fl);
-    Printf.bprintf b "  \"untestable\": %d,\n" classified;
-    Printf.bprintf b "  \"by_verdict\": { \"UT\": %d, \"UB\": %d, \"UC\": %d },\n"
-      ut ub uc;
-    Printf.bprintf b "  \"tdf_universe\": %d,\n" tdf_univ;
-    Printf.bprintf b "  \"tdf_untestable\": %d,\n" tdf_un;
-    Printf.bprintf b "  \"conflict_nets\": [%s]\n"
-      (String.concat ", "
-         (List.map
-            (fun (n, v) ->
-              Printf.sprintf "{ \"net\": %S, \"impossible_value\": %d }"
-                (net_name n)
-                (if v then 1 else 0))
-            conflicts));
-    Printf.bprintf b "}\n";
-    print_string (Buffer.contents b));
+  C.emit format
+    ~text:(fun () ->
+      Format.printf "implication database (%d nodes)@."
+        (Netlist.length nl);
+      Format.printf "  literals      %8d@." s.I.literals;
+      Format.printf "  direct edges  %8d@." s.I.direct_edges;
+      Format.printf "  learned edges %8d  (depth %d, budget %d, spent %d)@."
+        s.I.learned_edges s.I.learn_depth s.I.learn_budget s.I.learn_spent;
+      Format.printf "  impossible    %8d  (build-time sweep)@."
+        s.I.impossible_learned;
+      Format.printf "  build time    %8.3f s@." s.I.build_seconds;
+      Format.printf
+        "stuck-at universe %d: untestable %d (UT %d, UB %d, UC %d)@."
+        (Olfu_fault.Flist.size fl) classified ut ub uc;
+      Format.printf "transition universe %d: untestable %d@." tdf_univ tdf_un;
+      if conflicts <> [] then begin
+        Format.printf "conflict nets (sample):@.";
+        List.iter
+          (fun (n, v) ->
+            Format.printf "  %-24s can never be %d@." (net_name n)
+              (if v then 1 else 0))
+          conflicts
+      end)
+    ~json:(fun () ->
+      let module J = Olfu_obs.Json in
+      C.print_json
+        (J.Obj
+           [
+             ("nodes", J.Int (Netlist.length nl));
+             ("literals", J.Int s.I.literals);
+             ("direct_edges", J.Int s.I.direct_edges);
+             ("learned_edges", J.Int s.I.learned_edges);
+             ("impossible_learned", J.Int s.I.impossible_learned);
+             ("learn_depth", J.Int s.I.learn_depth);
+             ("learn_budget", J.Int s.I.learn_budget);
+             ("learn_spent", J.Int s.I.learn_spent);
+             ("build_seconds", J.Float s.I.build_seconds);
+             ("universe", J.Int (Olfu_fault.Flist.size fl));
+             ("untestable", J.Int classified);
+             ( "by_verdict",
+               J.Obj [ ("UT", J.Int ut); ("UB", J.Int ub); ("UC", J.Int uc) ]
+             );
+             ("tdf_universe", J.Int tdf_univ);
+             ("tdf_untestable", J.Int tdf_un);
+             ( "conflict_nets",
+               J.List
+                 (List.map
+                    (fun (n, v) ->
+                      J.Obj
+                        [
+                          ("net", J.Str (net_name n));
+                          ("impossible_value", J.Int (if v then 1 else 0));
+                        ])
+                    conflicts) );
+           ]))
+    ();
   `Ok ()
 
 let implic_cmd =
-  let format =
-    Arg.(
-      value
-      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
-      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
-  in
   let learn_depth =
     Arg.(
       value & opt int 2
@@ -930,8 +1004,8 @@ let implic_cmd =
           verdicts) on the un-manipulated netlist.")
     Term.(
       ret
-        (const implic $ config_arg $ file_arg $ ff_mode_arg $ format
-       $ learn_depth $ learn_budget $ jobs_arg))
+        (const implic $ config_arg $ file_arg $ ff_mode_arg
+       $ C.format_arg () $ learn_depth $ learn_budget $ jobs_arg))
 
 let main_cmd =
   Cmd.group
@@ -940,9 +1014,9 @@ let main_cmd =
          "On-line functionally untestable fault identification in embedded \
           processor cores (DATE 2013 reproduction).")
     [
-      generate_cmd; analyze_cmd; trace_scan_cmd; memmap_cmd; categories_cmd;
-      coverage_cmd; atpg_cmd; absint_cmd; simulate_cmd; equiv_cmd; lint_cmd;
-      report_cmd; implic_cmd;
+      generate_cmd; analyze_cmd; tdf_cmd; trace_scan_cmd; memmap_cmd;
+      categories_cmd; coverage_cmd; atpg_cmd; absint_cmd; simulate_cmd;
+      equiv_cmd; lint_cmd; report_cmd; implic_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

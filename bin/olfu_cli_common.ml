@@ -1,0 +1,172 @@
+(* Shared CLI plumbing: the --format argument with its renderer dispatch
+   (previously copy-pasted with diverging JSON emitters in lint, absint
+   and implic) and the --trace/--manifest observability arguments. *)
+
+open Cmdliner
+module J = Olfu_obs.Json
+module Trace = Olfu_obs.Trace
+module Export = Olfu_obs.Export
+module Manifest = Olfu_obs.Manifest
+
+type fmt = Text | Json | Summary
+
+let format_arg ?(summary = false) () =
+  let variants =
+    [ ("text", Text); ("json", Json) ]
+    @ if summary then [ ("summary", Summary) ] else []
+  in
+  let doc =
+    if summary then
+      "Output format: $(b,text) (one line per finding), $(b,json) \
+       (SARIF-flavoured, with rule metadata), or $(b,summary) (per-rule \
+       table)."
+    else "Output format: $(b,text) or $(b,json)."
+  in
+  Arg.(value & opt (enum variants) Text & info [ "format" ] ~docv:"FMT" ~doc)
+
+let print_json j =
+  print_string (J.to_string ~indent:true j);
+  print_newline ()
+
+(* Renderer dispatch.  [json] prints the machine form itself (most
+   subcommands build a {!J.t} and call {!print_json}; lint streams its
+   SARIF renderer).  [summary] falls back to [text] when absent. *)
+let emit fmt ~text ?summary ~json () =
+  match fmt with
+  | Text -> text ()
+  | Json -> json ()
+  | Summary -> ( match summary with Some f -> f () | None -> text ())
+
+(* --- observability --- *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record spans and counters and write a Chrome trace_event JSON \
+           timeline here (load in chrome://tracing or Perfetto).")
+
+let manifest_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "manifest" ] ~docv:"FILE"
+        ~doc:
+          "Write a flat JSON run manifest here: configuration, git \
+           describe, wall seconds, per-engine and per-step seconds, \
+           counter totals.")
+
+let sink_for ~trace ~manifest =
+  if trace <> None || manifest <> None then Trace.create () else Trace.null
+
+(* Write whichever observability files were requested. *)
+let write_obs ~trace ~manifest ?config ?steps ?prep ?extra ~wall_seconds sink
+    =
+  (match trace with
+  | None -> ()
+  | Some path ->
+    Export.to_file sink path;
+    Format.printf "wrote %s@." path);
+  match manifest with
+  | None -> ()
+  | Some path ->
+    Manifest.to_file
+      (Manifest.make ?config ?steps ?prep ?extra ~wall_seconds sink)
+      path;
+    Format.printf "wrote %s@." path
+
+(* Manifest [config] fields for a flow run. *)
+let config_fields ?soc rc =
+  let base =
+    match Olfu.Run_config.to_json rc with J.Obj l -> l | _ -> []
+  in
+  match soc with None -> base | Some name -> ("soc", J.Str name) :: base
+
+(* --- structured renderings of the flow reports --- *)
+
+let verdict_fields l =
+  List.map
+    (fun (u, n) ->
+      (Olfu_fault.Status.code (Olfu_fault.Status.Undetectable u), J.Int n))
+    l
+
+let manifest_steps (r : Olfu.Flow.report) =
+  List.map
+    (fun (s : Olfu.Flow.step_report) ->
+      {
+        Manifest.name = Olfu.Flow.source_name s.Olfu.Flow.source;
+        seconds = s.Olfu.Flow.seconds;
+        classified = s.Olfu.Flow.classified;
+        verdicts =
+          List.map
+            (fun (u, n) ->
+              (Olfu_fault.Status.code (Olfu_fault.Status.Undetectable u), n))
+            s.Olfu.Flow.by_verdict;
+      })
+    r.Olfu.Flow.steps
+
+(* Table I as structured JSON: per-step records plus the paper's
+   three-row accounting. *)
+let flow_json (r : Olfu.Flow.report) =
+  let open Olfu.Flow in
+  let pct n = 100. *. float_of_int n /. float_of_int (max 1 r.universe) in
+  let row n = J.Obj [ ("count", J.Int n); ("percent", J.Float (pct n)) ] in
+  let scan = step_count r Scan in
+  let ctl = step_count r Debug_control in
+  let obs = step_count r Debug_observe in
+  let mem = step_count r Memory in
+  J.Obj
+    [
+      ("universe", J.Int r.universe);
+      ( "steps",
+        J.List
+          (List.map
+             (fun s ->
+               J.Obj
+                 [
+                   ("source", J.Str (source_name s.source));
+                   ("classified", J.Int s.classified);
+                   ("by_verdict", J.Obj (verdict_fields s.by_verdict));
+                   ("seconds", J.Float s.seconds);
+                 ])
+             r.steps) );
+      ( "prep",
+        J.Obj (List.map (fun (k, s) -> (k, J.Float s)) r.prep) );
+      ( "table1",
+        J.Obj
+          [
+            ("scan", row scan);
+            ("debug", row (ctl + obs));
+            ("debug_control", J.Int ctl);
+            ("debug_observe", J.Int obs);
+            ("memory", row mem);
+            ("total", row (paper_total r));
+            ("baseline", J.Int (step_count r Baseline));
+            ("grand_total", row r.total_olfu);
+          ] );
+      ("seconds", J.Float r.seconds);
+    ]
+
+let coverage_json (s : Olfu_sbst.Coverage.summary) =
+  let open Olfu_sbst.Coverage in
+  J.Obj
+    [
+      ( "programs",
+        J.List
+          (List.map
+             (fun p ->
+               J.Obj
+                 [
+                   ("name", J.Str p.pname);
+                   ("cycles", J.Int p.cycles);
+                   ("newly_detected", J.Int p.newly_detected);
+                 ])
+             s.programs) );
+      ("total_faults", J.Int s.total_faults);
+      ("detected", J.Int s.detected);
+      ("undetectable", J.Int s.undetectable);
+      ("raw_coverage", J.Float s.raw_coverage);
+      ("pruned_coverage", J.Float s.pruned_coverage);
+    ]

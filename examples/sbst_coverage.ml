@@ -34,7 +34,7 @@ let () =
   let nl = Olfu_soc.Soc.generate cfg in
   Format.printf "%a@." Olfu_netlist.Stats.pp (Olfu_netlist.Stats.of_netlist nl);
   let mission = Olfu.Mission.of_soc cfg nl in
-  let report = Olfu.Flow.run nl mission in
+  let report = Olfu.Flow.run Olfu.Run_config.default nl mission in
   Format.printf "%a@.@." (Olfu.Flow.pp_table1 ~paper:false) report;
   let sample = sample_flist report.Olfu.Flow.flist ~seed:42 ~size:sample_size in
   Format.printf "grading SBST suite on a %d-fault sample ...@."

@@ -9,7 +9,7 @@ let () =
   Format.printf "%a@." Olfu_netlist.Stats.pp (Olfu_netlist.Stats.of_netlist nl);
   let mission = Olfu.Mission.of_soc cfg nl in
   Format.printf "%a@." Olfu.Mission.pp mission;
-  let report = Olfu.Flow.run nl mission in
+  let report = Olfu.Flow.run Olfu.Run_config.default nl mission in
   Format.printf "@.%a@." (Olfu.Flow.pp_table1 ~paper:true) report;
   (* the pruning effect on a hypothetical 85%-raw-coverage campaign *)
   Format.printf "@.%a@." Olfu_fault.Flist.pp_summary report.Olfu.Flow.flist

@@ -13,8 +13,8 @@ let () =
   Format.printf "generating %s ...@." cfg.Olfu_soc.Soc.name;
   let nl = Olfu_soc.Soc.generate cfg in
   let m = Olfu.Mission.of_soc cfg nl in
-  Format.printf "%a@.@." Olfu.Tdf_flow.pp (Olfu.Tdf_flow.run nl m);
+  Format.printf "%a@.@." Olfu.Tdf_flow.pp (Olfu.Tdf_flow.run Olfu.Run_config.default nl m);
   (* the contrast with stuck-at on the same netlist *)
-  let r = Olfu.Flow.run nl m in
+  let r = Olfu.Flow.run Olfu.Run_config.default nl m in
   Format.printf "stuck-at for comparison:@.%a@."
     (Olfu.Flow.pp_table1 ~paper:false) r

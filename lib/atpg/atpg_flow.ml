@@ -1,6 +1,32 @@
 open Olfu_logic
 open Olfu_netlist
 open Olfu_fault
+module Trace = Olfu_obs.Trace
+
+type config = {
+  seed : int;
+  random_batch : int;
+  max_random_batches : int;
+  backtrack_limit : int;
+  use_sat : bool;
+  sat_conflict_limit : int;
+  observable_output : int -> bool;
+  observe_captures : bool;
+  trace : Trace.sink;
+}
+
+let default =
+  {
+    seed = 1;
+    random_batch = 64;
+    max_random_batches = 32;
+    backtrack_limit = 2_000;
+    use_sat = true;
+    sat_conflict_limit = 50_000;
+    observable_output = (fun _ -> true);
+    observe_captures = true;
+    trace = Trace.null;
+  }
 
 type result = {
   patterns : Olfu_fsim.Comb_fsim.pattern list;
@@ -18,12 +44,22 @@ let active st =
   | Status.Not_analyzed | Status.Not_detected -> true
   | _ -> false
 
-let run ?(seed = 1) ?(random_batch = 64) ?(max_random_batches = 32)
-    ?(backtrack_limit = 2_000) ?(use_sat = true)
-    ?(sat_conflict_limit = 50_000) ?(observable_output = fun _ -> true)
-    ?(observe_captures = true) nl fl =
+let run cfg nl fl =
+  let {
+    seed;
+    random_batch;
+    max_random_batches;
+    backtrack_limit;
+    use_sat;
+    sat_conflict_limit;
+    observable_output;
+    observe_captures;
+    trace;
+  } =
+    cfg
+  in
   let t0 = Unix.gettimeofday () in
-  let guide = Scoap.run nl in
+  let guide = Trace.span trace ~cat:"engine" "scoap" (fun () -> Scoap.run nl) in
   let rng = Random.State.make [| seed |] in
   let srcs = Array.append (Netlist.inputs nl) (Netlist.seq_nodes nl) in
   let patterns = ref [] in
@@ -34,118 +70,154 @@ let run ?(seed = 1) ?(random_batch = 64) ?(max_random_batches = 32)
      engines use; captures must be observed for the walker's through-FF
      credit to be sound, so the prune is skipped otherwise *)
   let static_pruned = ref 0 in
-  if observe_captures then begin
-    let t = Untestable.analyze ~ff_mode:Ternary.Cut ~observable_output nl in
-    Flist.iteri
-      (fun i f st ->
-        if active st then
-          match Untestable.fault_verdict t f with
-          | Some v ->
-            incr static_pruned;
-            Flist.set_status fl i v
-          | None -> ())
-      fl
-  end;
+  if observe_captures then
+    Trace.span trace ~cat:"step" "static prune" (fun () ->
+        let t =
+          Untestable.analyze ~ff_mode:Ternary.Cut ~observable_output ~trace nl
+        in
+        Trace.span trace ~cat:"engine" "classify" @@ fun () ->
+        Flist.iteri
+          (fun i f st ->
+            if active st then
+              match Untestable.fault_verdict t f with
+              | Some v ->
+                incr static_pruned;
+                Flist.set_status fl i v
+              | None -> ())
+          fl);
   (* phase 1: random patterns with fault dropping *)
-  let exhausted = ref false in
-  let batches = ref 0 in
-  while (not !exhausted) && !batches < max_random_batches do
-    incr batches;
-    let batch =
-      Array.init random_batch (fun _ ->
-          Array.map
-            (fun _ -> Logic4.of_bool (Random.State.bool rng))
-            srcs)
-    in
-    let r =
-      Olfu_fsim.Comb_fsim.run ~observe_captures ~observable_output nl fl batch
-    in
-    if r.Olfu_fsim.Comb_fsim.detected = 0 then exhausted := true
-    else begin
-      (* keep the batch: simple (non-minimal) pattern retention *)
-      Array.iter (fun p -> patterns := p :: !patterns) batch;
-      random_patterns := !random_patterns + random_batch
-    end
-  done;
-  (* phase 2: PODEM for the survivors *)
+  Trace.span trace ~cat:"step" "random patterns" (fun () ->
+      let exhausted = ref false in
+      let batches = ref 0 in
+      while (not !exhausted) && !batches < max_random_batches do
+        incr batches;
+        let batch =
+          Array.init random_batch (fun _ ->
+              Array.map
+                (fun _ -> Logic4.of_bool (Random.State.bool rng))
+                srcs)
+        in
+        let r =
+          Olfu_fsim.Comb_fsim.run ~observe_captures ~observable_output ~trace
+            nl fl batch
+        in
+        if r.Olfu_fsim.Comb_fsim.detected = 0 then exhausted := true
+        else begin
+          (* keep the batch: simple (non-minimal) pattern retention *)
+          Array.iter (fun p -> patterns := p :: !patterns) batch;
+          random_patterns := !random_patterns + random_batch
+        end
+      done);
+  (* phase 2: PODEM for the survivors.  Per-target search times are
+     accumulated and recorded as one "podem" engine span so the manifest
+     attribution stays flat (fsim replays keep their own spans). *)
   let proved = ref 0 and aborted = ref 0 in
-  Flist.iteri
-    (fun i f st ->
-      if active st && f.Fault.site.Fault.pin <> Cell.Pin.Clk then
-        match
-          Podem.run ~backtrack_limit ~observable_output ~observe_captures
-            ~guide nl f
-        with
-        | Podem.Test assignment ->
-          let p =
-            Array.map
-              (fun s ->
-                match List.assoc_opt s assignment with
-                | Some b -> Logic4.of_bool b
-                | None -> Logic4.of_bool (Random.State.bool rng))
-              srcs
-          in
-          (* fault-simulate the new pattern: it may catch several *)
-          let sub = Flist.create nl [| f |] in
-          ignore
-            (Olfu_fsim.Comb_fsim.run ~observe_captures ~observable_output nl
-               sub [| p |]
-              : Olfu_fsim.Comb_fsim.report);
-          if Status.equal (Flist.status sub 0) Status.Detected then begin
-            patterns := p :: !patterns;
-            ignore
-              (Olfu_fsim.Comb_fsim.run ~observe_captures ~observable_output nl
-                 fl [| p |]
-                : Olfu_fsim.Comb_fsim.report);
-            (* ensure the target itself is marked even if PT-shadowed *)
-            Flist.set_status fl i Status.Detected
-          end
-          else begin
-            (* X-masking kept the oracle from confirming; count as abort *)
-            incr aborted;
-            Flist.set_status fl i Status.Atpg_untestable
-          end
-        | Podem.Proved_untestable ->
-          incr proved;
-          Flist.set_status fl i (Status.Undetectable Status.Redundant)
-        | Podem.Aborted ->
-          incr aborted;
-          Flist.set_status fl i Status.Atpg_untestable)
-    fl;
+  let podem_s = ref 0. and podem_runs = ref 0 in
+  Trace.span trace ~cat:"step" "podem" (fun () ->
+      Flist.iteri
+        (fun i f st ->
+          if active st && f.Fault.site.Fault.pin <> Cell.Pin.Clk then begin
+            let ts = Trace.now trace in
+            let outcome =
+              Podem.run ~backtrack_limit ~observable_output ~observe_captures
+                ~guide nl f
+            in
+            podem_s := !podem_s +. (Trace.now trace -. ts);
+            incr podem_runs;
+            match outcome with
+            | Podem.Test assignment ->
+              let p =
+                Array.map
+                  (fun s ->
+                    match List.assoc_opt s assignment with
+                    | Some b -> Logic4.of_bool b
+                    | None -> Logic4.of_bool (Random.State.bool rng))
+                  srcs
+              in
+              (* fault-simulate the new pattern: it may catch several *)
+              let sub = Flist.create nl [| f |] in
+              ignore
+                (Olfu_fsim.Comb_fsim.run ~observe_captures ~observable_output
+                   ~trace nl sub [| p |]
+                  : Olfu_fsim.Comb_fsim.report);
+              if Status.equal (Flist.status sub 0) Status.Detected then begin
+                patterns := p :: !patterns;
+                ignore
+                  (Olfu_fsim.Comb_fsim.run ~observe_captures
+                     ~observable_output ~trace nl fl [| p |]
+                    : Olfu_fsim.Comb_fsim.report);
+                (* ensure the target itself is marked even if PT-shadowed *)
+                Flist.set_status fl i Status.Detected
+              end
+              else begin
+                (* X-masking kept the oracle from confirming; count as
+                   abort *)
+                incr aborted;
+                Flist.set_status fl i Status.Atpg_untestable
+              end
+            | Podem.Proved_untestable ->
+              incr proved;
+              Flist.set_status fl i (Status.Undetectable Status.Redundant)
+            | Podem.Aborted ->
+              incr aborted;
+              Flist.set_status fl i Status.Atpg_untestable
+          end)
+        fl);
+  if Trace.enabled trace && !podem_runs > 0 then begin
+    Trace.record trace ~cat:"engine" ~dur:!podem_s "podem";
+    Trace.add trace "podem.targets" !podem_runs
+  end;
   (* phase 3: complete SAT prover for the aborts *)
   let sat_settled = ref 0 in
+  let sat_s = ref 0. and sat_runs = ref 0 in
   if use_sat then
-    Flist.iteri
-      (fun i f st ->
-        if Status.equal st Status.Atpg_untestable then
-          match
-            Sat_atpg.run ~conflict_limit:sat_conflict_limit ~observable_output
-              ~observe_captures nl f
-          with
-          | Sat_atpg.Test assignment ->
-            incr sat_settled;
-            decr aborted;
-            let p =
-              Array.map
-                (fun s ->
-                  match List.assoc_opt s assignment with
-                  | Some b -> Logic4.of_bool b
-                  | None -> Logic4.of_bool (Random.State.bool rng))
-                srcs
-            in
-            patterns := p :: !patterns;
-            Flist.set_status fl i Status.Detected;
-            ignore
-              (Olfu_fsim.Comb_fsim.run ~observe_captures ~observable_output nl
-                 fl [| p |]
-                : Olfu_fsim.Comb_fsim.report)
-          | Sat_atpg.Untestable ->
-            incr sat_settled;
-            decr aborted;
-            incr proved;
-            Flist.set_status fl i (Status.Undetectable Status.Redundant)
-          | Sat_atpg.Unknown -> ())
-      fl;
+    Trace.span trace ~cat:"step" "sat" (fun () ->
+        Flist.iteri
+          (fun i f st ->
+            if Status.equal st Status.Atpg_untestable then begin
+              let ts = Trace.now trace in
+              let outcome =
+                Sat_atpg.run ~conflict_limit:sat_conflict_limit
+                  ~observable_output ~observe_captures nl f
+              in
+              sat_s := !sat_s +. (Trace.now trace -. ts);
+              incr sat_runs;
+              match outcome with
+              | Sat_atpg.Test assignment ->
+                incr sat_settled;
+                decr aborted;
+                let p =
+                  Array.map
+                    (fun s ->
+                      match List.assoc_opt s assignment with
+                      | Some b -> Logic4.of_bool b
+                      | None -> Logic4.of_bool (Random.State.bool rng))
+                    srcs
+                in
+                patterns := p :: !patterns;
+                Flist.set_status fl i Status.Detected;
+                ignore
+                  (Olfu_fsim.Comb_fsim.run ~observe_captures
+                     ~observable_output ~trace nl fl [| p |]
+                    : Olfu_fsim.Comb_fsim.report)
+              | Sat_atpg.Untestable ->
+                incr sat_settled;
+                decr aborted;
+                incr proved;
+                Flist.set_status fl i (Status.Undetectable Status.Redundant)
+              | Sat_atpg.Unknown -> ()
+            end)
+          fl);
+  if Trace.enabled trace && !sat_runs > 0 then begin
+    Trace.record trace ~cat:"engine" ~dur:!sat_s "sat";
+    Trace.add trace "sat.targets" !sat_runs
+  end;
+  if Trace.enabled trace then begin
+    Trace.add trace "atpg.static_pruned" !static_pruned;
+    Trace.add trace "atpg.proved_untestable" !proved;
+    Trace.add trace "atpg.sat_settled" !sat_settled;
+    Trace.add trace "atpg.patterns" (List.length !patterns)
+  end;
   {
     patterns = List.rev !patterns;
     detected = Flist.count_status fl Status.Detected;
@@ -157,14 +229,15 @@ let run ?(seed = 1) ?(random_batch = 64) ?(max_random_batches = 32)
     seconds = Unix.gettimeofday () -. t0;
   }
 
-let compact ?observable_output ?(observe_captures = true) nl patterns =
+let compact ?observable_output ?(observe_captures = true)
+    ?(trace = Trace.null) nl patterns =
   let fl = Flist.full nl in
   let kept = ref [] in
   List.iter
     (fun p ->
       let r =
-        Olfu_fsim.Comb_fsim.run ~observe_captures ?observable_output nl fl
-          [| p |]
+        Olfu_fsim.Comb_fsim.run ~observe_captures ?observable_output ~trace nl
+          fl [| p |]
       in
       if r.Olfu_fsim.Comb_fsim.detected > 0 then kept := p :: !kept)
     (List.rev patterns);

@@ -9,6 +9,28 @@ open Olfu_fault
     motivates.  A final SAT phase settles the faults branch-and-bound
     gives up on. *)
 
+type config = {
+  seed : int;  (** RNG seed for random patterns and X fill *)
+  random_batch : int;  (** patterns per phase-1 batch *)
+  max_random_batches : int;
+  backtrack_limit : int;  (** PODEM backtrack budget per target *)
+  use_sat : bool;  (** run the complete SAT prover on PODEM aborts *)
+  sat_conflict_limit : int;
+  observable_output : int -> bool;
+      (** observation model for all phases; default full access, pass the
+          mission observation to generate {e functional} tests *)
+  observe_captures : bool;
+  trace : Olfu_obs.Trace.sink;
+      (** observability sink; {!Olfu_obs.Trace.null} records nothing *)
+}
+
+val default : config
+(** [seed = 1], [random_batch = 64], [max_random_batches = 32],
+    [backtrack_limit = 2000], [use_sat = true],
+    [sat_conflict_limit = 50_000], full observation, captures observed,
+    null trace.  Override with record update syntax:
+    [{ Atpg_flow.default with use_sat = false }]. *)
+
 type result = {
   patterns : Olfu_fsim.Comb_fsim.pattern list;  (** final compacted test set *)
   detected : int;
@@ -22,18 +44,7 @@ type result = {
   seconds : float;
 }
 
-val run :
-  ?seed:int ->
-  ?random_batch:int ->
-  ?max_random_batches:int ->
-  ?backtrack_limit:int ->
-  ?use_sat:bool ->
-  ?sat_conflict_limit:int ->
-  ?observable_output:(int -> bool) ->
-  ?observe_captures:bool ->
-  Netlist.t ->
-  Flist.t ->
-  result
+val run : config -> Netlist.t -> Flist.t -> result
 (** A static phase 0 lets {!Untestable} (ternary constants, X-path
     blocking, and the {!Implic} conflict engine, under the per-frame
     [Cut] ff_mode matching the combinational pattern model) prune
@@ -44,18 +55,22 @@ val run :
     prover for whatever PODEM aborted on.  Updates the fault list in
     place ([Detected] / [Undetectable _] / [Atpg_untestable]); faults
     already classified are skipped, so running the OLFU flow first
-    shrinks the ATPG effort (see the bench).  Phase 1 stops after a batch of
-    [random_batch] patterns (default 64) detects nothing new, or after
-    [max_random_batches] (default 32).  [observable_output] /
-    [observe_captures] select the observation model for all three phases:
-    default full access (scan ATPG); pass the mission observation to
-    generate {e functional} tests. *)
+    shrinks the ATPG effort (see the bench).  Phase 1 stops after a
+    batch of [config.random_batch] patterns detects nothing new, or
+    after [config.max_random_batches].
+
+    With a recording [config.trace], each phase gets a ["step"]-category
+    span and engine time is attributed to ["scoap"], ["ternary"] /
+    ["observe"] / ["implic"] / ["classify"] (phase 0), ["fsim"],
+    ["podem"] and ["sat"] spans (PODEM and SAT per-target times are
+    accumulated into one span each). *)
 
 val pp : Format.formatter -> result -> unit
 
 val compact :
   ?observable_output:(int -> bool) ->
   ?observe_captures:bool ->
+  ?trace:Olfu_obs.Trace.sink ->
   Netlist.t ->
   Olfu_fsim.Comb_fsim.pattern list ->
   Olfu_fsim.Comb_fsim.pattern list

@@ -2,6 +2,7 @@ open Olfu_logic
 open Olfu_netlist
 open Olfu_fault
 module Pool = Olfu_pool.Pool
+module Trace = Olfu_obs.Trace
 
 (* Per-domain walk state: scratch for cone lookups, generation-stamped
    [affected] marks, and a verdict memo.  Never shared between domains. *)
@@ -38,17 +39,26 @@ let make_walker_for ?cache nl implic =
   }
 
 let analyze ?ff_mode ?(observable_output = fun _ -> true) ?consts
-    ?(implic = true) ?learn_depth ?learn_budget nl =
+    ?(implic = true) ?learn_depth ?learn_budget ?(trace = Trace.null) nl =
+  let _ = Trace.span trace ~cat:"engine" "graph" (fun () -> Analysis.get nl) in
   let consts =
-    match consts with Some c -> c | None -> Ternary.run ?ff_mode nl
+    match consts with
+    | Some c -> c
+    | None ->
+      Trace.span trace ~cat:"engine" "ternary" (fun () ->
+          Ternary.run ?ff_mode nl)
   in
-  let obs = Observe.run ~observable_output nl ~consts:consts.Ternary.values in
+  let obs =
+    Trace.span trace ~cat:"engine" "observe" (fun () ->
+        Observe.run ~observable_output nl ~consts:consts.Ternary.values)
+  in
   let stem_cache = Hashtbl.create 997 in
   let implic =
     if implic then
       Some
-        (Implic.build ?learn_depth ?learn_budget
-           ~consts:consts.Ternary.values nl)
+        (Trace.span trace ~cat:"engine" "implic" (fun () ->
+             Implic.build ?learn_depth ?learn_budget
+               ~consts:consts.Ternary.values nl))
     else None
   in
   {
@@ -359,34 +369,42 @@ let verdict_w t w f =
 let fault_verdict t f = verdict_w t t.walker f
 let verdict_with t w f = verdict_w t w f
 
-let classify ?jobs t fl =
+let classify ?jobs ?(trace = Trace.null) t fl =
   let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
   let nf = Flist.size fl in
   let changed = ref 0 in
-  Pool.with_pool ~jobs (fun pool ->
-      let nw = Pool.jobs pool in
-      (* verdicts are pure in (t, fault); per-worker walkers only memoize,
-         and each fault index is written by exactly one worker, so the
-         outcome is independent of jobs.  Worker 0 reuses [t]'s walker to
-         keep the sequential path warming [t.stem_cache] as before. *)
-      let walkers =
-        Array.init nw (fun k -> if k = 0 then t.walker else make_walker t)
-      in
-      let wchanged = Array.make nw 0 in
-      Pool.parallel_chunks pool ~n:nf ~chunk:512
-        (fun ~worker ~lo ~hi ->
-          let w = walkers.(worker) in
-          for i = lo to hi - 1 do
-            match Flist.status fl i with
-            | Status.Not_analyzed | Status.Not_detected -> (
-              match verdict_w t w (Flist.fault fl i) with
-              | Some v ->
-                Flist.set_status fl i v;
-                wchanged.(worker) <- wchanged.(worker) + 1
-              | None -> ())
-            | _ -> ()
-          done);
-      changed := Array.fold_left ( + ) 0 wchanged);
+  Trace.span trace ~cat:"engine" "classify" (fun () ->
+      Pool.with_pool ~jobs (fun pool ->
+          let nw = Pool.jobs pool in
+          (* verdicts are pure in (t, fault); per-worker walkers only
+             memoize, and each fault index is written by exactly one
+             worker, so the outcome is independent of jobs.  Worker 0
+             reuses [t]'s walker to keep the sequential path warming
+             [t.stem_cache] as before. *)
+          let walkers =
+            Array.init nw (fun k -> if k = 0 then t.walker else make_walker t)
+          in
+          let wchanged = Array.make nw 0 in
+          Pool.parallel_chunks pool ~n:nf ~chunk:512 ~trace ~label:"classify"
+            (fun ~worker ~lo ~hi ->
+              let w = walkers.(worker) in
+              let nexam = ref 0 in
+              for i = lo to hi - 1 do
+                match Flist.status fl i with
+                | Status.Not_analyzed | Status.Not_detected -> (
+                  incr nexam;
+                  match verdict_w t w (Flist.fault fl i) with
+                  | Some v ->
+                    Flist.set_status fl i v;
+                    wchanged.(worker) <- wchanged.(worker) + 1
+                  | None -> ())
+                | _ -> ()
+              done;
+              if Trace.enabled trace then
+                Trace.add trace ~worker "classify.examined" !nexam);
+          changed := Array.fold_left ( + ) 0 wchanged));
+  Trace.add trace "classify.faults" nf;
+  Trace.add trace "classify.classified" !changed;
   !changed
 
 let untestable_breakdown t nl =

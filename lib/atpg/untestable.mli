@@ -55,6 +55,7 @@ val analyze :
   ?implic:bool ->
   ?learn_depth:int ->
   ?learn_budget:int ->
+  ?trace:Olfu_obs.Trace.sink ->
   Netlist.t ->
   t
 (** [consts], when given, must be the result of [Ternary.run] on the same
@@ -63,7 +64,11 @@ val analyze :
     observability).  [ff_mode] is ignored when [consts] is supplied.
     [implic] (default [true]) builds the static implication database so
     {!fault_verdict} can return UC verdicts; [learn_depth] /
-    [learn_budget] are passed to {!Implic.build}. *)
+    [learn_budget] are passed to {!Implic.build}.
+
+    A recording [trace] attributes each phase to an ["engine"]-category
+    span: ["graph"] (analysis construction), ["ternary"] (skipped when
+    [consts] is supplied), ["observe"], ["implic"]. *)
 
 val fault_verdict : t -> Fault.t -> Status.t option
 (** [Some (Undetectable _)] when provably untestable, [None] otherwise. *)
@@ -79,13 +84,17 @@ val verdict_with : t -> walker -> Fault.t -> Status.t option
 val implication_db : t -> Implic.t option
 (** The database built by {!analyze} (for stats reporting). *)
 
-val classify : ?jobs:int -> t -> Flist.t -> int
+val classify : ?jobs:int -> ?trace:Olfu_obs.Trace.sink -> t -> Flist.t -> int
 (** Applies {!fault_verdict} to every [Not_analyzed] / [Not_detected]
     fault of the list; returns the number of faults newly classified
     undetectable.  [jobs] (default {!Olfu_pool.Pool.default_jobs}) shards
     the fault list across a domain pool with per-worker walkers; verdicts
     are pure per fault and indices are owned by single workers, so the
-    result is identical for any [jobs]. *)
+    result is identical for any [jobs].
+
+    A recording [trace] gets one ["engine"]-category ["classify"] span
+    and the jobs-invariant counters ["classify.faults"],
+    ["classify.examined"] and ["classify.classified"]. *)
 
 val untestable_count : t -> Netlist.t -> int
 (** Number of untestable faults over the full universe of the netlist

@@ -2,6 +2,7 @@ open Olfu_netlist
 open Olfu_fault
 open Olfu_atpg
 open Olfu_manip
+module Trace = Olfu_obs.Trace
 
 type source = Scan | Baseline | Debug_control | Debug_observe | Memory
 
@@ -55,6 +56,7 @@ let diff_tally before after =
 type report = {
   universe : int;
   steps : step_report list;
+  prep : (string * float) list;
   total_olfu : int;
   fraction : float;
   flist : Flist.t;
@@ -93,58 +95,90 @@ let verify_scan_rule nl =
       (Scan_trace.untestable_faults tied)
 
 (* Classify all still-unclassified faults that the engine proves
-   untestable in the given circuit model.  Returns the ternary constants
-   alongside the count so steps over the same netlist can share them. *)
-let engine_step ?ff_mode ?observable_output ?consts ?jobs ?implic nl fl =
-  let t = Untestable.analyze ?ff_mode ?observable_output ?consts ?implic nl in
-  (Untestable.classify ?jobs t fl, t.Untestable.consts)
+   untestable in the given circuit model. *)
+let engine_step (cfg : Run_config.t) ?observable_output ?consts nl fl =
+  let t =
+    Untestable.analyze ~ff_mode:cfg.Run_config.ff_mode ?observable_output
+      ?consts ~implic:cfg.Run_config.implic ~trace:cfg.Run_config.trace nl
+  in
+  Untestable.classify ~jobs:cfg.Run_config.jobs ~trace:cfg.Run_config.trace t
+    fl
 
-let run ?ff_mode ?jobs ?implic nl mission =
+let run (cfg : Run_config.t) nl mission =
+  let trace = cfg.Run_config.trace in
   let t0 = Unix.gettimeofday () in
-  let fl = Flist.full nl in
+  let fl, flist_t =
+    timed (fun () ->
+        Trace.span trace ~cat:"engine" "flist" (fun () -> Flist.full nl))
+  in
   (* wrap each step so its newly classified faults are attributed to the
-     verdict class (UT/UB/UC/...) that proved them *)
-  let stepped f =
-    let before = undet_tally fl in
-    let r, secs = timed f in
-    (r, diff_tally before (undet_tally fl), secs)
+     verdict class (UT/UB/UC/...) that proved them; the tally sweeps run
+     outside the step spans and are accounted as prep *)
+  let tally_s = ref 0. in
+  let stepped name f =
+    let before, bt = timed (fun () -> undet_tally fl) in
+    let r, secs = timed (fun () -> Trace.span trace ~cat:"step" name f) in
+    let v, at = timed (fun () -> diff_tally before (undet_tally fl)) in
+    tally_s := !tally_s +. bt +. at;
+    Trace.record trace ~cat:"engine" ~dur:(bt +. at) "tally";
+    (r, v, secs)
   in
   (* 1. scan rule *)
-  let scan_count, scan_v, scan_t = stepped (fun () -> scan_step nl fl) in
+  let scan_count, scan_v, scan_t =
+    stepped (source_name Scan) (fun () ->
+        Trace.span trace ~cat:"engine" "scan_trace" (fun () ->
+            scan_step nl fl))
+  in
   (* 1b. baseline: untestable before any manipulation (reset network,
      steady-state constants of the mission circuit itself) *)
-  let (base_count, _), base_v, base_t =
-    stepped (fun () -> engine_step ?ff_mode ?jobs ?implic nl fl)
+  let base_count, base_v, base_t =
+    stepped (source_name Baseline) (fun () -> engine_step cfg nl fl)
+  in
+  (* 2+3 share the tied netlist; its ternary fixpoint is computed once,
+     outside both steps, so neither step's seconds double-count it (it is
+     reported as a [prep] entry and its own "ternary" engine span). *)
+  let tied_controls, tied_t =
+    timed (fun () ->
+        Trace.span trace ~cat:"engine" "manip" (fun () ->
+            Script.apply nl (Mission.tie_controls_script mission)))
+  in
+  let tied_consts, shared_ternary_t =
+    timed (fun () ->
+        Trace.span trace ~cat:"engine" "ternary" (fun () ->
+            Ternary.run ~ff_mode:cfg.Run_config.ff_mode tied_controls))
   in
   (* 2. debug control ties *)
-  let tied_controls =
-    Script.apply nl (Mission.tie_controls_script mission)
-  in
-  let (ctl_count, tied_consts), ctl_v, ctl_t =
-    stepped (fun () -> engine_step ?ff_mode ?jobs ?implic tied_controls fl)
+  let ctl_count, ctl_v, ctl_t =
+    stepped (source_name Debug_control) (fun () ->
+        engine_step cfg ~consts:tied_consts tied_controls fl)
   in
   (* 3. debug observation: stop observing the debug buses (and scan-outs).
-     Same netlist as step 2 — only observability changes, so the ternary
-     constants are reused rather than recomputed. *)
-  let observable = Mission.observed_in_field mission tied_controls in
+     Same netlist as step 2 — only observability changes. *)
+  let observable, mission_obs_t =
+    timed (fun () ->
+        Trace.span trace ~cat:"engine" "mission" (fun () ->
+            Mission.observed_in_field mission tied_controls))
+  in
   let obs_count, obs_v, obs_t =
-    stepped (fun () ->
-        fst
-          (engine_step ?ff_mode ~observable_output:observable
-             ~consts:tied_consts ?jobs ?implic tied_controls fl))
+    stepped (source_name Debug_observe) (fun () ->
+        engine_step cfg ~observable_output:observable ~consts:tied_consts
+          tied_controls fl)
   in
   (* 4. memory map: tie forced address registers and ports *)
-  let forced = Mission.address_forcing mission in
-  let mission_nl =
-    Const_regs.tie_address_ports
-      (Const_regs.tie_address_registers tied_controls ~forced)
-      ~forced
+  let mission_nl, mission_nl_t =
+    timed (fun () ->
+        let forced =
+          Trace.span trace ~cat:"engine" "mission" (fun () ->
+              Mission.address_forcing mission)
+        in
+        Trace.span trace ~cat:"engine" "manip" (fun () ->
+            Const_regs.tie_address_ports
+              (Const_regs.tie_address_registers tied_controls ~forced)
+              ~forced))
   in
   let mem_count, mem_v, mem_t =
-    stepped (fun () ->
-        fst
-          (engine_step ?ff_mode ~observable_output:observable ?jobs ?implic
-             mission_nl fl))
+    stepped (source_name Memory) (fun () ->
+        engine_step cfg ~observable_output:observable mission_nl fl)
   in
   let steps =
     [
@@ -184,6 +218,15 @@ let run ?ff_mode ?jobs ?implic nl mission =
   {
     universe = Flist.size fl;
     steps;
+    prep =
+      [
+        ("fault universe", flist_t);
+        ("tied netlist", tied_t);
+        ("shared ternary fixpoint", shared_ternary_t);
+        ("mission observability", mission_obs_t);
+        ("mission netlist", mission_nl_t);
+        ("verdict accounting", !tally_s);
+      ];
     total_olfu = total;
     fraction = float_of_int total /. float_of_int (max 1 (Flist.size fl));
     flist = fl;

@@ -40,6 +40,13 @@ type step_report = {
 type report = {
   universe : int;  (** total stuck-at faults of the original netlist *)
   steps : step_report list;
+  prep : (string * float) list;
+      (** named work attributed to no step: fault-universe construction,
+          the netlist manipulations, the ternary fixpoint of the tied
+          netlist (shared by the two Debug steps), the mission
+          observability computation, and the per-step verdict tallies —
+          step seconds plus prep seconds account for the flow's wall
+          time (the [bench -- obs] gate checks within 5%) *)
   total_olfu : int;
   fraction : float;  (** [total_olfu / universe] *)
   flist : Flist.t;  (** final classification over the original universe *)
@@ -47,21 +54,20 @@ type report = {
   seconds : float;
 }
 
-val run :
-  ?ff_mode:Olfu_atpg.Ternary.ff_mode ->
-  ?jobs:int ->
-  ?implic:bool ->
-  Netlist.t ->
-  Mission.t ->
-  report
-(** Default [ff_mode] is [Steady_state] (the paper's mission reading).
-    [jobs] (default [OLFU_JOBS] or 1) parallelizes each classification
-    step over a domain pool; results are identical for any value.  The
-    Debug control and Debug observation steps analyze the same tied
-    netlist, so the ternary constant fixpoint is computed once and
-    shared between them.  [implic] (default [true]) enables the static
-    implication engine's UC verdicts inside every classification step;
-    disabling it reproduces the pure UT+UB flow. *)
+val run : Run_config.t -> Netlist.t -> Mission.t -> report
+(** [cfg.ff_mode] selects the ternary reading ([Steady_state] is the
+    paper's mission default); [cfg.jobs] parallelizes each
+    classification step over a domain pool (results are identical for
+    any value); [cfg.implic] enables the static implication engine's UC
+    verdicts inside every classification step (disabling it reproduces
+    the pure UT+UB flow).  The Debug control and Debug observation steps
+    analyze the same tied netlist, so the ternary constant fixpoint is
+    computed once, outside both steps, and reported under [prep].
+
+    A recording [cfg.trace] gets one ["step"]-category span per step
+    (named by {!source_name}) with the engine attribution
+    (["graph"] / ["ternary"] / ["observe"] / ["implic"] / ["classify"]
+    spans) nested inside. *)
 
 val scan_step : Netlist.t -> Flist.t -> int
 

@@ -20,14 +20,11 @@ type report = {
   seconds : float;
 }
 
-val run :
-  ?ff_mode:Olfu_atpg.Ternary.ff_mode ->
-  ?jobs:int ->
-  Netlist.t ->
-  Mission.t ->
-  report
-(** [jobs] (default {!Olfu_pool.Pool.default_jobs}) shards each
-    classification step over a domain pool; the report is identical for
-    any value. *)
+val run : Run_config.t -> Netlist.t -> Mission.t -> report
+(** [cfg.jobs] shards each classification step over a domain pool; the
+    report is identical for any value.  The two Debug steps analyze the
+    same tied netlist, so its ternary fixpoint is computed once, outside
+    both.  A recording [cfg.trace] gets one ["step"]-category span per
+    step with the engine spans nested inside. *)
 
 val pp : Format.formatter -> report -> unit

@@ -3,6 +3,7 @@ open Olfu_netlist
 open Olfu_fault
 open Olfu_sim
 module Pool = Olfu_pool.Pool
+module Trace = Olfu_obs.Trace
 
 type pattern = Logic4.t array
 type engine = Cone | Full_settle
@@ -235,10 +236,11 @@ let eval_fault_cone an s genv good_cap obs_out observe_captures (f : Fault.t) =
 (* ------------------------------------------------------------------ *)
 
 let run ?(observe_captures = true) ?(observable_output = fun _ -> true)
-    ?(engine = Cone) ?jobs nl fl patterns =
+    ?(engine = Cone) ?jobs ?(trace = Trace.null) nl fl patterns =
   let jobs =
     match jobs with Some j -> j | None -> Pool.default_jobs ()
   in
+  Trace.span trace ~cat:"engine" "fsim" @@ fun () ->
   let an = Analysis.get nl in
   let srcs = Analysis.sources an in
   let n = Netlist.length nl in
@@ -284,9 +286,10 @@ let run ?(observe_captures = true) ?(observable_output = fun _ -> true)
         (* Sharding discipline: each fault index is processed by exactly
            one worker per batch; statuses and per-worker counters touch
            disjoint slots, so results are independent of scheduling. *)
-        Pool.parallel_chunks pool ~n:nfaults ~chunk:256
+        Pool.parallel_chunks pool ~n:nfaults ~chunk:256 ~trace ~label:"fsim"
           (fun ~worker ~lo ~hi ->
             let s = scratches.(worker) in
+            let nact = ref 0 in
             for fi = lo to hi - 1 do
               let st = Flist.status fl fi in
               let f = Flist.fault fl fi in
@@ -298,6 +301,7 @@ let run ?(observe_captures = true) ?(observable_output = fun _ -> true)
                 | _ -> false
               in
               if active then begin
+                incr nact;
                 let det, pt =
                   match engine with
                   | Cone ->
@@ -320,10 +324,20 @@ let run ?(observe_captures = true) ?(observable_output = fun _ -> true)
                   wposs.(worker) <- wposs.(worker) + 1
                 end
               end
-            done)
+            done;
+            (* fault dropping is batch-synchronous and index-sharded, so
+               the active count is jobs-invariant *)
+            if Trace.enabled trace then
+              Trace.add trace ~worker "fsim.fault_evals" !nact)
       done;
       detected := Array.fold_left ( + ) 0 wdet;
       possibly := Array.fold_left ( + ) 0 wposs);
+  if Trace.enabled trace then begin
+    Trace.add trace "fsim.patterns" (Array.length patterns);
+    Trace.add trace "fsim.batches" ((Array.length patterns + 63) / 64);
+    Trace.add trace "fsim.detected" !detected;
+    Trace.add trace "fsim.possibly" !possibly
+  end;
   { patterns = Array.length patterns; detected = !detected; possibly = !possibly }
 
 (* ------------------------------------------------------------------ *)

@@ -37,6 +37,7 @@ val run :
   ?observable_output:(int -> bool) ->
   ?engine:engine ->
   ?jobs:int ->
+  ?trace:Olfu_obs.Trace.sink ->
   Netlist.t ->
   Flist.t ->
   pattern array ->
@@ -49,7 +50,13 @@ val run :
     default_jobs}, i.e. [OLFU_JOBS] or 1) shards the fault list across a
     domain pool per batch; each fault index is owned by exactly one
     worker, so statuses and counts are bit-identical to a sequential
-    run regardless of [jobs]. *)
+    run regardless of [jobs].
+
+    A recording [trace] gets one ["engine"]-category ["fsim"] span for
+    the whole run and the jobs-invariant counters ["fsim.patterns"],
+    ["fsim.batches"], ["fsim.fault_evals"], ["fsim.detected"] and
+    ["fsim.possibly"] (fault dropping is batch-synchronous, so the
+    evaluation count does not depend on scheduling). *)
 
 val faulty_outputs :
   Netlist.t -> Fault.t -> pattern -> (int * Olfu_logic.Logic4.t) list

@@ -3,6 +3,7 @@ open Olfu_netlist
 open Olfu_fault
 module Eval = Olfu_sim.Eval
 module Pool = Olfu_pool.Pool
+module Trace = Olfu_obs.Trace
 
 type step = { assign : (int * Logic4.t) list; strobe : bool }
 type stimulus = step array
@@ -60,8 +61,10 @@ let inject_stem b node v =
   let m0 = mask_of b.stem0 node and m1 = mask_of b.stem1 node in
   if m0 = 0L && m1 = 0L then v else Dualrail.force_mask v ~m0 ~m1
 
-let run ?(init = Logic4.X) ?(observe = fun _ -> true) ?jobs nl fl stimulus =
+let run ?(init = Logic4.X) ?(observe = fun _ -> true) ?jobs
+    ?(trace = Trace.null) nl fl stimulus =
   let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
+  Trace.span trace ~cat:"engine" "fsim" @@ fun () ->
   let an = Analysis.get nl in
   let seqs = Netlist.seq_nodes nl in
   let outs = Array.to_list (Netlist.outputs nl) |> List.filter observe in
@@ -202,6 +205,7 @@ let run ?(init = Logic4.X) ?(observe = fun _ -> true) ?jobs nl fl stimulus =
       let wdet = Array.init nw (fun _ -> ref 0) in
       let wposs = Array.init nw (fun _ -> ref 0) in
       Pool.parallel_chunks pool ~n:(Array.length batch_faults) ~chunk:1
+        ~trace ~label:"seq_fsim"
         (fun ~worker ~lo ~hi ->
           for k = lo to hi - 1 do
             run_batch ~wdet:wdet.(worker) ~wposs:wposs.(worker)
@@ -209,6 +213,13 @@ let run ?(init = Logic4.X) ?(observe = fun _ -> true) ?jobs nl fl stimulus =
           done);
       Array.iter (fun r -> detected := !detected + !r) wdet;
       Array.iter (fun r -> possibly := !possibly + !r) wposs);
+  if Trace.enabled trace then begin
+    Trace.add trace "fsim.seq_batches" (Array.length batch_faults);
+    Trace.add trace "fsim.cycles" (Array.length stimulus);
+    Trace.add trace "fsim.fault_evals" (List.length active);
+    Trace.add trace "fsim.detected" !detected;
+    Trace.add trace "fsim.possibly" !possibly
+  end;
   {
     cycles = Array.length stimulus;
     faults_simulated = List.length active;

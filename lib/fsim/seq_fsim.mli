@@ -33,6 +33,7 @@ val run :
   ?init:Logic4.t ->
   ?observe:(int -> bool) ->
   ?jobs:int ->
+  ?trace:Olfu_obs.Trace.sink ->
   Netlist.t ->
   Flist.t ->
   stimulus ->
@@ -42,4 +43,8 @@ val run :
     markers (default: all).  [init] is the power-up flip-flop value
     (default X).  [jobs] (default {!Olfu_pool.Pool.default_jobs}) shards
     the 63-fault batches across a domain pool; batches own disjoint fault
-    indices, so results are identical for any [jobs]. *)
+    indices, so results are identical for any [jobs].
+
+    A recording [trace] gets one ["engine"]-category ["fsim"] span and
+    the jobs-invariant counters ["fsim.seq_batches"], ["fsim.cycles"],
+    ["fsim.fault_evals"], ["fsim.detected"], ["fsim.possibly"]. *)

@@ -1,0 +1,60 @@
+let event (s : Trace.span) =
+  Json.Obj
+    [
+      ("name", Json.Str s.Trace.name);
+      ("cat", Json.Str s.Trace.cat);
+      ("ph", Json.Str "X");
+      ("ts", Json.Float (s.Trace.t0 *. 1e6));
+      ("dur", Json.Float (s.Trace.dur *. 1e6));
+      ("pid", Json.Int 1);
+      ("tid", Json.Int s.Trace.tid);
+      ( "args",
+        Json.Obj
+          [ ("id", Json.Int s.Trace.id); ("parent", Json.Int s.Trace.parent) ]
+      );
+    ]
+
+let thread_name tid name =
+  Json.Obj
+    [
+      ("name", Json.Str "thread_name");
+      ("ph", Json.Str "M");
+      ("pid", Json.Int 1);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj [ ("name", Json.Str name) ]);
+    ]
+
+let chrome_json sink =
+  let spans = Trace.spans sink in
+  let tids =
+    List.sort_uniq compare (List.map (fun s -> s.Trace.tid) spans)
+  in
+  let names =
+    List.map
+      (fun tid ->
+        thread_name tid
+          (if tid = 0 then "caller" else Printf.sprintf "worker %d" tid))
+      tids
+  in
+  let counters =
+    Json.Obj
+      (List.map (fun (k, v) -> (k, Json.Int v)) (Trace.counters sink))
+  in
+  let meta =
+    Json.Obj
+      [
+        ("name", Json.Str "olfu_counters");
+        ("ph", Json.Str "M");
+        ("pid", Json.Int 1);
+        ("tid", Json.Int 0);
+        ("args", counters);
+      ]
+  in
+  Json.Obj
+    [
+      ( "traceEvents",
+        Json.List (names @ (meta :: List.map event spans)) );
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let to_file sink path = Json.to_file ~indent:true path (chrome_json sink)

@@ -1,0 +1,11 @@
+(** Chrome [trace_event] exporter.
+
+    Emits the sink's spans as complete ("X") events in the JSON Object
+    Format understood by [chrome://tracing], Perfetto's legacy importer
+    and [speedscope]: timestamps and durations in microseconds, one
+    process, span [tid]s as thread lanes (lane 0 is the caller, lanes
+    above it the pool workers).  Counter totals ride along in a metadata
+    event so a trace file is self-describing. *)
+
+val chrome_json : Trace.sink -> Json.t
+val to_file : Trace.sink -> string -> unit

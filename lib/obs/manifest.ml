@@ -1,0 +1,71 @@
+type step = {
+  name : string;
+  seconds : float;
+  classified : int;
+  verdicts : (string * int) list;
+}
+
+let git_describe_memo = ref None
+
+let git_describe () =
+  match !git_describe_memo with
+  | Some s -> s
+  | None ->
+    let s =
+      try
+        let ic =
+          Unix.open_process_in "git describe --always --dirty 2>/dev/null"
+        in
+        let line = try String.trim (input_line ic) with End_of_file -> "" in
+        match Unix.close_process_in ic with
+        | Unix.WEXITED 0 when line <> "" -> line
+        | _ -> "unknown"
+      with _ -> "unknown"
+    in
+    git_describe_memo := Some s;
+    s
+
+let step_json s =
+  Json.Obj
+    [
+      ("name", Json.Str s.name);
+      ("seconds", Json.Float s.seconds);
+      ("classified", Json.Int s.classified);
+      ( "verdicts",
+        Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) s.verdicts) );
+    ]
+
+let make ?(config = []) ?(steps = []) ?(prep = []) ?(extra = [])
+    ~wall_seconds sink =
+  let engines = Trace.engine_seconds sink in
+  let engine_total = List.fold_left (fun a (_, s) -> a +. s) 0. engines in
+  let step_total =
+    List.fold_left (fun a s -> a +. s.seconds) 0. steps
+    +. List.fold_left (fun a (_, s) -> a +. s) 0. prep
+  in
+  Json.Obj
+    ([
+       ("tool", Json.Str "olfu");
+       ("schema", Json.Int 1);
+       ("git", Json.Str (git_describe ()));
+       ("config", Json.Obj config);
+       ("wall_seconds", Json.Float wall_seconds);
+       ( "engines",
+         Json.Obj (List.map (fun (k, s) -> (k, Json.Float s)) engines) );
+       ("engine_seconds_total", Json.Float engine_total);
+       ("steps", Json.List (List.map step_json steps));
+       ( "prep",
+         Json.Obj (List.map (fun (k, s) -> (k, Json.Float s)) prep) );
+       ("step_seconds_total", Json.Float step_total);
+       ( "counters",
+         Json.Obj
+           (List.map (fun (k, v) -> (k, Json.Int v)) (Trace.counters sink))
+       );
+       ( "gauges",
+         Json.Obj
+           (List.map (fun (k, v) -> (k, Json.Float v)) (Trace.gauges sink))
+       );
+     ]
+    @ extra)
+
+let to_file m path = Json.to_file ~indent:true path m

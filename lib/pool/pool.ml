@@ -1,3 +1,5 @@
+module Trace = Olfu_obs.Trace
+
 let clamp_jobs j = max 1 (min 64 j)
 
 let default_jobs () =
@@ -14,6 +16,9 @@ type job = {
   chunk : int;
   cursor : int Atomic.t;
   abort : bool Atomic.t;
+  trace : Trace.sink;
+  label : string;
+  busy : float array;  (* per-worker busy seconds, written once per job *)
 }
 
 type t = {
@@ -53,6 +58,18 @@ let consume t j ~worker =
   in
   loop ()
 
+(* Busy time is scheduling-dependent, so it goes in spans (one "worker"
+   span per worker per dispatch), never in counters. *)
+let consume_traced t j ~worker =
+  if not (Trace.enabled j.trace) then consume t j ~worker
+  else begin
+    let t0 = Trace.now j.trace in
+    consume t j ~worker;
+    let dur = Trace.now j.trace -. t0 in
+    j.busy.(worker) <- dur;
+    Trace.record j.trace ~cat:"worker" ~tid:worker ~t0 ~dur j.label
+  end
+
 let worker_loop t ~worker =
   let rec loop last_gen =
     Mutex.lock t.m;
@@ -64,7 +81,7 @@ let worker_loop t ~worker =
       let gen = t.generation in
       let j = Option.get t.job in
       Mutex.unlock t.m;
-      consume t j ~worker;
+      consume_traced t j ~worker;
       Mutex.lock t.m;
       t.running <- t.running - 1;
       if t.running = 0 then Condition.broadcast t.idle;
@@ -107,18 +124,64 @@ let shutdown t =
     Array.iter Domain.join t.domains
   end
 
-let parallel_chunks t ~n ?chunk f =
+let reraise = function
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
+
+let parallel_chunks t ~n ?chunk ?(trace = Trace.null) ?(label = "pool") f =
   if n > 0 then begin
+    (* The default chunk must not depend on [t.njobs]: the number of
+       chunks (hence the "pool.chunks" counter) is identical for any
+       [jobs] value. *)
     let chunk =
-      match chunk with
-      | Some c -> max 1 c
-      | None -> max 1 (n / (8 * t.njobs))
+      match chunk with Some c -> max 1 c | None -> max 1 ((n + 63) / 64)
     in
-    if t.njobs = 1 || n <= chunk then f ~worker:0 ~lo:0 ~hi:n
+    let f =
+      if Trace.enabled trace then (fun ~worker ~lo ~hi ->
+        Trace.add trace ~worker "pool.chunks" 1;
+        f ~worker ~lo ~hi)
+      else f
+    in
+    let j =
+      {
+        f;
+        n;
+        chunk;
+        cursor = Atomic.make 0;
+        abort = Atomic.make false;
+        trace;
+        label;
+        busy = Array.make t.njobs 0.;
+      }
+    in
+    Trace.add trace "pool.dispatches" 1;
+    Trace.add trace "pool.items" n;
+    let t_start = if Trace.enabled trace then Trace.now trace else 0. in
+    let finish_trace () =
+      if Trace.enabled trace then begin
+        let region = Trace.now trace -. t_start in
+        let idle =
+          Array.fold_left
+            (fun acc b -> acc +. Float.max 0. (region -. b))
+            0. j.busy
+        in
+        Trace.record trace ~cat:"pool" ~t0:t_start ~dur:region
+          (label ^ " dispatch");
+        Trace.gauge trace "pool.last_idle_seconds" idle
+      end
+    in
+    if t.njobs = 1 then begin
+      (* No worker domains: consume inline through the same cursor so
+         chunking (and the chunk counters) match the parallel path. *)
+      consume_traced t j ~worker:0;
+      finish_trace ();
+      Mutex.lock t.m;
+      let e = t.exn in
+      t.exn <- None;
+      Mutex.unlock t.m;
+      reraise e
+    end
     else begin
-      let j =
-        { f; n; chunk; cursor = Atomic.make 0; abort = Atomic.make false }
-      in
       Mutex.lock t.m;
       if t.shut then begin
         Mutex.unlock t.m;
@@ -130,7 +193,7 @@ let parallel_chunks t ~n ?chunk f =
       t.generation <- t.generation + 1;
       Condition.broadcast t.work;
       Mutex.unlock t.m;
-      consume t j ~worker:0;
+      consume_traced t j ~worker:0;
       Mutex.lock t.m;
       while t.running > 0 do
         Condition.wait t.idle t.m
@@ -139,9 +202,8 @@ let parallel_chunks t ~n ?chunk f =
       let e = t.exn in
       t.exn <- None;
       Mutex.unlock t.m;
-      match e with
-      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-      | None -> ()
+      finish_trace ();
+      reraise e
     end
   end
 

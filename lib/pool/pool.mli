@@ -29,14 +29,29 @@ val create : jobs:int -> t
 val jobs : t -> int
 
 val parallel_chunks :
-  t -> n:int -> ?chunk:int -> (worker:int -> lo:int -> hi:int -> unit) -> unit
+  t ->
+  n:int ->
+  ?chunk:int ->
+  ?trace:Olfu_obs.Trace.sink ->
+  ?label:string ->
+  (worker:int -> lo:int -> hi:int -> unit) ->
+  unit
 (** [parallel_chunks t ~n f] applies [f ~worker ~lo ~hi] over disjoint
     chunks covering [0, n), in parallel over the pool, and returns once
     every index has been processed (a barrier).  [worker] is a stable id
     in [0, jobs t), usable to index per-worker scratch.  [chunk] is the
-    chunk length (default: [n / (8 * jobs)], at least 1).  The first
-    exception raised by any worker is re-raised in the caller after the
-    barrier; remaining chunks are abandoned. *)
+    chunk length (default: [ceil (n / 64)], at least 1 — independent of
+    the worker count, so the chunk schedule is identical for any [jobs]
+    value).  The first exception raised by any worker is re-raised in
+    the caller after the barrier; remaining chunks are abandoned.
+
+    With a recording [trace], every dispatch bumps the
+    ["pool.dispatches"]/["pool.items"] counters, each processed chunk
+    bumps ["pool.chunks"] on its worker's shard (jobs-invariant totals),
+    each worker records one ["worker"]-category span named [label], and
+    the dispatch records a ["pool"]-category span plus a
+    ["pool.last_idle_seconds"] gauge (scheduling-dependent, so a gauge
+    rather than a counter). *)
 
 val shutdown : t -> unit
 (** Joins the worker domains.  The pool must be idle; using it after

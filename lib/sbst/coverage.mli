@@ -24,6 +24,7 @@ type summary = {
 val grade :
   ?max_cycles:int ->
   ?jobs:int ->
+  ?trace:Olfu_obs.Trace.sink ->
   Soc.config ->
   Olfu_netlist.Netlist.t ->
   Flist.t ->
@@ -33,6 +34,8 @@ val grade :
     list.  Coverage figures are computed from the final list state, so
     pre-classifying OLFU faults before calling this yields the
     after-pruning figure.  [jobs] is passed to {!Olfu_fsim.Seq_fsim.run}
-    (identical results for any value). *)
+    (identical results for any value).  A recording [trace] attributes
+    each program's good-machine recording to a ["testbench"] engine span
+    and its grading to the simulator's ["fsim"] span. *)
 
 val pp_summary : Format.formatter -> summary -> unit

@@ -496,7 +496,7 @@ let test_scoap_branch_and_hardest () =
 let test_atpg_flow_adder () =
   let nl = Test_support.full_adder () in
   let fl = Flist.full nl in
-  let r = Atpg_flow.run ~seed:5 nl fl in
+  let r = Atpg_flow.run { Atpg_flow.default with seed = 5 } nl fl in
   Alcotest.(check int) "everything detected" (Flist.size fl)
     r.Atpg_flow.detected;
   Alcotest.(check int) "nothing redundant" 0 r.Atpg_flow.proved_untestable;
@@ -506,7 +506,7 @@ let test_atpg_flow_adder () =
 let test_atpg_flow_redundant () =
   let nl = Test_support.redundant_circuit () in
   let fl = Flist.full nl in
-  let r = Atpg_flow.run ~seed:5 nl fl in
+  let r = Atpg_flow.run { Atpg_flow.default with seed = 5 } nl fl in
   (* b stem faults are redundant; everything else gets a test *)
   Alcotest.(check bool) "found redundancies" true
     (r.Atpg_flow.proved_untestable >= 2);
@@ -523,7 +523,7 @@ let prop_atpg_flow_patterns_replay =
       let rng = Random.State.make [| seed |] in
       let nl = Test_support.random_comb_netlist rng ~inputs:4 ~gates:15 in
       let fl = Flist.full nl in
-      let r = Atpg_flow.run ~seed nl fl in
+      let r = Atpg_flow.run { Atpg_flow.default with seed } nl fl in
       (* replaying the produced pattern set on a fresh list reaches the
          same detected count *)
       let fl2 = Flist.full nl in
@@ -535,7 +535,7 @@ let prop_atpg_flow_patterns_replay =
 let test_atpg_compaction () =
   let nl = Test_support.full_adder () in
   let fl = Flist.full nl in
-  let r = Atpg_flow.run ~seed:5 nl fl in
+  let r = Atpg_flow.run { Atpg_flow.default with seed = 5 } nl fl in
   let compacted = Atpg_flow.compact nl r.Atpg_flow.patterns in
   Alcotest.(check bool) "smaller or equal" true
     (List.length compacted <= List.length r.Atpg_flow.patterns);

@@ -7,7 +7,7 @@ open Olfu
    the benchmark harness and soc_audit example *)
 let t16 = lazy (Soc.generate Soc.tcore16)
 let mission16 = lazy (Mission.of_soc Soc.tcore16 (Lazy.force t16))
-let report16 = lazy (Flow.run (Lazy.force t16) (Lazy.force mission16))
+let report16 = lazy (Flow.run Run_config.default (Lazy.force t16) (Lazy.force mission16))
 
 let test_flow_runs () =
   let r = Lazy.force report16 in
@@ -164,7 +164,11 @@ let test_flow_cut_mode_smaller () =
      the mission steady-state reading *)
   let nl = Lazy.force t16 in
   let mission = Lazy.force mission16 in
-  let cut = Flow.run ~ff_mode:Olfu_atpg.Ternary.Cut nl mission in
+  let cut =
+    Flow.run
+      { Run_config.default with Run_config.ff_mode = Olfu_atpg.Ternary.Cut }
+      nl mission
+  in
   let steady = Lazy.force report16 in
   Alcotest.(check bool) "cut <= steady" true
     (cut.Flow.total_olfu <= steady.Flow.total_olfu)
@@ -172,7 +176,7 @@ let test_flow_cut_mode_smaller () =
 let test_tdf_flow () =
   let nl = Lazy.force t16 in
   let mission = Lazy.force mission16 in
-  let r = Olfu.Tdf_flow.run nl mission in
+  let r = Olfu.Tdf_flow.run Run_config.default nl mission in
   let sa = Lazy.force report16 in
   (* the TDF universe matches the stuck-at universe size (2 per pin) *)
   Alcotest.(check int) "same universe size" sa.Flow.universe r.Tdf_flow.universe;
@@ -202,7 +206,7 @@ let test_flow_on_roles_mission_matches () =
       ~address_width:Soc.tcore16.Soc.xlen nl
   in
   let r1 = Lazy.force report16 in
-  let r2 = Flow.run nl m2 in
+  let r2 = Flow.run Run_config.default nl m2 in
   Alcotest.(check int) "same total" r1.Flow.total_olfu r2.Flow.total_olfu;
   List.iter
     (fun src ->

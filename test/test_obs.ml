@@ -1,0 +1,298 @@
+module J = Olfu_obs.Json
+module Trace = Olfu_obs.Trace
+module Export = Olfu_obs.Export
+module Manifest = Olfu_obs.Manifest
+module Pool = Olfu_pool.Pool
+
+(* --- JSON: strict parser round-trips everything the emitters write --- *)
+
+let sample_json =
+  J.Obj
+    [
+      ("null", J.Null);
+      ("bool", J.Bool true);
+      ("int", J.Int (-42));
+      ("float", J.Float 1.5);
+      ("exp", J.Float 1e-9);
+      ("str", J.Str "with \"quotes\", a \\ and \ncontrol\tbytes \x01");
+      ("empty_list", J.List []);
+      ("empty_obj", J.Obj []);
+      ("nested", J.List [ J.Obj [ ("k", J.List [ J.Int 0; J.Null ]) ] ]);
+    ]
+
+let test_json_roundtrip () =
+  List.iter
+    (fun indent ->
+      match J.parse (J.to_string ~indent sample_json) with
+      | Ok j -> Alcotest.(check bool) "round-trip equal" true (j = sample_json)
+      | Error e -> Alcotest.failf "round-trip parse failed: %s" e)
+    [ false; true ]
+
+let test_json_strict () =
+  List.iter
+    (fun s ->
+      match J.parse s with
+      | Ok _ -> Alcotest.failf "accepted malformed input %S" s
+      | Error _ -> ())
+    [
+      ""; "{"; "[1 2]"; "{\"a\":1,}"; "[1,]"; "\"a\" x"; "{'a':1}";
+      "nulll"; "01"; "\"\\q\""; "\"unterminated";
+    ]
+
+(* --- spans: nesting is well-formed, recorded even on exceptions --- *)
+
+exception Probe
+
+let check_wellformed sink =
+  let spans = Trace.spans sink in
+  let by_id = Hashtbl.create 16 in
+  List.iter (fun (s : Trace.span) -> Hashtbl.replace by_id s.Trace.id s) spans;
+  List.iter
+    (fun (s : Trace.span) ->
+      Alcotest.(check bool) "non-negative duration" true (s.Trace.dur >= 0.);
+      if s.Trace.parent >= 0 then begin
+        match Hashtbl.find_opt by_id s.Trace.parent with
+        | None -> Alcotest.failf "span %s: dangling parent" s.Trace.name
+        | Some p ->
+          let eps = 1e-6 in
+          Alcotest.(check bool)
+            (s.Trace.name ^ " starts within parent")
+            true
+            (s.Trace.t0 +. eps >= p.Trace.t0);
+          Alcotest.(check bool)
+            (s.Trace.name ^ " ends within parent")
+            true
+            (s.Trace.t0 +. s.Trace.dur
+            <= p.Trace.t0 +. p.Trace.dur +. eps)
+      end)
+    spans;
+  spans
+
+let test_span_nesting () =
+  let sink = Trace.create () in
+  Trace.span sink ~cat:"step" "outer" (fun () ->
+      Trace.span sink ~cat:"engine" "inner_a" (fun () -> ());
+      Trace.span sink ~cat:"engine" "inner_b" (fun () ->
+          Trace.span sink "leaf" (fun () -> ())));
+  (try
+     Trace.span sink "raising" (fun () -> raise Probe)
+   with Probe -> ());
+  let spans = check_wellformed sink in
+  Alcotest.(check int) "all five spans recorded" 5 (List.length spans);
+  let find n =
+    List.find (fun (s : Trace.span) -> s.Trace.name = n) spans
+  in
+  Alcotest.(check int) "outer is a root" (-1) (find "outer").Trace.parent;
+  Alcotest.(check int) "raising is a root" (-1) (find "raising").Trace.parent;
+  Alcotest.(check int)
+    "inner_a under outer"
+    (find "outer").Trace.id
+    (find "inner_a").Trace.parent;
+  Alcotest.(check int)
+    "leaf under inner_b"
+    (find "inner_b").Trace.id
+    (find "leaf").Trace.parent
+
+(* --- counters: shards merge, and totals are jobs-invariant --- *)
+
+let test_counter_shards () =
+  let sink = Trace.create () in
+  for w = 0 to 7 do
+    Trace.add sink ~worker:w "c" (w + 1)
+  done;
+  Trace.add sink "c" 100;
+  Alcotest.(check (list (pair string int)))
+    "merged total"
+    [ ("c", 136) ]
+    (Trace.counters sink)
+
+let pool_counters ~jobs ~n ~chunk =
+  let sink = Trace.create () in
+  Pool.with_pool ~jobs (fun p ->
+      Pool.parallel_chunks p ~n ~chunk ~trace:sink ~label:"t"
+        (fun ~worker ~lo ~hi -> Trace.add sink ~worker "work.items" (hi - lo)));
+  Trace.counters sink
+
+let prop_pool_counters_invariant =
+  QCheck2.Test.make ~count:40 ~name:"pool counters invariant under jobs"
+    QCheck2.Gen.(pair (int_range 0 2_000) (int_range 1 97))
+    (fun (n, chunk) ->
+      let c1 = pool_counters ~jobs:1 ~n ~chunk in
+      let c2 = pool_counters ~jobs:2 ~n ~chunk in
+      let c4 = pool_counters ~jobs:4 ~n ~chunk in
+      c1 = c2 && c1 = c4)
+
+let fsim_counters jobs =
+  let rng = Random.State.make [| 11 |] in
+  let nl = Test_support.random_comb_netlist rng ~inputs:5 ~gates:40 in
+  let fl = Olfu_fault.Flist.full nl in
+  let patterns = Olfu_fsim.Comb_fsim.random_patterns ~seed:3 nl 70 in
+  let sink = Trace.create () in
+  ignore
+    (Olfu_fsim.Comb_fsim.run ~jobs ~trace:sink nl fl patterns
+      : Olfu_fsim.Comb_fsim.report);
+  (Trace.counters sink, check_wellformed sink)
+
+let test_fsim_counters_invariant () =
+  let c1, _ = fsim_counters 1 in
+  let c2, _ = fsim_counters 2 in
+  let c4, spans4 = fsim_counters 4 in
+  Alcotest.(check bool) "counters non-empty" true (c1 <> []);
+  Alcotest.(check (list (pair string int))) "jobs 1 = jobs 2" c1 c2;
+  Alcotest.(check (list (pair string int))) "jobs 1 = jobs 4" c1 c4;
+  Alcotest.(check bool)
+    "fault_evals counted" true
+    (List.mem_assoc "fsim.fault_evals" c1);
+  (* exactly one engine span, and it is the fsim root *)
+  let engines =
+    List.filter (fun (s : Trace.span) -> s.Trace.cat = "engine") spans4
+  in
+  Alcotest.(check int) "one engine span" 1 (List.length engines)
+
+(* --- manifest and Chrome trace survive a strict re-parse --- *)
+
+let recorded_sink () =
+  let sink = Trace.create () in
+  Trace.span sink ~cat:"step" "Step A" (fun () ->
+      Trace.span sink ~cat:"engine" "alpha" (fun () -> Unix.sleepf 0.002);
+      Trace.span sink ~cat:"engine" "beta" (fun () -> Unix.sleepf 0.001));
+  Trace.add sink "k.count" 7;
+  Trace.gauge sink "g.last" 1.25;
+  sink
+
+let test_manifest_valid () =
+  let sink = recorded_sink () in
+  let steps =
+    [
+      {
+        Manifest.name = "Step A";
+        seconds = 0.004;
+        classified = 3;
+        verdicts = [ ("UT", 2); ("UB", 1) ];
+      };
+    ]
+  in
+  let m =
+    Manifest.make
+      ~config:[ ("soc", J.Str "unit") ]
+      ~steps
+      ~prep:[ ("warmup", 0.001) ]
+      ~wall_seconds:0.005 sink
+  in
+  match J.parse (J.to_string ~indent:true m) with
+  | Error e -> Alcotest.failf "manifest does not re-parse: %s" e
+  | Ok j ->
+    let get k = J.member k j in
+    Alcotest.(check (option int))
+      "schema" (Some 1)
+      (Option.bind (get "schema") J.to_int_opt);
+    Alcotest.(check bool) "git present" true (get "git" <> None);
+    let engine_total =
+      Option.bind (get "engine_seconds_total") J.to_float_opt |> Option.get
+    in
+    let engines =
+      match get "engines" with Some (J.Obj l) -> l | _ -> []
+    in
+    let sum =
+      List.fold_left
+        (fun a (_, v) -> a +. Option.get (J.to_float_opt v))
+        0. engines
+    in
+    Alcotest.(check bool) "two engines" true (List.length engines = 2);
+    Alcotest.(check bool)
+      "engine total is the sum" true
+      (abs_float (engine_total -. sum) < 1e-9);
+    Alcotest.(check bool)
+      "engine total positive" true (engine_total > 0.);
+    (match get "counters" with
+    | Some (J.Obj [ ("k.count", J.Int 7) ]) -> ()
+    | _ -> Alcotest.fail "counters object wrong");
+    (match get "steps" with
+    | Some (J.List [ step ]) ->
+      Alcotest.(check (option string))
+        "step name" (Some "Step A")
+        (Option.bind (J.member "name" step) J.to_string_opt)
+    | _ -> Alcotest.fail "steps list wrong")
+
+let test_chrome_trace_valid () =
+  let sink = recorded_sink () in
+  match J.parse (J.to_string (Export.chrome_json sink)) with
+  | Error e -> Alcotest.failf "trace does not re-parse: %s" e
+  | Ok j when J.member "traceEvents" j <> None ->
+    let evs =
+      match J.member "traceEvents" j with
+      | Some (J.List evs) -> evs
+      | _ -> Alcotest.fail "traceEvents is not a list"
+    in
+    let ph e = Option.bind (J.member "ph" e) J.to_string_opt in
+    let xs = List.filter (fun e -> ph e = Some "X") evs in
+    let ms = List.filter (fun e -> ph e = Some "M") evs in
+    Alcotest.(check int)
+      "one X event per span"
+      (List.length (Trace.spans sink))
+      (List.length xs);
+    Alcotest.(check bool) "has metadata events" true (ms <> []);
+    List.iter
+      (fun e ->
+        Alcotest.(check bool)
+          "X event has ts and dur" true
+          (Option.bind (J.member "ts" e) J.to_float_opt <> None
+          && Option.bind (J.member "dur" e) J.to_float_opt <> None))
+      xs
+  | Ok _ -> Alcotest.fail "trace is not an event array"
+
+(* --- Run_config --- *)
+
+let test_run_config_env () =
+  let module R = Olfu.Run_config in
+  Unix.putenv "OLFU_JOBS" "3";
+  Unix.putenv "OLFU_FF_MODE" "cut";
+  Unix.putenv "OLFU_IMPLIC" "0";
+  let c = R.of_env () in
+  Alcotest.(check int) "jobs from env" 3 c.R.jobs;
+  Alcotest.(check bool)
+    "ff_mode from env" true
+    (c.R.ff_mode = Olfu_atpg.Ternary.Cut);
+  Alcotest.(check bool) "implic off" false c.R.implic;
+  Alcotest.(check bool) "trace stays null" false (Trace.enabled c.R.trace);
+  Unix.putenv "OLFU_JOBS" "9999";
+  Alcotest.(check int) "jobs clamped" 64 (R.of_env ()).R.jobs;
+  Unix.putenv "OLFU_JOBS" "";
+  Unix.putenv "OLFU_FF_MODE" "";
+  Unix.putenv "OLFU_IMPLIC" "";
+  Alcotest.(check bool) "empty env = default" true (R.of_env () = R.default);
+  List.iter
+    (fun m ->
+      Alcotest.(check (option string))
+        "ff_mode name round-trips"
+        (Some (R.ff_mode_name m))
+        (Option.map R.ff_mode_name (R.ff_mode_of_string (R.ff_mode_name m))))
+    [
+      Olfu_atpg.Ternary.Cut; Olfu_atpg.Ternary.Reset_join;
+      Olfu_atpg.Ternary.Steady_state;
+    ]
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "strictness" `Quick test_json_strict;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "counter shards" `Quick test_counter_shards;
+          QCheck_alcotest.to_alcotest prop_pool_counters_invariant;
+          Alcotest.test_case "fsim counters jobs-invariant" `Quick
+            test_fsim_counters_invariant;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "manifest" `Quick test_manifest_valid;
+          Alcotest.test_case "chrome trace" `Quick test_chrome_trace_valid;
+        ] );
+      ( "run_config",
+        [ Alcotest.test_case "of_env" `Quick test_run_config_env ] );
+    ]

@@ -395,7 +395,7 @@ let test_bmc_never_refutes_flow () =
       ~memmap:(Olfu_soc.Soc.memmap_regions cfg)
       ~address_width:cfg.Olfu_soc.Soc.xlen nl
   in
-  let report = Olfu.Flow.run nl mission in
+  let report = Olfu.Flow.run Olfu.Run_config.default nl mission in
   (* the full mission environment: the flow's tied netlist plus the scan
      pins held at their functional values (the scan rule's premise) *)
   let mnl =

@@ -262,8 +262,8 @@ let test_soc_roundtrip_flow () =
       ~memmap:(Olfu_soc.Soc.memmap_regions cfg)
       ~address_width:cfg.Olfu_soc.Soc.xlen nl
   in
-  let r1 = Olfu.Flow.run nl (mission nl) in
-  let r2 = Olfu.Flow.run nl2 (mission nl2) in
+  let r1 = Olfu.Flow.run Olfu.Run_config.default nl (mission nl) in
+  let r2 = Olfu.Flow.run Olfu.Run_config.default nl2 (mission nl2) in
   (* the emitter inserts one BUF per output port; the one on each scan-out
      path is scan-only logic, adding exactly 4 faults per chain *)
   Alcotest.(check int) "scan count (+4/chain for port buffers)"

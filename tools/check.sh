@@ -26,3 +26,14 @@ dune exec bench/main.exe -- fsim
 # strictly more faults than UT+UB alone, stay jobs-invariant and monotone,
 # and survive the BMC oracle spot-check; refreshes BENCH_implic.json.
 dune exec bench/main.exe -- implic
+
+# Observability gate: the analyze flow must emit a schema-valid run
+# manifest and a Chrome-loadable trace, with per-engine and per-step
+# seconds each summing to within 5% of the recorded wall time, and
+# counters identical across --jobs 1/2/4; refreshes BENCH_obs.json.
+OBS_TMP=$(mktemp -d)
+trap 'rm -rf "$OBS_TMP"' EXIT
+dune exec bin/olfu_cli.exe -- analyze -c tcore32 \
+  --trace "$OBS_TMP/trace.json" --manifest "$OBS_TMP/manifest.json" \
+  > /dev/null
+dune exec bench/main.exe -- obs "$OBS_TMP/manifest.json" "$OBS_TMP/trace.json"
