@@ -1059,6 +1059,210 @@ let obs_bench files =
     exit 1
   end
 
+(* ---------------------------------------------------------------- *)
+(* safety mode: safe-fault taxonomy gates (BENCH_safety.json)        *)
+(* ---------------------------------------------------------------- *)
+
+(* Gates for the olfu_safety classifier:
+   (a) the taxonomy is consistent on every core (partition, untouched
+       structural/conflict populations, no detected fault rewritten);
+   (b) the software pass proves >= 1 new safe fault on tcore32 and the
+       SEU axis finds >= 1 unmasked flop there;
+   (c) classes and SEU verdicts are identical for jobs 1 vs 4 (tcore16);
+   (d) BMC oracle: sampled software-safe faults stay untestable when the
+       software facts are tied into the bounded model checker's netlist;
+   (e) replay oracle: flops the BMC calls masked show no concrete
+       divergence when the bit-flip is injected in Seq_fsim over random
+       windows of the same length.
+   Run with: dune exec bench/main.exe -- safety *)
+let safety_bench () =
+  let module A = Olfu_absint.Absint in
+  let module P = Olfu_sbst.Programs in
+  let module Sc = Olfu_safety.Classify in
+  let module T = Olfu_safety.Taxonomy in
+  let module Seu = Olfu_safety.Seu in
+  section "safety — safe-fault taxonomy gates";
+  let window = 3 in
+  let classify cfg nl mission ~jobs ~seu_limit =
+    let named =
+      List.map (fun p -> (p.P.pname, A.of_program cfg p)) (P.suite cfg)
+    in
+    let facts =
+      A.activation_facts ~label:(cfg.Soc.name ^ "-suite") cfg named
+    in
+    ( Sc.run
+        ~config:
+          {
+            Sc.rc = { rc with Olfu.Run_config.jobs };
+            window;
+            seu_limit;
+            conflict_limit = 50_000;
+          }
+        ~facts nl mission,
+      List.map snd named )
+  in
+  let cnt r c = List.assoc c r.Sc.counts in
+  let row name (r : Sc.report) =
+    Format.printf
+      "  %-12s universe %6d  structural %5d  conflict %3d  software %4d  \
+       SEU m/p/v/u %d/%d/%d/%d  %6.2f s  consistent %b@."
+      name r.Sc.universe
+      (cnt r T.Structural_uc)
+      (cnt r T.Conflict_uc)
+      (cnt r T.Software_safe)
+      r.Sc.seu.Seu.masked r.Sc.seu.Seu.protected_ r.Sc.seu.Seu.vulnerable
+      r.Sc.seu.Seu.unknown r.Sc.seconds (Sc.consistent r)
+  in
+  let r16, _ =
+    classify Soc.tcore16 (Lazy.force t16) (Lazy.force mission16) ~jobs:1
+      ~seu_limit:16
+  in
+  let r16j4, _ =
+    classify Soc.tcore16 (Lazy.force t16) (Lazy.force mission16) ~jobs:4
+      ~seu_limit:16
+  in
+  let r32, ts32 =
+    classify Soc.tcore32 (Lazy.force t32) (Lazy.force mission32) ~jobs:4
+      ~seu_limit:16
+  in
+  let dft = Soc.generate Soc.tcore32_dft in
+  let rdft, _ =
+    classify Soc.tcore32_dft dft
+      (Olfu.Mission.of_soc Soc.tcore32_dft dft)
+      ~jobs:4 ~seu_limit:16
+  in
+  row "tcore16" r16;
+  row "tcore32" r32;
+  row "tcore32_dft" rdft;
+  let seu_cls (r : Sc.report) =
+    Array.map (fun x -> (x.Seu.ff, x.Seu.cls)) r.Sc.seu.Seu.results
+  in
+  let jobs_ok = r16.Sc.classes = r16j4.Sc.classes && seu_cls r16 = seu_cls r16j4 in
+  let consistent_all =
+    Sc.consistent r16 && Sc.consistent r32 && Sc.consistent rdft
+  in
+  (* (d) BMC oracle: a software-safe verdict means the activation
+     condition contradicts the software facts — tie those facts into the
+     BMC machine and the fault must stay untestable there *)
+  let swnl =
+    Script.apply r32.Sc.bmc_netlist
+      (A.assume_script ~width:Soc.tcore32.Soc.xlen ts32 r32.Sc.bmc_netlist)
+  in
+  let oracle_ok = ref true in
+  let oracle_checked = ref 0 in
+  Flist.iteri
+    (fun _ f st ->
+      if
+        !oracle_checked < 4
+        && st = Status.Undetectable Status.Software
+        && f.Fault.site.Fault.pin <> Cell.Pin.Clk
+      then begin
+        incr oracle_checked;
+        match
+          Bmc.run ~cycles:3 ~observable_output:r32.Sc.observable
+            ~conflict_limit:20_000 swnl f
+        with
+        | Bmc.Test stim ->
+          if Bmc.confirm_test ~observable_output:r32.Sc.observable swnl f stim
+          then begin
+            Format.printf "  ORACLE REFUTED: %s@." (Fault.to_string swnl f);
+            oracle_ok := false
+          end
+        | Bmc.No_test_within _ | Bmc.Unknown -> ()
+      end)
+    r32.Sc.flow.Olfu.Flow.flist;
+  (* (e) replay oracle: BMC-masked flops must not diverge concretely *)
+  let bnl = r16.Sc.bmc_netlist in
+  let masked =
+    Array.of_list
+      (List.filter_map
+         (fun (x : Seu.ff_result) ->
+           if x.Seu.cls = T.Seu_masked then Some x.Seu.ff else None)
+         (Array.to_list r16.Sc.seu.Seu.results))
+  in
+  let replay_ok = ref true in
+  let replay_checked = Array.length masked in
+  if replay_checked > 0 then begin
+    Random.init 42;
+    let inputs = Array.to_list (Netlist.inputs bnl) in
+    for _trial = 1 to 5 do
+      let stim =
+        Array.init window (fun _ ->
+            {
+              Olfu_fsim.Seq_fsim.assign =
+                List.map
+                  (fun i ->
+                    ( i,
+                      if Netlist.has_role bnl i Netlist.Reset then Logic4.L1
+                      else if Random.bool () then Logic4.L1
+                      else Logic4.L0 ))
+                  inputs;
+              strobe = true;
+            })
+      in
+      let obs =
+        Olfu_fsim.Seq_fsim.run_seu ~init:Logic4.L0
+          ~observe:r16.Sc.observable
+          ~alarm:(Seu.default_alarm bnl) bnl ~ffs:masked stim
+      in
+      Array.iter
+        (fun (o : Olfu_fsim.Seq_fsim.seu_obs) ->
+          if o.Olfu_fsim.Seq_fsim.seu_diverged then begin
+            Format.printf "  REPLAY REFUTED: masked flop %d diverged@."
+              o.Olfu_fsim.Seq_fsim.seu_ff;
+            replay_ok := false
+          end)
+        obs
+    done
+  end;
+  let sw_gain = cnt r32 T.Software_safe in
+  let unmasked32 = r32.Sc.seu.Seu.protected_ + r32.Sc.seu.Seu.vulnerable in
+  Format.printf
+    "  jobs invariant: %b   consistent: %b   software gain (t32): %d   \
+     unmasked flops (t32): %d@."
+    jobs_ok consistent_all sw_gain unmasked32;
+  Format.printf "  oracle: %d checked, ok %b   replay: %d flops x5, ok %b@."
+    !oracle_checked !oracle_ok replay_checked !replay_ok;
+  let oc = open_out "BENCH_safety.json" in
+  let core name (r : Sc.report) last =
+    Printf.fprintf oc
+      "    { \"config\": %S, \"universe\": %d, \"structural_uc\": %d, \
+       \"conflict_uc\": %d, \"software_safe\": %d, \"unclassified\": %d, \
+       \"seu_checked\": %d, \"seu_masked\": %d, \"seu_protected\": %d, \
+       \"seu_vulnerable\": %d, \"seu_unknown\": %d, \"consistent\": %b, \
+       \"seconds\": %.6f }%s\n"
+      name r.Sc.universe
+      (cnt r T.Structural_uc)
+      (cnt r T.Conflict_uc)
+      (cnt r T.Software_safe)
+      (cnt r T.Unclassified)
+      (Array.length r.Sc.seu.Seu.results)
+      r.Sc.seu.Seu.masked r.Sc.seu.Seu.protected_ r.Sc.seu.Seu.vulnerable
+      r.Sc.seu.Seu.unknown (Sc.consistent r) r.Sc.seconds
+      (if last then "" else ",")
+  in
+  Printf.fprintf oc "{\n  \"window\": %d,\n  \"cores\": [\n" window;
+  core "tcore16" r16 false;
+  core "tcore32" r32 false;
+  core "tcore32_dft" rdft true;
+  Printf.fprintf oc
+    "  ],\n  \"jobs_invariant\": %b,\n  \"software_gain\": %d,\n\
+    \  \"unmasked_flops\": %d,\n  \"oracle_checked\": %d,\n\
+    \  \"oracle_ok\": %b,\n  \"replay_checked\": %d,\n  \"replay_ok\": %b\n}\n"
+    jobs_ok sw_gain unmasked32 !oracle_checked !oracle_ok replay_checked
+    !replay_ok;
+  close_out oc;
+  Format.printf "  wrote BENCH_safety.json@.";
+  if
+    not
+      (jobs_ok && consistent_all && sw_gain > 0 && unmasked32 > 0
+     && !oracle_ok && !replay_ok)
+  then begin
+    prerr_endline
+      "safety: gate violated (consistency/invariance/gain/oracle/replay)";
+    exit 1
+  end
+
 let main () =
   Format.printf
     "OLFU reproduction harness — every table and figure of the paper@.";
@@ -1091,4 +1295,6 @@ let () =
   else if Array.length Sys.argv > 1 && Sys.argv.(1) = "obs" then
     obs_bench
       (Array.to_list (Array.sub Sys.argv 2 (Array.length Sys.argv - 2)))
+  else if Array.length Sys.argv > 1 && Sys.argv.(1) = "safety" then
+    safety_bench ()
   else main ()

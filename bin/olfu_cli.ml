@@ -804,6 +804,35 @@ let absint cfg progs whole_suite asm_file format =
              ( "violations",
                J.List (List.map (fun v -> J.Str v) check.A.violations) );
            ]))
+    ~summary:(fun () ->
+      let bits bs =
+        if bs = [] then "none"
+        else
+          String.concat " "
+            (List.map
+               (fun (bit, v) -> Printf.sprintf "%d=%d" bit (Bool.to_int v))
+               bs)
+      in
+      C.summary_table Format.std_formatter
+        [
+          ("config", cfg.Olfu_soc.Soc.name);
+          ("programs", string_of_int (List.length named));
+          ( "degraded",
+            string_of_int
+              (List.length (List.filter (fun t -> A.degraded t <> None) ts))
+          );
+          ("constant addr bits", bits consts);
+          ("constant rdata bits", bits rdata);
+          ("assume nodes", string_of_int (List.length assume));
+          ( "never-written RAM",
+            if never = [] then "none"
+            else
+              String.concat " "
+                (List.map
+                   (fun (lo, hi) -> Printf.sprintf "[0x%X,0x%X]" lo hi)
+                   never) );
+          ("cross-check", if check.A.ok then "OK" else "VIOLATED");
+        ])
     ();
   if (not check.A.ok) || degraded then begin
     Format.print_flush ();
@@ -849,7 +878,7 @@ let absint_cmd =
     Term.(
       ret
         (const absint $ config_arg $ progs $ whole_suite $ asm
-       $ C.format_arg ()))
+       $ C.format_arg ~summary:true ()))
 
 (* --- atpg --- *)
 
@@ -919,7 +948,8 @@ let implic cfg file ff_mode format learn_depth learn_budget jobs =
   let count c = Olfu_fault.Flist.count_status fl (Olfu_fault.Status.Undetectable c) in
   let ut = count Olfu_fault.Status.Tied
   and ub = count Olfu_fault.Status.Blocked
-  and uc = count Olfu_fault.Status.Conflict in
+  and uc = count Olfu_fault.Status.Conflict
+  and us = count Olfu_fault.Status.Software in
   let tdf_un, tdf_univ = Olfu_atpg.Tdf_classify.count ~jobs t nl in
   let net_name n =
     match Netlist.name nl n with Some x -> x | None -> Printf.sprintf "n%d" n
@@ -964,8 +994,11 @@ let implic cfg file ff_mode format learn_depth learn_budget jobs =
              ("universe", J.Int (Olfu_fault.Flist.size fl));
              ("untestable", J.Int classified);
              ( "by_verdict",
-               J.Obj [ ("UT", J.Int ut); ("UB", J.Int ub); ("UC", J.Int uc) ]
-             );
+               J.Obj
+                 [
+                   ("UT", J.Int ut); ("UB", J.Int ub); ("UC", J.Int uc);
+                   ("US", J.Int us);
+                 ] );
              ("tdf_universe", J.Int tdf_univ);
              ("tdf_untestable", J.Int tdf_un);
              ( "conflict_nets",
@@ -979,6 +1012,24 @@ let implic cfg file ff_mode format learn_depth learn_budget jobs =
                         ])
                     conflicts) );
            ]))
+    ~summary:(fun () ->
+      C.summary_table Format.std_formatter
+        [
+          ("nodes", string_of_int (Netlist.length nl));
+          ("literals", string_of_int s.I.literals);
+          ("direct edges", string_of_int s.I.direct_edges);
+          ("learned edges", string_of_int s.I.learned_edges);
+          ("impossible", string_of_int s.I.impossible_learned);
+          ("build seconds", Printf.sprintf "%.3f" s.I.build_seconds);
+          ("universe", string_of_int (Olfu_fault.Flist.size fl));
+          ("untestable", string_of_int classified);
+          ("UT", string_of_int ut);
+          ("UB", string_of_int ub);
+          ("UC", string_of_int uc);
+          ("US", string_of_int us);
+          ("TDF universe", string_of_int tdf_univ);
+          ("TDF untestable", string_of_int tdf_un);
+        ])
     ();
   `Ok ()
 
@@ -1005,7 +1056,142 @@ let implic_cmd =
     Term.(
       ret
         (const implic $ config_arg $ file_arg $ ff_mode_arg
-       $ C.format_arg () $ learn_depth $ learn_budget $ jobs_arg))
+       $ C.format_arg ~summary:true () $ learn_depth $ learn_budget
+       $ jobs_arg))
+
+(* --- safety --- *)
+
+let safety cfg window seu_limit jobs format trace manifest =
+  let module A = Olfu_absint.Absint in
+  let module P = Olfu_sbst.Programs in
+  let module Sc = Olfu_safety.Classify in
+  let module T = Olfu_safety.Taxonomy in
+  let module Seu = Olfu_safety.Seu in
+  let nl = Olfu_soc.Soc.generate cfg in
+  let mission = Olfu.Mission.of_soc cfg nl in
+  let sink = C.sink_for ~trace ~manifest in
+  let rc =
+    { Olfu.Run_config.default with jobs = jobs_of jobs; trace = sink }
+  in
+  let named =
+    List.map (fun p -> (p.P.pname, A.of_program cfg p)) (P.suite cfg)
+  in
+  let facts =
+    A.activation_facts
+      ~label:(cfg.Olfu_soc.Soc.name ^ "-suite")
+      cfg named
+  in
+  let config = { Sc.default with Sc.rc; window; seu_limit } in
+  let r = Sc.run ~config ~facts nl mission in
+  let seu_counts =
+    [
+      ("seu_masked", r.Sc.seu.Seu.masked);
+      ("seu_protected", r.Sc.seu.Seu.protected_);
+      ("seu_vulnerable", r.Sc.seu.Seu.vulnerable);
+      ("seu_unknown", r.Sc.seu.Seu.unknown);
+    ]
+  in
+  C.emit format
+    ~text:(fun () -> Format.printf "%a@." Sc.pp r)
+    ~summary:(fun () ->
+      C.summary_table Format.std_formatter
+        (("universe", string_of_int r.Sc.universe)
+         :: List.map
+              (fun (c, n) -> (T.safe_code c, string_of_int n))
+              r.Sc.counts
+        @ [
+            ( "seu_checked",
+              string_of_int (Array.length r.Sc.seu.Seu.results) );
+          ]
+        @ List.map (fun (k, n) -> (k, string_of_int n)) seu_counts
+        @ [ ("consistent", if Sc.consistent r then "yes" else "NO") ]))
+    ~json:(fun () ->
+      let module J = Olfu_obs.Json in
+      C.print_json
+        (J.Obj
+           [
+             ("config", J.Str cfg.Olfu_soc.Soc.name);
+             ("universe", J.Int r.Sc.universe);
+             ( "classes",
+               J.Obj
+                 (List.map
+                    (fun (c, n) -> (T.safe_code c, J.Int n))
+                    r.Sc.counts) );
+             ( "software_safe_by",
+               J.Obj
+                 (List.map
+                    (fun (u, n) ->
+                      ( Olfu_fault.Status.code
+                          (Olfu_fault.Status.Undetectable u),
+                        J.Int n ))
+                    r.Sc.software_by) );
+             ("assume_nodes", J.Int r.Sc.assume_nodes);
+             ( "seu",
+               J.Obj
+                 (("window", J.Int r.Sc.seu.Seu.window)
+                 :: ("total_ffs", J.Int r.Sc.seu.Seu.total_ffs)
+                 :: ( "checked",
+                      J.Int (Array.length r.Sc.seu.Seu.results) )
+                 :: List.map (fun (k, n) -> (k, J.Int n)) seu_counts) );
+             ( "consistency",
+               J.List
+                 (List.map (fun v -> J.Str v) r.Sc.consistency) );
+             ("seconds", J.Float r.Sc.seconds);
+             ("flow", C.flow_json r.Sc.flow);
+           ]))
+    ();
+  let module J = Olfu_obs.Json in
+  C.write_obs ~trace ~manifest
+    ~config:
+      (("window", J.Int window)
+      :: ("seu_limit", J.Int seu_limit)
+      :: C.config_fields ~soc:cfg.Olfu_soc.Soc.name rc)
+    ~steps:(C.manifest_steps r.Sc.flow)
+    ~prep:r.Sc.flow.Olfu.Flow.prep
+    ~extra:
+      (List.map
+         (fun (c, n) -> (T.safe_code c, J.Int n))
+         r.Sc.counts
+      @ List.map (fun (k, n) -> (k, J.Int n)) seu_counts)
+    ~wall_seconds:r.Sc.seconds sink;
+  if Sc.consistent r then `Ok ()
+  else begin
+    Format.print_flush ();
+    exit 1
+  end
+
+let safety_cmd =
+  let window =
+    Arg.(
+      value & opt int 4
+      & info [ "window" ] ~docv:"K"
+          ~doc:"SEU latching window in cycles (bounded-model-check depth).")
+  in
+  let seu_limit =
+    Arg.(
+      value & opt int 64
+      & info [ "seu-limit" ] ~docv:"N"
+          ~doc:
+            "Check an evenly strided sample of N flip-flops (0 checks \
+             every flop).")
+  in
+  let exits =
+    Cmd.Exit.info 0 ~doc:"taxonomy consistent."
+    :: Cmd.Exit.info 1 ~doc:"a consistency audit failed."
+    :: Cmd.Exit.defaults
+  in
+  Cmd.v
+    (Cmd.info "safety" ~exits
+       ~doc:
+         "Unified safe-fault taxonomy: structural and conflict \
+          untestability from the identification flow, software-safe \
+          faults proved from the analysed SBST suite's activation \
+          constraints, and a per-flip-flop SEU masked / protected / \
+          vulnerable verdict by bounded model checking.")
+    Term.(
+      ret
+        (const safety $ config_arg $ window $ seu_limit $ jobs_arg
+       $ C.format_arg ~summary:true () $ C.trace_arg $ C.manifest_arg))
 
 let main_cmd =
   Cmd.group
@@ -1016,7 +1202,7 @@ let main_cmd =
     [
       generate_cmd; analyze_cmd; tdf_cmd; trace_scan_cmd; memmap_cmd;
       categories_cmd; coverage_cmd; atpg_cmd; absint_cmd; simulate_cmd;
-      equiv_cmd; lint_cmd; report_cmd; implic_cmd;
+      equiv_cmd; lint_cmd; report_cmd; implic_cmd; safety_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

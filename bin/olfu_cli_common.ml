@@ -28,6 +28,13 @@ let print_json j =
   print_string (J.to_string ~indent:true j);
   print_newline ()
 
+(* Aligned key/value table: the shared --format summary rendering. *)
+let summary_table ppf rows =
+  let w =
+    List.fold_left (fun acc (k, _) -> max acc (String.length k)) 0 rows
+  in
+  List.iter (fun (k, v) -> Format.fprintf ppf "%-*s  %s@." w k v) rows
+
 (* Renderer dispatch.  [json] prints the machine form itself (most
    subcommands build a {!J.t} and call {!print_json}; lint streams its
    SARIF renderer).  [summary] falls back to [text] when absent. *)

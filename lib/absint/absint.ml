@@ -604,3 +604,48 @@ let software_facts ~label cfg nl ts =
             (unmapped_accesses t [ cfg.Soc.rom; cfg.Soc.ram ]))
         named;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Activation-condition facts for the safe-fault classifier           *)
+(* ------------------------------------------------------------------ *)
+
+type activation_facts = {
+  af_label : string;
+  af_width : int;
+  af_addr_bits : (int * bool) list;
+  af_rdata_bits : (int * bool) list;
+  af_never_written : (int * int) list;
+  af_degraded : string list;
+}
+
+let activation_facts ~label cfg named =
+  let width = cfg.Soc.xlen in
+  let ts = List.map snd named in
+  {
+    af_label = label;
+    af_width = width;
+    af_addr_bits = constant_addr_bits ~width ts;
+    af_rdata_bits = rdata_constant_bits ~width ts;
+    af_never_written = never_written ts cfg.Soc.ram;
+    af_degraded =
+      List.filter_map
+        (fun (name, t) ->
+          Option.map (fun msg -> name ^ ": " ^ msg) (degraded t))
+        named;
+  }
+
+let facts_assume facts nl =
+  let assume = ref [] in
+  List.iter
+    (fun (bit, v) ->
+      Array.iter
+        (fun node -> assume := (node, Logic4.of_bool v) :: !assume)
+        (Netlist.nodes_with_role nl (Netlist.Address_reg bit)))
+    facts.af_addr_bits;
+  List.iter
+    (fun (bit, v) ->
+      match Netlist.find nl (Printf.sprintf "bus_rdata[%d]" bit) with
+      | Some node -> assume := (node, Logic4.of_bool v) :: !assume
+      | None -> ())
+    facts.af_rdata_bits;
+  List.rev !assume

@@ -133,3 +133,34 @@ val software_facts :
   Olfu_lint.Ctx.software
 (** Package everything the SW-* lint rules consume, for
     [Lint.run ?software]. *)
+
+(** Activation-condition facts for the safe-fault classifier
+    ({!Olfu_safety}): the software-proven constants that contradict the
+    activation conditions of stuck-at faults, as netlist-independent
+    data.  Unlike {!netlist_assume} the bit facts are kept symbolic and
+    resolved per netlist with {!facts_assume}, so the same facts apply to
+    the generated netlist and to every manipulated (tied) derivative. *)
+type activation_facts = {
+  af_label : string;  (** provenance, e.g. ["tcore32-suite"] *)
+  af_width : int;  (** address/data width the bit indices refer to *)
+  af_addr_bits : (int * bool) list;
+      (** address bits constant over every access of every program *)
+  af_rdata_bits : (int * bool) list;
+      (** bus read-data bits constant over everything the bus returns *)
+  af_never_written : (int * int) list;
+      (** RAM sub-intervals no analysed program can store to *)
+  af_degraded : string list;
+      (** programs whose analysis degraded (their facts are still sound
+          — a degraded analysis claims nothing) *)
+}
+
+val activation_facts :
+  label:string -> Soc.config -> (string * t) list -> activation_facts
+
+val facts_assume :
+  activation_facts -> Olfu_netlist.Netlist.t -> (int * Logic4.t) list
+(** Resolve the bit facts against a concrete netlist, as
+    [Ternary.run ?assume] assumptions: every [Address_reg bit] flop for a
+    constant address bit, every [bus_rdata[bit]] input for a constant
+    data bit.  Nodes absent from the netlist (already tied away by a
+    manipulation) are skipped. *)

@@ -37,3 +37,32 @@ val confirm_test :
 (** Replay the stimulus on the 4-valued sequential simulator with and
     without the fault and confirm an observed difference (independent of
     the SAT encoding). *)
+
+(** {1 Unrolling primitives}
+
+    The per-cycle encoding blocks behind {!run}, exported so other
+    bounded checks (the {!Olfu_safety} SEU bit-flip analysis) unroll the
+    same machine semantics instead of re-deriving them. *)
+
+val eval_cycle :
+  Cnf.Builder.t ->
+  Netlist.t ->
+  source:(int -> int) ->
+  inject_stem:(int -> int -> int) ->
+  inject_operand:(int -> int -> int -> int) ->
+  int array * (int -> int)
+(** One copy of the combinational logic for one cycle.  [source] supplies
+    the literal of every source node (inputs, flop outputs, [Tiex]);
+    [inject_stem i l] / [inject_operand i p l] may rewrite the stem or
+    operand literal (identity for a fault-free copy).  Returns the
+    per-node literal array and a lookup that sees through [Output]
+    markers. *)
+
+val next_state :
+  Cnf.Builder.t ->
+  Netlist.t ->
+  (int -> int) ->
+  inject_operand:(int -> int -> int -> int) ->
+  (int * int) array
+(** Captured next-state literal per sequential cell, from the cycle's
+    [lit_of] lookup. *)

@@ -407,20 +407,28 @@ let classify ?jobs ?(trace = Trace.null) t fl =
   Trace.add trace "classify.classified" !changed;
   !changed
 
-let untestable_breakdown t nl =
+let untestable_breakdown ?software t nl =
   let tied = ref 0 and blocked = ref 0 and conflict = ref 0 in
+  let sw = ref 0 in
   Array.iter
     (fun f ->
       match fault_verdict t f with
       | Some (Status.Undetectable Status.Tied) -> incr tied
       | Some (Status.Undetectable Status.Blocked) -> incr blocked
       | Some (Status.Undetectable Status.Conflict) -> incr conflict
-      | Some _ | None -> ())
+      | Some _ | None -> (
+        (* unproved here: software-assumed analysis may still prove it,
+           and that delta is exactly the software-safe class *)
+        match software with
+        | None -> ()
+        | Some tsw ->
+          if fault_verdict tsw f <> None then incr sw))
     (Fault.universe nl);
   [
     (Status.Tied, !tied);
     (Status.Blocked, !blocked);
     (Status.Conflict, !conflict);
+    (Status.Software, !sw);
   ]
 
 let untestable_count t nl =

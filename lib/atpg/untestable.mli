@@ -100,7 +100,14 @@ val untestable_count : t -> Netlist.t -> int
 (** Number of untestable faults over the full universe of the netlist
     (faults on tie cells excluded, as in {!Fault.universe}). *)
 
-val untestable_breakdown : t -> Netlist.t -> (Status.undetectable * int) list
+val untestable_breakdown :
+  ?software:t -> t -> Netlist.t -> (Status.undetectable * int) list
 (** {!untestable_count} split by verdict class —
-    [[Tied, n; Blocked, n; Conflict, n]] in that order — so Table-I-style
-    reports can attribute the proofs to the engine that made them. *)
+    [[Tied, n; Blocked, n; Conflict, n; Software, n]] in that order — so
+    Table-I-style reports can attribute the proofs to the engine that
+    made them.  [software], when given, must be an analysis of the same
+    netlist strengthened with software-proven constants
+    ([Ternary.run ~assume] over {!Olfu_absint} facts): faults the base
+    analysis leaves unproved but the strengthened one classifies are
+    counted under {!Status.Software} (0 without it), keeping the
+    structural/conflict rows identical either way. *)

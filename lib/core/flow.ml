@@ -23,7 +23,7 @@ type step_report = {
 let undet_classes =
   [|
     Status.Unused; Status.Tied; Status.Blocked; Status.Conflict;
-    Status.Redundant;
+    Status.Redundant; Status.Software;
   |]
 
 let undet_tally fl =
@@ -39,6 +39,7 @@ let undet_tally fl =
           | Status.Blocked -> 2
           | Status.Conflict -> 3
           | Status.Redundant -> 4
+          | Status.Software -> 5
         in
         a.(k) <- a.(k) + 1
       | _ -> ())

@@ -1,4 +1,4 @@
-type undetectable = Unused | Tied | Blocked | Conflict | Redundant
+type undetectable = Unused | Tied | Blocked | Conflict | Redundant | Software
 
 type t =
   | Not_analyzed
@@ -20,6 +20,7 @@ let code = function
   | Undetectable Blocked -> "UB"
   | Undetectable Conflict -> "UC"
   | Undetectable Redundant -> "UR"
+  | Undetectable Software -> "US"
   | Atpg_untestable -> "AU"
   | Not_detected -> "ND"
 

@@ -11,6 +11,12 @@ type undetectable =
           propagation demand contradictory assignments (FIRE-style
           conflict untestability — no search involved) *)
   | Redundant  (** UR: proven untestable by exhaustive ATPG search *)
+  | Software
+      (** US: safe relative to the mission software — the activation
+          condition contradicts software-proven constants (constant
+          address/data bits, never-written memory), so no mission
+          execution can excite and observe the fault.  Unlike the other
+          classes the proof is conditional on the analysed program set. *)
 
 type t =
   | Not_analyzed  (** NA *)

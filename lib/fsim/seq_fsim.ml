@@ -226,3 +226,116 @@ let run ?(init = Logic4.X) ?(observe = fun _ -> true) ?jobs
     detected = !detected;
     possibly = !possibly;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Transient (SEU) replay: lanes carry bit-flips, not stuck-ats       *)
+(* ------------------------------------------------------------------ *)
+
+type seu_obs = { seu_ff : int; seu_diverged : bool; seu_alarmed : bool }
+
+let run_seu ?(init = Logic4.L0) ?(observe = fun _ -> true)
+    ?(alarm = fun _ -> false) nl ~ffs stimulus =
+  let seqs = Netlist.seq_nodes nl in
+  let seq_slot = Hashtbl.create 97 in
+  Array.iteri (fun k s -> Hashtbl.replace seq_slot s k) seqs;
+  let func_outs =
+    Array.to_list (Netlist.outputs nl)
+    |> List.filter (fun o -> observe o && not (alarm o))
+  in
+  let alarm_outs =
+    Array.to_list (Netlist.outputs nl)
+    |> List.filter (fun o -> observe o && alarm o)
+  in
+  let n = Netlist.length nl in
+  let results =
+    Array.map (fun ff -> { seu_ff = ff; seu_diverged = false;
+                           seu_alarmed = false }) ffs
+  in
+  let rec batches lo =
+    if lo >= Array.length ffs then []
+    else
+      let hi = min (Array.length ffs) (lo + 63) in
+      (lo, hi) :: batches hi
+  in
+  List.iter
+    (fun (lo, hi) ->
+      let env = Array.make n Dualrail.unknown in
+      let inputs = Array.make n Dualrail.unknown in
+      (* lane 0 is the undisturbed machine; lane [1 + k] starts with
+         ffs.(lo + k) flipped and is otherwise identical *)
+      let state = Array.map (fun _ -> Dualrail.const init) seqs in
+      for k = lo to hi - 1 do
+        match Hashtbl.find_opt seq_slot ffs.(k) with
+        | None -> invalid_arg "Seq_fsim.run_seu: not a sequential node"
+        | Some slot ->
+          state.(slot) <-
+            Dualrail.set state.(slot) (1 + k - lo) (Logic4.not_ init)
+      done;
+      let diverged = ref 0L and alarmed = ref 0L in
+      let operand node p = env.((Netlist.fanin nl node).(p)) in
+      Array.iter
+        (fun step ->
+          List.iter
+            (fun (i, v) -> inputs.(i) <- Dualrail.const v)
+            step.assign;
+          Netlist.iter_nodes
+            (fun i nd ->
+              match nd.Netlist.kind with
+              | Cell.Input -> env.(i) <- inputs.(i)
+              | Cell.Tie0 -> env.(i) <- Dualrail.zero
+              | Cell.Tie1 -> env.(i) <- Dualrail.one
+              | Cell.Tiex -> env.(i) <- Dualrail.unknown
+              | _ -> ())
+            nl;
+          Array.iteri (fun k s -> env.(s) <- state.(k)) seqs;
+          Array.iter
+            (fun i ->
+              let nd = Netlist.node nl i in
+              let a = Array.length nd.Netlist.fanin in
+              let ins = Array.init a (fun p -> operand i p) in
+              env.(i) <- Eval.comb_par nd.Netlist.kind ins)
+            (Netlist.topo nl);
+          if step.strobe then begin
+            let strobe_outs acc outs =
+              List.fold_left
+                (fun acc o ->
+                  let fv = operand o 0 in
+                  let g = Dualrail.get fv 0 in
+                  if Logic4.is_binary g then
+                    Int64.logor acc (Dualrail.diff_mask (Dualrail.const g) fv)
+                  else acc)
+                acc outs
+            in
+            diverged := strobe_outs !diverged func_outs;
+            alarmed := strobe_outs !alarmed alarm_outs
+          end;
+          Array.iteri
+            (fun k s ->
+              state.(k) <-
+                (match Netlist.kind nl s with
+                | Cell.Dff -> operand s 0
+                | Cell.Dffr ->
+                  Dualrail.mux ~sel:(operand s 1) ~a:Dualrail.zero
+                    ~b:(operand s 0)
+                | Cell.Sdff ->
+                  Dualrail.mux ~sel:(operand s 2) ~a:(operand s 0)
+                    ~b:(operand s 1)
+                | Cell.Sdffr ->
+                  Dualrail.mux ~sel:(operand s 3) ~a:Dualrail.zero
+                    ~b:
+                      (Dualrail.mux ~sel:(operand s 2) ~a:(operand s 0)
+                         ~b:(operand s 1))
+                | _ -> assert false))
+            seqs)
+        stimulus;
+      for k = lo to hi - 1 do
+        let bit = Int64.shift_left 1L (1 + k - lo) in
+        results.(k) <-
+          {
+            (results.(k)) with
+            seu_diverged = Int64.logand !diverged bit <> 0L;
+            seu_alarmed = Int64.logand !alarmed bit <> 0L;
+          }
+      done)
+    (batches 0);
+  results

@@ -48,3 +48,37 @@ val run :
     A recording [trace] gets one ["engine"]-category ["fsim"] span and
     the jobs-invariant counters ["fsim.seq_batches"], ["fsim.cycles"],
     ["fsim.fault_evals"], ["fsim.detected"], ["fsim.possibly"]. *)
+
+(** {1 Transient (SEU) replay}
+
+    The same 64-lane engine with lanes carrying {e bit-flips} instead of
+    stuck-ats: lane 0 runs the undisturbed machine, each other lane
+    starts from the same state with exactly one flip-flop's initial value
+    inverted and is never forced again — the concrete counterpart of the
+    {!Olfu_safety} bounded-model-checking classification, used to
+    cross-check [Seu_masked] / [Seu_protected] verdicts on real
+    windows. *)
+
+type seu_obs = {
+  seu_ff : int;  (** the flipped sequential node *)
+  seu_diverged : bool;
+      (** some functional (non-alarm) observed output took a binary value
+          different from lane 0 at a strobed cycle *)
+  seu_alarmed : bool;  (** same, over the alarm outputs *)
+}
+
+val run_seu :
+  ?init:Olfu_logic.Logic4.t ->
+  ?observe:(int -> bool) ->
+  ?alarm:(int -> bool) ->
+  Netlist.t ->
+  ffs:int array ->
+  stimulus ->
+  seu_obs array
+(** [run_seu nl ~ffs stimulus] replays the stimulus once per 63-flip
+    batch and reports, per flipped flop, whether any strobed cycle showed
+    a binary divergence on a functional output ([observe] minus [alarm])
+    or an alarm output ([observe] and [alarm]).  [init] (default [L0]) is
+    the pre-flip value of every flop; the flipped lane starts at its
+    negation.  Raises [Invalid_argument] if some [ffs] entry is not a
+    sequential node. *)

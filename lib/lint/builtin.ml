@@ -935,11 +935,67 @@ let sw_004 =
       | None -> []
       | Some sw -> List.map (fun s -> Rule.raw s) sw.Ctx.sw_unmapped)
 
+let seu_001 =
+  Rule.make ~code:"SEU-001" ~category:Rule.Testability ~severity:Rule.Info
+    ~title:"state flop unprotected against single-event upsets"
+    ~doc:
+      "A flip-flop whose fanout cone reaches a functional primary output \
+       while no alarm, parity or checker output (net name containing \
+       alarm/parity/err/chk) observes it: a transient bit-flip there can \
+       corrupt mission outputs with no on-line flag.  Informational \
+       inventory of the exposed state — the bounded verdict per flop \
+       comes from the safety taxonomy's SEU axis."
+    (fun ctx ->
+      let nl = Ctx.nl ctx in
+      let is_alarm o =
+        match Netlist.name nl o with
+        | None -> false
+        | Some n ->
+          let n = String.lowercase_ascii n in
+          let has sub =
+            let ls = String.length n and lb = String.length sub in
+            let rec go i =
+              i + lb <= ls && (String.sub n i lb = sub || go (i + 1))
+            in
+            go 0
+          in
+          has "alarm" || has "parity" || has "err" || has "chk"
+      in
+      (* backward cone of the two output families, crossing flops *)
+      let cone pred =
+        let m = Array.make (Netlist.length nl) false in
+        let rec go i =
+          if not m.(i) then begin
+            m.(i) <- true;
+            Array.iter go (Netlist.fanin nl i)
+          end
+        in
+        Array.iter (fun o -> if pred o then go o) (Netlist.outputs nl);
+        m
+      in
+      let func = cone (fun o -> not (is_alarm o)) in
+      let alarm = cone is_alarm in
+      let seqs = Netlist.seq_nodes nl in
+      let exposed =
+        Array.to_list seqs
+        |> List.filter (fun f -> func.(f) && not alarm.(f))
+      in
+      match exposed with
+      | [] -> []
+      | hd :: _ ->
+        [
+          Rule.raw ~node:hd ~path:exposed
+            (Printf.sprintf
+               "%d of %d state flops reach a functional output with no \
+                alarm/parity observer (e.g. %s)"
+               (List.length exposed) (Array.length seqs) (name ctx hd));
+        ])
+
 let all =
   [
     scan_001; scan_002; scan_003; scan_004; scan_005; scan_006; scan_007;
     loop_001; drv_001; drv_002; rst_001; rst_002; rst_003; rst_004; rst_005;
     rst_006; clk_001; net_001; net_002; xprop_001; const_001; conflict_001;
     obs_001; test_001; dbg_001; dbg_002; struct_001; struct_002; sw_001;
-    sw_002; sw_003; sw_004;
+    sw_002; sw_003; sw_004; seu_001;
   ]

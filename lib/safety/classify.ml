@@ -1,0 +1,214 @@
+open Olfu_netlist
+open Olfu_fault
+module U = Olfu_atpg.Untestable
+module Ternary = Olfu_atpg.Ternary
+module Trace = Olfu_obs.Trace
+module Absint = Olfu_absint.Absint
+module Script = Olfu_manip.Script
+
+type config = {
+  rc : Olfu.Run_config.t;
+  window : int;
+  seu_limit : int;
+  conflict_limit : int;
+}
+
+let default =
+  {
+    rc = Olfu.Run_config.default;
+    window = 4;
+    seu_limit = 64;
+    conflict_limit = 50_000;
+  }
+
+type report = {
+  universe : int;
+  flow : Olfu.Flow.report;
+  classes : Taxonomy.safe_class array;
+  counts : (Taxonomy.safe_class * int) list;
+  software_safe : int;
+  software_by : (Status.undetectable * int) list;
+  assume_nodes : int;
+  facts : Absint.activation_facts;
+  seu : Seu.report;
+  bmc_netlist : Netlist.t;
+  observable : int -> bool;
+  consistency : string list;
+  seconds : float;
+}
+
+(* The verdict classes the flow can assign, for the invariance check. *)
+let base_classes =
+  [|
+    Status.Unused; Status.Tied; Status.Blocked; Status.Conflict;
+    Status.Redundant;
+  |]
+
+let base_tally statuses =
+  Array.map
+    (fun c ->
+      Array.fold_left
+        (fun acc st ->
+          if Status.equal st (Status.Undetectable c) then acc + 1 else acc)
+        0 statuses)
+    base_classes
+
+(* The BMC machine: the mission netlist with the scan interface held
+   functional, as in the implication-oracle spot checks. *)
+let bmc_machine mnl =
+  let script =
+    List.filter_map
+      (fun n ->
+        if Netlist.find mnl n <> None then
+          Some (Script.Tie_input (n, Olfu_logic.Logic4.L0))
+        else None)
+      [ "scan_en"; "scan_in0" ]
+  in
+  if script = [] then mnl else Script.apply mnl script
+
+let run ?(config = default) ~facts nl mission =
+  let rc = config.rc in
+  let trace = rc.Olfu.Run_config.trace in
+  let t0 = Unix.gettimeofday () in
+  (* 1. the existing identification flow: structural + conflict verdicts *)
+  let flow = Olfu.Flow.run rc nl mission in
+  let fl = flow.Olfu.Flow.flist in
+  let mnl = flow.Olfu.Flow.mission_netlist in
+  let size = Flist.size fl in
+  let before = Array.init size (Flist.status fl) in
+  let observable = Olfu.Mission.observed_in_field mission mnl in
+  (* 2. software-safe: re-analyze the mission machine with the ternary
+     fixpoint strengthened by the software-proven constants, then turn
+     every newly proved verdict into the Software class (the underlying
+     Tied/Blocked/Conflict proof is kept as evidence) *)
+  let assume = Absint.facts_assume facts mnl in
+  let software_safe =
+    if assume = [] then 0
+    else begin
+      let consts =
+        Trace.span trace ~cat:"engine" "ternary" (fun () ->
+            Ternary.run ~ff_mode:rc.Olfu.Run_config.ff_mode ~assume mnl)
+      in
+      let tsw =
+        U.analyze ~observable_output:observable ~consts
+          ~implic:rc.Olfu.Run_config.implic ~trace mnl
+      in
+      Trace.span trace ~cat:"step" "Software safe" (fun () ->
+          U.classify ~jobs:rc.Olfu.Run_config.jobs ~trace tsw fl)
+    end
+  in
+  let sw_by = Array.make (Array.length base_classes) 0 in
+  for i = 0 to size - 1 do
+    let now = Flist.status fl i in
+    if not (Status.equal before.(i) now) then begin
+      Array.iteri
+        (fun k c ->
+          if Status.equal now (Status.Undetectable c) then
+            sw_by.(k) <- sw_by.(k) + 1)
+        base_classes;
+      Flist.set_status fl i (Status.Undetectable Status.Software)
+    end
+  done;
+  let software_by =
+    Array.to_list
+      (Array.map2 (fun c n -> (c, n)) base_classes sw_by)
+    |> List.filter (fun (_, n) -> n > 0)
+  in
+  (* 3. the partition *)
+  let classes =
+    Array.init size (fun i -> Taxonomy.of_status (Flist.status fl i))
+  in
+  let count c =
+    Array.fold_left
+      (fun acc x -> if x = c then acc + 1 else acc)
+      0 classes
+  in
+  let counts =
+    Array.to_list (Array.map (fun c -> (c, count c)) Taxonomy.safe_classes)
+  in
+  (* 4. transient axis on the BMC machine *)
+  let bmc_nl = bmc_machine mnl in
+  let seu =
+    Seu.run ~window:config.window ~conflict_limit:config.conflict_limit
+      ~limit:config.seu_limit ~jobs:rc.Olfu.Run_config.jobs ~trace
+      ~observable_output:observable bmc_nl
+  in
+  (* 5. consistency against the pre-software verdicts *)
+  let violations = ref [] in
+  let note fmt = Format.kasprintf (fun s -> violations := s :: !violations) fmt in
+  let after = Array.init size (Flist.status fl) in
+  let tb = base_tally before and ta = base_tally after in
+  Array.iteri
+    (fun k c ->
+      if tb.(k) <> ta.(k) then
+        note "%s count changed: %d -> %d"
+          (Status.code (Status.Undetectable c))
+          tb.(k) ta.(k))
+    base_classes;
+  Array.iteri
+    (fun i st ->
+      match (st, classes.(i)) with
+      | Status.Detected, Taxonomy.Software_safe ->
+        note "fault %d both detected and software-safe" i
+      | (Status.Detected | Status.Possibly_detected | Status.Undetectable _),
+        _
+        when not (Status.equal st after.(i)) ->
+        note "fault %d verdict rewritten: %s -> %s" i (Status.code st)
+          (Status.code after.(i))
+      | _ -> ())
+    before;
+  if List.fold_left (fun acc (_, n) -> acc + n) 0 counts <> size then
+    note "class counts do not partition the universe";
+  if Trace.enabled trace then begin
+    Trace.add trace "safety.software_safe" software_safe;
+    Trace.add trace "safety.unclassified"
+      (count Taxonomy.Unclassified)
+  end;
+  {
+    universe = size;
+    flow;
+    classes;
+    counts;
+    software_safe;
+    software_by;
+    assume_nodes = List.length assume;
+    facts;
+    seu;
+    bmc_netlist = bmc_nl;
+    observable;
+    consistency = List.rev !violations;
+    seconds = Unix.gettimeofday () -. t0;
+  }
+
+let consistent r = r.consistency = []
+
+let pp ppf r =
+  let pct n = 100. *. float_of_int n /. float_of_int (max 1 r.universe) in
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf "safe-fault taxonomy (universe %d)@," r.universe;
+  List.iter
+    (fun (c, n) ->
+      Format.fprintf ppf "  %-14s %8d  %5.1f%%@," (Taxonomy.safe_name c) n
+        (pct n))
+    r.counts;
+  if r.software_by <> [] then begin
+    Format.fprintf ppf "  software-safe evidence:";
+    List.iter
+      (fun (c, n) ->
+        Format.fprintf ppf " %s=%d" (Status.code (Status.Undetectable c)) n)
+      r.software_by;
+    Format.fprintf ppf "  (%d software-assumed nodes, facts: %s)@,"
+      r.assume_nodes r.facts.Absint.af_label
+  end;
+  Format.fprintf ppf
+    "SEU axis (window %d): %d/%d flops checked — masked %d, protected %d, \
+     vulnerable %d, unknown %d@,"
+    r.seu.Seu.window
+    (Array.length r.seu.Seu.results)
+    r.seu.Seu.total_ffs r.seu.Seu.masked r.seu.Seu.protected_
+    r.seu.Seu.vulnerable r.seu.Seu.unknown;
+  (match r.consistency with
+  | [] -> Format.fprintf ppf "consistency: OK@,"
+  | vs ->
+    List.iter (fun v -> Format.fprintf ppf "consistency VIOLATION: %s@," v) vs);
+  Format.fprintf ppf "analysis time: %.3f s@]" r.seconds

@@ -1,0 +1,75 @@
+open Olfu_netlist
+open Olfu_fault
+
+(** The unified safe-fault classifier.
+
+    One run produces the whole safety story of a mission configuration:
+    {ol
+    {- the identification flow ({!Olfu.Flow.run}) assigns the structural
+       and conflict verdicts exactly as Table I does;}
+    {- the mission machine is re-analyzed with its ternary fixpoint
+       strengthened by the software-proven constants
+       ({!Olfu_absint.Absint.activation_facts}); every fault that proof
+       newly closes is reclassified {!Olfu_fault.Status.Software}
+       — safe {e relative to the analysed program set} (arXiv
+       2009.11621's "new categories of safe faults");}
+    {- every flip-flop of a deterministic sample gets a transient
+       verdict from the {!Seu} bounded model check.}}
+
+    The taxonomy is a partition by construction — classes are read off
+    the final fault-list statuses — and the report carries an explicit
+    [consistency] audit: the structural/conflict populations must be
+    untouched by the software pass, no detected or previously classified
+    fault may be rewritten, and the class counts must sum to the
+    universe. *)
+
+type config = {
+  rc : Olfu.Run_config.t;  (** ff_mode / jobs / implic / trace *)
+  window : int;  (** SEU latching window, cycles *)
+  seu_limit : int;  (** flop sample size; [<= 0] checks every flop *)
+  conflict_limit : int;  (** SAT budget per SEU query *)
+}
+
+val default : config
+(** {!Olfu.Run_config.default}, window 4, 64 flops, 50,000 conflicts. *)
+
+type report = {
+  universe : int;
+  flow : Olfu.Flow.report;  (** the underlying Table-I run *)
+  classes : Taxonomy.safe_class array;  (** per fault index *)
+  counts : (Taxonomy.safe_class * int) list;  (** partition sizes *)
+  software_safe : int;  (** faults newly proved by the software pass *)
+  software_by : (Status.undetectable * int) list;
+      (** evidence behind the software-safe class: which engine closed
+          the fault under the software assumptions (UT/UB/UC) *)
+  assume_nodes : int;  (** resolved software assumptions on the machine *)
+  facts : Olfu_absint.Absint.activation_facts;
+  seu : Seu.report;
+  bmc_netlist : Netlist.t;
+      (** the machine the SEU axis was checked on (mission netlist with
+          the scan interface held functional) — for external replay *)
+  observable : int -> bool;  (** field-observable outputs of that machine *)
+  consistency : string list;  (** violations; empty means consistent *)
+  seconds : float;
+}
+
+val run :
+  ?config:config ->
+  facts:Olfu_absint.Absint.activation_facts ->
+  Netlist.t ->
+  Olfu.Mission.t ->
+  report
+(** Classify the netlist under the given mission.  [facts] comes from
+    {!Olfu_absint.Absint.activation_facts} over the analysed program
+    set; with no resolvable facts the software pass is skipped (zero
+    software-safe faults, never a claim).
+
+    A recording trace (via [config.rc.trace]) gets the flow's spans plus
+    a ["Software safe"] step span, the {!Seu.run} span/counters, and the
+    ["safety.software_safe"] / ["safety.unclassified"] counters. *)
+
+val consistent : report -> bool
+
+val pp : Format.formatter -> report -> unit
+(** Human rendering: class table, software evidence split, SEU counts,
+    consistency verdict. *)

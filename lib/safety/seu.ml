@@ -1,0 +1,237 @@
+open Olfu_netlist
+module S = Olfu_sat.Solver
+module CB = Olfu_atpg.Cnf.Builder
+module Bmc = Olfu_atpg.Bmc
+module Pool = Olfu_pool.Pool
+module Trace = Olfu_obs.Trace
+
+type ff_result = { ff : int; cls : Taxonomy.seu_class; structural : bool }
+
+type report = {
+  window : int;
+  total_ffs : int;
+  results : ff_result array;
+  masked : int;
+  protected_ : int;
+  vulnerable : int;
+  unknown : int;
+}
+
+let contains s sub =
+  let ls = String.length s and lb = String.length sub in
+  let rec go i = i + lb <= ls && (String.sub s i lb = sub || go (i + 1)) in
+  go 0
+
+let default_alarm nl o =
+  match Netlist.name nl o with
+  | None -> false
+  | Some n ->
+    let n = String.lowercase_ascii n in
+    contains n "alarm" || contains n "parity" || contains n "err"
+    || contains n "chk"
+
+(* Over-approximate bounded observability: can a difference seeded at the
+   flop reach a functional observation within [window] cycles?
+   Combinational spread ignores controlling side inputs — a superset of
+   every path the SAT encoding can sensitize — so "no" soundly means
+   masked without touching the solver. *)
+let reaches_observation nl ~window ~func_outs ff =
+  let n = Netlist.length nl in
+  let mark = Array.make n false in
+  let seqs = Netlist.seq_nodes nl in
+  let topo = Netlist.topo nl in
+  let frontier = ref [ ff ] in
+  let hit = ref false in
+  let c = ref 0 in
+  while (not !hit) && !frontier <> [] && !c < window do
+    incr c;
+    Array.fill mark 0 n false;
+    List.iter (fun i -> mark.(i) <- true) !frontier;
+    Array.iter
+      (fun i ->
+        if
+          (not mark.(i))
+          && Array.exists (fun d -> mark.(d)) (Netlist.fanin nl i)
+        then mark.(i) <- true)
+      topo;
+    if List.exists (fun o -> mark.(o)) func_outs then hit := true
+    else begin
+      let next = ref [] in
+      Array.iter
+        (fun s ->
+          if Array.exists (fun d -> mark.(d)) (Netlist.fanin nl s) then
+            next := s :: !next)
+        seqs;
+      frontier := !next
+    end
+  done;
+  !hit
+
+let classify_ff ?(window = 4) ?(conflict_limit = 50_000)
+    ?(observable_output = fun _ -> true) ?alarm nl ff =
+  if not (Cell.is_seq (Netlist.kind nl ff)) then
+    invalid_arg "Seu.classify_ff: not a sequential node";
+  let alarm = match alarm with Some f -> f | None -> default_alarm nl in
+  let func_outs =
+    Array.to_list (Netlist.outputs nl)
+    |> List.filter (fun o -> observable_output o && not (alarm o))
+  in
+  let alarm_outs =
+    Array.to_list (Netlist.outputs nl)
+    |> List.filter (fun o -> observable_output o && alarm o)
+  in
+  if not (reaches_observation nl ~window ~func_outs ff) then
+    { ff; cls = Taxonomy.Seu_masked; structural = true }
+  else begin
+    let s = S.create () in
+    let b = CB.create s in
+    let id_stem _ l = l in
+    let id_op _ _ l = l in
+    (* shared per-cycle input variables (reset held inactive — mission)
+       and free variables for floating nets, exactly as {!Bmc.run} *)
+    let input_vars =
+      Array.init window (fun _ ->
+          let tbl = Hashtbl.create 37 in
+          Array.iter
+            (fun i ->
+              let v =
+                if Netlist.has_role nl i Netlist.Reset then CB.vtrue b
+                else CB.fresh b
+              in
+              Hashtbl.replace tbl i v)
+            (Netlist.inputs nl);
+          tbl)
+    in
+    let tiex_vars =
+      Array.init window (fun _ ->
+          let tbl = Hashtbl.create 7 in
+          Netlist.iter_nodes
+            (fun i nd ->
+              if nd.Netlist.kind = Cell.Tiex then
+                Hashtbl.replace tbl i (CB.fresh b))
+            nl;
+          tbl)
+    in
+    let seqs = Netlist.seq_nodes nl in
+    let init =
+      Array.map
+        (fun i ->
+          match Netlist.kind nl i with
+          | Cell.Dffr | Cell.Sdffr ->
+            (i, -CB.vtrue b)
+          | _ -> (i, CB.fresh b))
+        seqs
+    in
+    (* the upset machine: identical, except the target flop starts
+       inverted — a single bit-flip latched just before cycle 0 *)
+    let flipped =
+      Array.map (fun (i, l) -> if i = ff then (i, -l) else (i, l)) init
+    in
+    let func_diffs = ref [] and alarm_diffs = ref [] in
+    let good = ref init and bad = ref flipped in
+    for c = 0 to window - 1 do
+      let source_of state i =
+        match Netlist.kind nl i with
+        | Cell.Input -> Hashtbl.find input_vars.(c) i
+        | Cell.Tiex -> Hashtbl.find tiex_vars.(c) i
+        | _ -> (
+          match Array.find_opt (fun (j, _) -> j = i) state with
+          | Some (_, l) -> l
+          | None -> assert false)
+      in
+      let _, glit =
+        Bmc.eval_cycle b nl
+          ~source:(source_of !good)
+          ~inject_stem:id_stem ~inject_operand:id_op
+      in
+      let _, flit =
+        Bmc.eval_cycle b nl
+          ~source:(source_of !bad)
+          ~inject_stem:id_stem ~inject_operand:id_op
+      in
+      let observe outs sink =
+        List.iter
+          (fun o ->
+            let d = (Netlist.fanin nl o).(0) in
+            let x = CB.mk_xor2 b (glit d) (flit d) in
+            if not (CB.is_false b x) then sink := x :: !sink)
+          outs
+      in
+      observe func_outs func_diffs;
+      observe alarm_outs alarm_diffs;
+      good := Bmc.next_state b nl glit ~inject_operand:id_op;
+      bad := Bmc.next_state b nl flit ~inject_operand:id_op
+    done;
+    match !func_diffs with
+    | [] -> { ff; cls = Taxonomy.Seu_masked; structural = false }
+    | ds -> (
+      S.add_clause s ds;
+      (* First ask for a diverging trace with every alarm silent; only if
+         none exists, ask whether divergence is possible at all.  The
+         functional-divergence clause is permanent; the alarm silence is
+         assumptions, so one incremental solver answers both. *)
+      let silent = List.map (fun d -> -d) !alarm_diffs in
+      match S.solve ~assumptions:silent ~conflict_limit s with
+      | S.Sat _ -> { ff; cls = Taxonomy.Seu_vulnerable; structural = false }
+      | S.Unknown -> { ff; cls = Taxonomy.Seu_unknown; structural = false }
+      | S.Unsat ->
+        if silent = [] then
+          { ff; cls = Taxonomy.Seu_masked; structural = false }
+        else (
+          match S.solve ~conflict_limit s with
+          | S.Sat _ ->
+            { ff; cls = Taxonomy.Seu_protected; structural = false }
+          | S.Unsat -> { ff; cls = Taxonomy.Seu_masked; structural = false }
+          | S.Unknown ->
+            { ff; cls = Taxonomy.Seu_unknown; structural = false }))
+  end
+
+let sample_ffs ~limit seqs =
+  let total = Array.length seqs in
+  if limit <= 0 || limit >= total then Array.copy seqs
+  else Array.init limit (fun k -> seqs.(k * total / limit))
+
+let run ?(window = 4) ?(conflict_limit = 50_000) ?(limit = 0) ?jobs
+    ?(trace = Trace.null) ?(observable_output = fun _ -> true) ?alarm nl =
+  let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
+  let seqs = Netlist.seq_nodes nl in
+  let sample = sample_ffs ~limit seqs in
+  let n = Array.length sample in
+  let results =
+    Array.make n { ff = -1; cls = Taxonomy.Seu_unknown; structural = false }
+  in
+  Trace.span trace ~cat:"engine" "seu" (fun () ->
+      Pool.with_pool ~jobs (fun pool ->
+          (* one flop per chunk: each index writes its own slot, so the
+             report is identical for any [jobs] *)
+          Pool.parallel_chunks pool ~n ~chunk:1 ~trace ~label:"seu"
+            (fun ~worker:_ ~lo ~hi ->
+              for k = lo to hi - 1 do
+                results.(k) <-
+                  classify_ff ~window ~conflict_limit ~observable_output
+                    ?alarm nl sample.(k)
+              done)));
+  let count c =
+    Array.fold_left
+      (fun acc r -> if r.cls = c then acc + 1 else acc)
+      0 results
+  in
+  let r =
+    {
+      window;
+      total_ffs = Array.length seqs;
+      results;
+      masked = count Taxonomy.Seu_masked;
+      protected_ = count Taxonomy.Seu_protected;
+      vulnerable = count Taxonomy.Seu_vulnerable;
+      unknown = count Taxonomy.Seu_unknown;
+    }
+  in
+  if Trace.enabled trace then begin
+    Trace.add trace "seu.checked" n;
+    Trace.add trace "seu.masked" r.masked;
+    Trace.add trace "seu.protected" r.protected_;
+    Trace.add trace "seu.vulnerable" r.vulnerable;
+    Trace.add trace "seu.unknown" r.unknown
+  end;
+  r

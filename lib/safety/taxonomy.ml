@@ -1,0 +1,42 @@
+open Olfu_fault
+
+type safe_class = Structural_uc | Conflict_uc | Software_safe | Unclassified
+
+let safe_classes =
+  [| Structural_uc; Conflict_uc; Software_safe; Unclassified |]
+
+let safe_name = function
+  | Structural_uc -> "structural UC"
+  | Conflict_uc -> "conflict UC"
+  | Software_safe -> "software safe"
+  | Unclassified -> "unclassified"
+
+let safe_code = function
+  | Structural_uc -> "structural_uc"
+  | Conflict_uc -> "conflict_uc"
+  | Software_safe -> "software_safe"
+  | Unclassified -> "unclassified"
+
+let of_status = function
+  | Status.Undetectable Status.Conflict -> Conflict_uc
+  | Status.Undetectable Status.Software -> Software_safe
+  | Status.Undetectable _ -> Structural_uc
+  | Status.Not_analyzed | Status.Detected | Status.Possibly_detected
+  | Status.Atpg_untestable | Status.Not_detected ->
+    Unclassified
+
+type seu_class = Seu_masked | Seu_protected | Seu_vulnerable | Seu_unknown
+
+let seu_classes = [| Seu_masked; Seu_protected; Seu_vulnerable; Seu_unknown |]
+
+let seu_name = function
+  | Seu_masked -> "SEU masked"
+  | Seu_protected -> "SEU protected"
+  | Seu_vulnerable -> "SEU vulnerable"
+  | Seu_unknown -> "SEU unknown"
+
+let seu_code = function
+  | Seu_masked -> "masked"
+  | Seu_protected -> "protected"
+  | Seu_vulnerable -> "vulnerable"
+  | Seu_unknown -> "unknown"

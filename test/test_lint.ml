@@ -70,9 +70,11 @@ let test_clean_exact () =
   let nl = clean_netlist () in
   (* NET-002 is inherent to any reset netlist: the ternary engine holds
      the Reset-role input at its inactive level, so the rstn net itself
-     is steady-state constant.  TEST-001 always reports SCOAP hotspots. *)
-  Alcotest.(check (list string)) "only the two informative reports"
-    [ "NET-002"; "TEST-001" ] (codes nl);
+     is steady-state constant.  TEST-001 always reports SCOAP hotspots,
+     and SEU-001 inventories the unhardened state any flop-with-output
+     netlist has. *)
+  Alcotest.(check (list string)) "only the three informative reports"
+    [ "NET-002"; "SEU-001"; "TEST-001" ] (codes nl);
   let o = Lint.run nl in
   Alcotest.(check bool) "max severity info" true
     (Lint.max_severity o = Some Rule.Info);
@@ -441,6 +443,28 @@ let test_struct_002 () =
   in
   check_fires ~config nl "STRUCT-002";
   check_silent nl "STRUCT-002"
+
+let test_seu_001 () =
+  (* a flop on a functional output with no alarm observer is exposed *)
+  let b = B.create () in
+  let d = B.input b "d" in
+  let ff = B.dff b ~name:"ff" ~d in
+  let _ = B.output b "o" ff in
+  check_fires (B.freeze_exn b) "SEU-001";
+  (* the same flop with a parity-style observer is not *)
+  let b = B.create () in
+  let d = B.input b "d" in
+  let ff = B.dff b ~name:"ff" ~d in
+  let ff2 = B.dff b ~name:"shadow" ~d in
+  let _ = B.output b "o" ff in
+  let _ = B.output b "alarm_flag" (B.xor2 b ff ff2) in
+  check_silent (B.freeze_exn b) "SEU-001";
+  (* a flop driving nothing functional is not exposed either *)
+  let b = B.create () in
+  let d = B.input b "d" in
+  let _ff = B.dff b ~name:"ff" ~d in
+  let _ = B.output b "o" (B.buf b d) in
+  check_silent (B.freeze_exn b) "SEU-001"
 
 (* ---------------------------------------------------------------- *)
 (* SW rules: software-derived facts                                 *)
@@ -923,6 +947,7 @@ let () =
         [
           Alcotest.test_case "STRUCT-001" `Quick test_struct_001;
           Alcotest.test_case "STRUCT-002" `Quick test_struct_002;
+          Alcotest.test_case "SEU-001" `Quick test_seu_001;
           Alcotest.test_case "SW rules" `Quick test_sw_rules;
           Alcotest.test_case "SW assume into CONST-001" `Quick
             test_sw_assume_feeds_const_001;

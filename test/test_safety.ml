@@ -1,0 +1,292 @@
+open Olfu_logic
+open Olfu_netlist
+open Olfu_fault
+open Olfu_safety
+module B = Netlist.Builder
+module Seq_fsim = Olfu_fsim.Seq_fsim
+module U = Olfu_atpg.Untestable
+
+(* --- taxonomy --- *)
+
+let test_of_status () =
+  let chk st c = Alcotest.(check bool) "class" true (Taxonomy.of_status st = c) in
+  chk (Status.Undetectable Status.Tied) Taxonomy.Structural_uc;
+  chk (Status.Undetectable Status.Blocked) Taxonomy.Structural_uc;
+  chk (Status.Undetectable Status.Unused) Taxonomy.Structural_uc;
+  chk (Status.Undetectable Status.Conflict) Taxonomy.Conflict_uc;
+  chk (Status.Undetectable Status.Software) Taxonomy.Software_safe;
+  chk Status.Detected Taxonomy.Unclassified;
+  chk Status.Not_analyzed Taxonomy.Unclassified
+
+(* --- SEU unit netlists --- *)
+
+(* one flop straight to the only output: any upset is visible *)
+let vulnerable_ff () =
+  let b = B.create () in
+  let d = B.input b "d" in
+  let ff = B.dff b ~name:"ff" ~d in
+  let _ = B.output b "FO" ff in
+  let nl = B.freeze_exn b in
+  (nl, ff)
+
+(* the flop drives nothing: the prefilter alone proves masking *)
+let dead_ff () =
+  let b = B.create () in
+  let d = B.input b "d" in
+  let ff = B.dff b ~name:"ff" ~d in
+  let _ = B.output b "FO" (B.buf b d) in
+  let nl = B.freeze_exn b in
+  (nl, ff)
+
+(* the flop is ANDed with constant 0 on the way out: the prefilter sees
+   a path (it ignores controlling values) but the encoding proves every
+   difference dies at the gate *)
+let gated_ff () =
+  let b = B.create () in
+  let d = B.input b "d" in
+  let ff = B.dff b ~name:"ff" ~d in
+  let zero = B.tie b Logic4.L0 in
+  let g = B.and2 b ~name:"g" ff zero in
+  let _ = B.output b "FO" g in
+  let nl = B.freeze_exn b in
+  (nl, ff)
+
+(* duplicated flop with an XOR comparator on an alarm output: an upset
+   in either copy is visible, but never silently *)
+let protected_ff () =
+  let b = B.create () in
+  let d = B.input b "d" in
+  let ff1 = B.dff b ~name:"ff1" ~d in
+  let ff2 = B.dff b ~name:"ff2" ~d in
+  let _ = B.output b "FO" ff1 in
+  let cmp = B.xor2 b ~name:"cmp" ff1 ff2 in
+  let _ = B.output b "alarm_flag" cmp in
+  let nl = B.freeze_exn b in
+  (nl, ff1)
+
+let test_seu_vulnerable () =
+  let nl, ff = vulnerable_ff () in
+  let r = Seu.classify_ff ~window:2 nl ff in
+  Alcotest.(check bool) "vulnerable" true (r.Seu.cls = Taxonomy.Seu_vulnerable)
+
+let test_seu_masked_structural () =
+  let nl, ff = dead_ff () in
+  let r = Seu.classify_ff ~window:3 nl ff in
+  Alcotest.(check bool) "masked" true (r.Seu.cls = Taxonomy.Seu_masked);
+  Alcotest.(check bool) "by prefilter" true r.Seu.structural
+
+let test_seu_masked_gated () =
+  let nl, ff = gated_ff () in
+  let r = Seu.classify_ff ~window:3 nl ff in
+  Alcotest.(check bool) "masked" true (r.Seu.cls = Taxonomy.Seu_masked);
+  Alcotest.(check bool) "by encoding, not prefilter" false r.Seu.structural
+
+let test_seu_protected () =
+  let nl, ff = protected_ff () in
+  let r = Seu.classify_ff ~window:2 nl ff in
+  Alcotest.(check bool) "protected" true (r.Seu.cls = Taxonomy.Seu_protected)
+
+let test_seu_non_seq_rejected () =
+  let nl, _ = vulnerable_ff () in
+  let inp = (Netlist.inputs nl).(0) in
+  Alcotest.check_raises "non-seq"
+    (Invalid_argument "Seu.classify_ff: not a sequential node") (fun () ->
+      ignore (Seu.classify_ff nl inp))
+
+let test_run_counts () =
+  let nl, _ = protected_ff () in
+  let r = Seu.run ~window:2 nl in
+  Alcotest.(check int) "total" 2 r.Seu.total_ffs;
+  Alcotest.(check int) "checked" 2 (Array.length r.Seu.results);
+  (* ff1 feeds the functional output: protected.  ff2 only feeds the
+     comparator: its upset never corrupts FO, so it is masked (an
+     alarm-only divergence is not a functional failure) *)
+  Alcotest.(check int) "ff1 protected" 1 r.Seu.protected_;
+  Alcotest.(check int) "ff2 masked" 1 r.Seu.masked;
+  Alcotest.(check int) "sum" 2
+    (r.Seu.masked + r.Seu.protected_ + r.Seu.vulnerable + r.Seu.unknown)
+
+(* --- concrete replay --- *)
+
+let stim_all window v =
+  Array.init window (fun _ -> { Seq_fsim.assign = v; strobe = true })
+
+let test_replay_vulnerable_diverges () =
+  let nl, ff = vulnerable_ff () in
+  let d = (Netlist.inputs nl).(0) in
+  let obs =
+    Seq_fsim.run_seu ~init:Logic4.L0 ~alarm:(Seu.default_alarm nl) nl
+      ~ffs:[| ff |]
+      (stim_all 2 [ (d, Logic4.L0) ])
+  in
+  Alcotest.(check bool) "diverged" true obs.(0).Seq_fsim.seu_diverged;
+  Alcotest.(check bool) "no alarm" false obs.(0).Seq_fsim.seu_alarmed
+
+let test_replay_protected_alarms () =
+  let nl, ff = protected_ff () in
+  let d = (Netlist.inputs nl).(0) in
+  let obs =
+    Seq_fsim.run_seu ~init:Logic4.L0 ~alarm:(Seu.default_alarm nl) nl
+      ~ffs:[| ff |]
+      (stim_all 2 [ (d, Logic4.L0) ])
+  in
+  Alcotest.(check bool) "diverged" true obs.(0).Seq_fsim.seu_diverged;
+  Alcotest.(check bool) "alarmed" true obs.(0).Seq_fsim.seu_alarmed
+
+(* --- software-safe mechanism --- *)
+
+let test_software_breakdown () =
+  let b = B.create () in
+  let a = B.input b "a" in
+  let g = B.input b "g" in
+  let x = B.and2 b ~name:"x" a g in
+  let _ = B.output b "FO" x in
+  let nl = B.freeze_exn b in
+  let gid = match Netlist.find nl "g" with Some i -> i | None -> assert false in
+  let t = U.analyze nl in
+  let base = U.untestable_breakdown t nl in
+  Alcotest.(check int) "no software row without facts" 0
+    (List.assoc Status.Software base);
+  (* the software proves g is held at 0: x becomes constant and its
+     s-a-0 faults turn untestable — attributed to the Software class *)
+  let consts = Olfu_atpg.Ternary.run ~assume:[ (gid, Logic4.L0) ] nl in
+  let tsw = U.analyze ~consts nl in
+  let bd = U.untestable_breakdown ~software:tsw t nl in
+  Alcotest.(check bool) "software proofs appear" true
+    (List.assoc Status.Software bd > 0);
+  List.iter
+    (fun c ->
+      Alcotest.(check int)
+        (Status.code (Status.Undetectable c) ^ " row unchanged")
+        (List.assoc c base) (List.assoc c bd))
+    [ Status.Tied; Status.Blocked; Status.Conflict ]
+
+(* --- full classifier on the small core --- *)
+
+let test_classify_tcore16 () =
+  let module A = Olfu_absint.Absint in
+  let module P = Olfu_sbst.Programs in
+  let cfg = Olfu_soc.Soc.tcore16 in
+  let nl = Olfu_soc.Soc.generate cfg in
+  let mission = Olfu.Mission.of_soc cfg nl in
+  let named =
+    List.map (fun p -> (p.P.pname, A.of_program cfg p)) (P.suite cfg)
+  in
+  let facts = A.activation_facts ~label:"tcore16-suite" cfg named in
+  let config =
+    {
+      Classify.default with
+      Classify.rc = { Olfu.Run_config.default with jobs = 2 };
+      window = 2;
+      seu_limit = 6;
+    }
+  in
+  let r = Classify.run ~config ~facts nl mission in
+  Alcotest.(check bool) "consistent" true (Classify.consistent r);
+  Alcotest.(check int) "partition" r.Classify.universe
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 r.Classify.counts);
+  Alcotest.(check bool) "structural verdicts present" true
+    (List.assoc Taxonomy.Structural_uc r.Classify.counts > 0);
+  Alcotest.(check int) "seu sample" 6 (Array.length r.Classify.seu.Seu.results)
+
+(* --- qcheck: BMC verdicts vs concrete replay --- *)
+
+(* random feed-forward machines: three inputs, four flops fed by random
+   two-input gates, two functional outputs and one "err_flag" alarm *)
+let build_rand seed =
+  let st = Random.State.make [| seed |] in
+  let b = B.create () in
+  let i1 = B.input b "i1" in
+  let i2 = B.input b "i2" in
+  let i3 = B.input b "i3" in
+  let pool = ref [ i1; i2; i3 ] in
+  let pick () = List.nth !pool (Random.State.int st (List.length !pool)) in
+  let gate () =
+    let x = pick () and y = pick () in
+    match Random.State.int st 5 with
+    | 0 -> B.and2 b x y
+    | 1 -> B.or2 b x y
+    | 2 -> B.xor2 b x y
+    | 3 -> B.nand2 b x y
+    | _ -> B.not_ b x
+  in
+  let ffs =
+    Array.init 4 (fun k ->
+        let ff = B.dff b ~name:(Printf.sprintf "ff%d" k) ~d:(gate ()) in
+        pool := ff :: !pool;
+        ff)
+  in
+  let _ = B.output b "FO1" (gate ()) in
+  let _ = B.output b "FO2" (gate ()) in
+  let _ = B.output b "err_flag" (gate ()) in
+  (B.freeze_exn b, ffs)
+
+let prop_seu_sound_vs_replay =
+  QCheck2.Test.make ~count:40 ~name:"SEU verdicts sound vs concrete replay"
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let nl, ffs = build_rand seed in
+      let window = 3 in
+      let st = Random.State.make [| seed + 7 |] in
+      let inputs = Array.to_list (Netlist.inputs nl) in
+      let stim =
+        Array.init window (fun _ ->
+            {
+              Seq_fsim.assign =
+                List.map
+                  (fun i ->
+                    (i, if Random.State.bool st then Logic4.L1 else Logic4.L0))
+                  inputs;
+              strobe = true;
+            })
+      in
+      let obs =
+        Seq_fsim.run_seu ~init:Logic4.L0 ~alarm:(Seu.default_alarm nl) nl
+          ~ffs stim
+      in
+      (* a replayed divergence is one concrete BMC witness: flops the
+         model checker calls masked must not show it, and protected ones
+         only with the alarm raised in the same window *)
+      Array.for_all2
+        (fun ff (o : Seq_fsim.seu_obs) ->
+          let r = Seu.classify_ff ~window nl ff in
+          match r.Seu.cls with
+          | Taxonomy.Seu_masked -> not o.Seq_fsim.seu_diverged
+          | Taxonomy.Seu_protected ->
+            (not o.Seq_fsim.seu_diverged) || o.Seq_fsim.seu_alarmed
+          | Taxonomy.Seu_vulnerable | Taxonomy.Seu_unknown -> true)
+        ffs obs)
+
+let qt = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "safety"
+    [
+      ( "taxonomy",
+        [ Alcotest.test_case "of_status" `Quick test_of_status ] );
+      ( "seu",
+        [
+          Alcotest.test_case "vulnerable" `Quick test_seu_vulnerable;
+          Alcotest.test_case "masked structural" `Quick
+            test_seu_masked_structural;
+          Alcotest.test_case "masked gated" `Quick test_seu_masked_gated;
+          Alcotest.test_case "protected" `Quick test_seu_protected;
+          Alcotest.test_case "non-seq rejected" `Quick
+            test_seu_non_seq_rejected;
+          Alcotest.test_case "run counts" `Quick test_run_counts;
+          qt prop_seu_sound_vs_replay;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "vulnerable diverges" `Quick
+            test_replay_vulnerable_diverges;
+          Alcotest.test_case "protected alarms" `Quick
+            test_replay_protected_alarms;
+        ] );
+      ( "software",
+        [
+          Alcotest.test_case "breakdown row" `Quick test_software_breakdown;
+        ] );
+      ( "classify",
+        [ Alcotest.test_case "tcore16" `Slow test_classify_tcore16 ] );
+    ]

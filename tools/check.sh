@@ -37,3 +37,9 @@ dune exec bin/olfu_cli.exe -- analyze -c tcore32 \
   --trace "$OBS_TMP/trace.json" --manifest "$OBS_TMP/manifest.json" \
   > /dev/null
 dune exec bench/main.exe -- obs "$OBS_TMP/manifest.json" "$OBS_TMP/trace.json"
+
+# Safety-taxonomy gate: the classifier must stay consistent on every
+# core (partition, untouched structural/conflict populations), prove
+# software-safe faults and unmasked flops on tcore32, stay jobs-invariant,
+# and survive the BMC + replay oracles; refreshes BENCH_safety.json.
+dune exec bench/main.exe -- safety
