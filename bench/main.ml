@@ -1097,6 +1097,10 @@ let safety_bench () =
             window;
             seu_limit;
             conflict_limit = 50_000;
+            (* the invariant pass has its own bench mode (invar) with a
+               dedicated UC-delta gate; keep this mode's gates pinned to
+               the software/SEU axes *)
+            invariants = false;
           }
         ~facts nl mission,
       List.map snd named )
@@ -1263,6 +1267,135 @@ let safety_bench () =
     exit 1
   end
 
+(* ---------------------------------------------------------------- *)
+(* invar mode: invariant-engine gates (BENCH_invar.json)             *)
+(* ---------------------------------------------------------------- *)
+
+(* Gates for the olfu_invar mine/filter/prove pipeline:
+   (a) every core yields proved invariants, with >= 1 non-constant class
+       (mutex / at-most-one / range) proved on tcore32;
+   (b) the proved set is identical for jobs 1 vs 4 (tcore16) — the
+       greatest inductive subset is unique;
+   (c) BMC oracle: 4 sampled proved invariants (non-constant classes
+       first) are re-checked by a bounded reachability query from reset
+       that shares none of the induction structure;
+   (d) UC-delta: the invariant-strengthened implication database closes
+       conflict faults on tcore32 that the plain mission analysis leaves
+       open (recorded and gated >= 1).
+   Run with: dune exec bench/main.exe -- invar *)
+let invar_bench () =
+  let module Inv = Olfu_invar.Invar in
+  let module Sc = Olfu_safety.Classify in
+  let module U = Untestable in
+  section "invar — sequential invariant engine gates";
+  let machine nl mission =
+    let flow = Olfu.Flow.run { rc with Olfu.Run_config.jobs = 4 } nl mission in
+    (Sc.bmc_machine flow.Olfu.Flow.mission_netlist, flow)
+  in
+  let m16, _ = machine (Lazy.force t16) (Lazy.force mission16) in
+  let m32, flow32 = machine (Lazy.force t32) (Lazy.force mission32) in
+  let dft = Soc.generate Soc.tcore32_dft in
+  let mdft, _ = machine dft (Olfu.Mission.of_soc Soc.tcore32_dft dft) in
+  let r16 = Inv.run ~jobs:1 m16 in
+  let r16j4 = Inv.run ~jobs:4 m16 in
+  let r32 = Inv.run ~jobs:4 m32 in
+  let rdft = Inv.run ~jobs:4 mdft in
+  let nonconst r =
+    List.length
+      (List.filter (fun (i : Inv.invariant) -> not (Inv.is_const i.Inv.form))
+         r.Inv.proved)
+  in
+  let row name (r : Inv.report) =
+    Format.printf
+      "  %-12s flops %4d  mined %4d  killed %3d  unproved %3d  proved %4d \
+       (non-const %d)  %6.2f s@."
+      name r.Inv.total_ffs
+      (List.length r.Inv.mined)
+      (List.length r.Inv.killed)
+      (List.length r.Inv.unproved)
+      (List.length r.Inv.proved)
+      (nonconst r) r.Inv.seconds
+  in
+  row "tcore16" r16;
+  row "tcore32" r32;
+  row "tcore32_dft" rdft;
+  let jobs_ok = r16.Inv.proved = r16j4.Inv.proved in
+  (* (c) bounded oracle on 4 proved invariants, non-constant first *)
+  let sample =
+    let nc, c =
+      List.partition
+        (fun (i : Inv.invariant) -> not (Inv.is_const i.Inv.form))
+        r32.Inv.proved
+    in
+    let rec take n = function
+      | x :: rest when n > 0 -> x :: take (n - 1) rest
+      | _ -> []
+    in
+    take 4 (nc @ c)
+  in
+  let oracle_ok =
+    List.for_all
+      (fun (i : Inv.invariant) ->
+        let ok = Inv.bounded_check ~cycles:6 m32 i.Inv.form in
+        if not ok then
+          Format.printf "  ORACLE REFUTED: %a@." (Inv.pp_candidate m32)
+            i.Inv.form;
+        ok)
+      sample
+  in
+  (* (d) UC-delta on tcore32: what only the strengthened database closes *)
+  let observable =
+    Olfu.Mission.observed_in_field
+      (Lazy.force mission32)
+      flow32.Olfu.Flow.mission_netlist
+  in
+  let base = U.analyze ~observable_output:observable m32 in
+  let strengthened =
+    U.analyze ~observable_output:observable
+      ~consts:(Ternary.run ~assume:(Inv.assume_facts r32) m32)
+      ~extra_edges:(Inv.edges r32) m32
+  in
+  let breakdown = U.untestable_breakdown ~invariant:strengthened base m32 in
+  let uc_delta = List.assoc Status.Invariant breakdown in
+  Format.printf
+    "  jobs invariant: %b   oracle: %d checked, ok %b   UC-delta (t32): \
+     %d@."
+    jobs_ok (List.length sample) oracle_ok uc_delta;
+  let oc = open_out "BENCH_invar.json" in
+  let core name (r : Inv.report) last =
+    Printf.fprintf oc
+      "    { \"config\": %S, \"flops\": %d, \"mined\": %d, \
+       \"killed\": %d, \"unproved\": %d, \"proved\": %d, \
+       \"nonconst_proved\": %d, \"k\": %d, \"seconds\": %.6f }%s\n"
+      name r.Inv.total_ffs
+      (List.length r.Inv.mined)
+      (List.length r.Inv.killed)
+      (List.length r.Inv.unproved)
+      (List.length r.Inv.proved)
+      (nonconst r) r.Inv.k r.Inv.seconds
+      (if last then "" else ",")
+  in
+  Printf.fprintf oc "{\n  \"cores\": [\n";
+  core "tcore16" r16 false;
+  core "tcore32" r32 false;
+  core "tcore32_dft" rdft true;
+  Printf.fprintf oc
+    "  ],\n  \"jobs_invariant\": %b,\n  \"oracle_checked\": %d,\n\
+    \  \"oracle_ok\": %b,\n  \"uc_delta\": %d\n}\n"
+    jobs_ok (List.length sample) oracle_ok uc_delta;
+  close_out oc;
+  Format.printf "  wrote BENCH_invar.json@.";
+  if
+    not
+      (jobs_ok && oracle_ok && uc_delta >= 1
+      && nonconst r32 >= 1
+      && List.length r16.Inv.proved > 0
+      && List.length rdft.Inv.proved > 0)
+  then begin
+    prerr_endline "invar: gate violated (invariance/oracle/uc-delta/counts)";
+    exit 1
+  end
+
 let main () =
   Format.printf
     "OLFU reproduction harness — every table and figure of the paper@.";
@@ -1297,4 +1430,6 @@ let () =
       (Array.to_list (Array.sub Sys.argv 2 (Array.length Sys.argv - 2)))
   else if Array.length Sys.argv > 1 && Sys.argv.(1) = "safety" then
     safety_bench ()
+  else if Array.length Sys.argv > 1 && Sys.argv.(1) = "invar" then
+    invar_bench ()
   else main ()

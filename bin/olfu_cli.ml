@@ -372,7 +372,7 @@ let report_cmd =
 (* --- lint --- *)
 
 let lint cfg file format rules_only waivers_path baseline_path
-    update_baseline fail_on disabled software =
+    update_baseline fail_on disabled software invariants =
   let module L = Olfu_lint in
   if rules_only then begin
     Format.printf "%a@." L.Render.rules_catalogue L.Lint.registry;
@@ -426,7 +426,25 @@ let lint cfg file format rules_only waivers_path baseline_path
           (Olfu_absint.Absint.software_facts
              ~label:(cfg.Olfu_soc.Soc.name ^ "-suite") cfg nl named)
     in
-    let o = L.Lint.run ~config ?software:sw nl in
+    let inv =
+      if not invariants then None
+      else
+        (* state-side facts for the INV-* rules: prove invariants under
+           the mission hold (debug controls and scan interface at 0) *)
+        let module Inv = Olfu_invar.Invar in
+        let hold =
+          List.concat_map
+            (fun role ->
+              Netlist.nodes_with_role nl role
+              |> Array.to_list
+              |> List.filter (fun i ->
+                     Cell.equal_kind (Netlist.kind nl i) Cell.Input)
+              |> List.map (fun i -> (i, false)))
+            [ Netlist.Debug_control; Netlist.Scan_enable; Netlist.Scan_in ]
+        in
+        Some (Inv.lint_facts (Inv.run ~hold nl))
+    in
+    let o = L.Lint.run ~config ?software:sw ?invariants:inv nl in
     C.emit format
       ~text:(fun () -> Format.printf "%a@." L.Render.text o)
       ~summary:(fun () -> Format.printf "%a@." L.Render.summary o)
@@ -523,6 +541,15 @@ let lint_cmd =
       & info [ "disable" ] ~docv:"CODE"
           ~doc:"Disable a rule code or a whole category (repeatable).")
   in
+  let lint_invariants =
+    Arg.(
+      value & flag
+      & info [ "invariants" ]
+          ~doc:
+            "Prove state invariants on the netlist under the mission \
+             hold (debug controls and scan interface at 0) and feed the \
+             proved facts to the INV-* rules.")
+  in
   let software =
     Arg.(
       value & flag
@@ -550,7 +577,110 @@ let lint_cmd =
     Term.(
       ret
         (const lint $ config_arg $ lint_file $ format $ rules_only $ waivers
-       $ baseline $ update_baseline $ fail_on $ disabled $ software))
+       $ baseline $ update_baseline $ fail_on $ disabled $ software
+       $ lint_invariants))
+
+(* --- invar --- *)
+
+let invar cfg file format jobs k no_prove trace manifest =
+  let module Inv = Olfu_invar.Invar in
+  let module Sc = Olfu_safety.Classify in
+  let jobs = jobs_of jobs in
+  let nl, cfg = load_netlist cfg file in
+  let mission = mission_of cfg nl file in
+  let sink = C.sink_for ~trace ~manifest in
+  let rc = { Olfu.Run_config.default with jobs; trace = sink } in
+  let t0 = Unix.gettimeofday () in
+  (* the machine the paper's on-line argument is about: mission netlist
+     (debug controls tied by the flow) with the scan interface held
+     functional — same machine as the safety classifier's BMC axis *)
+  let flow = Olfu.Flow.run rc nl mission in
+  let machine = Sc.bmc_machine flow.Olfu.Flow.mission_netlist in
+  let r = Inv.run ~k ~jobs ~trace:sink ~no_prove machine in
+  let wall = Unix.gettimeofday () -. t0 in
+  C.emit format
+    ~text:(fun () -> Format.printf "%a@." (Inv.pp machine) r)
+    ~summary:(fun () ->
+      C.summary_table Format.std_formatter
+        ([
+           ("flops", string_of_int r.Inv.total_ffs);
+           ("mined", string_of_int (List.length r.Inv.mined));
+           ("sim-killed", string_of_int (List.length r.Inv.killed));
+           ("unproved", string_of_int (List.length r.Inv.unproved));
+           ("proved", string_of_int (List.length r.Inv.proved));
+           ("k", string_of_int r.Inv.k);
+           ("seconds", Printf.sprintf "%.2f" r.Inv.seconds);
+         ]
+        @ List.map
+            (fun (cls, p, rest) ->
+              ("class " ^ cls, Printf.sprintf "%d proved / %d open" p rest))
+            (Inv.count_by_class r)))
+    ~json:(fun () ->
+      let module J = Olfu_obs.Json in
+      let cand_str c = Format.asprintf "%a" (Inv.pp_candidate machine) c in
+      C.print_json
+        (J.Obj
+           [
+             ("flops", J.Int r.Inv.total_ffs);
+             ("mined", J.Int (List.length r.Inv.mined));
+             ("killed", J.Int (List.length r.Inv.killed));
+             ("unproved", J.Int (List.length r.Inv.unproved));
+             ("proved", J.Int (List.length r.Inv.proved));
+             ("k", J.Int r.Inv.k);
+             ("seconds", J.Float r.Inv.seconds);
+             ( "by_class",
+               J.Obj
+                 (List.map
+                    (fun (cls, p, rest) ->
+                      ( cls,
+                        J.Obj [ ("proved", J.Int p); ("open", J.Int rest) ]
+                      ))
+                    (Inv.count_by_class r)) );
+             ( "invariants",
+               J.List
+                 (List.map
+                    (fun (inv : Inv.invariant) ->
+                      J.Obj
+                        [
+                          ("class", J.Str (Inv.class_name inv.Inv.form));
+                          ("form", J.Str (cand_str inv.Inv.form));
+                          ("k", J.Int inv.Inv.cert.Inv.cert_k);
+                          ("rounds", J.Int inv.Inv.cert.Inv.cert_rounds);
+                        ])
+                    r.Inv.proved) );
+           ]))
+    ();
+  C.write_obs ~trace ~manifest
+    ~config:(C.config_fields ~soc:cfg.Olfu_soc.Soc.name rc)
+    ~wall_seconds:wall sink;
+  `Ok ()
+
+let invar_cmd =
+  let k =
+    Arg.(
+      value & opt int 1
+      & info [ "k" ] ~docv:"K"
+          ~doc:"Induction depth for the strengthening-set proof.")
+  in
+  let no_prove =
+    Arg.(
+      value & flag
+      & info [ "no-prove" ]
+          ~doc:
+            "Stop after the simulation filter: report surviving \
+             candidates without proofs.  Nothing is exported downstream.")
+  in
+  Cmd.v
+    (Cmd.info "invar"
+       ~doc:
+         "Mine, filter and prove sequential state invariants \
+          (k-induction) on the mission machine with the scan interface \
+          held functional.")
+    Term.(
+      ret
+        (const invar $ config_arg $ file_arg
+       $ C.format_arg ~summary:true () $ jobs_arg $ k $ no_prove
+       $ C.trace_arg $ C.manifest_arg))
 
 (* --- equiv --- *)
 
@@ -929,12 +1059,30 @@ let atpg_cmd =
 
 (* --- implic --- *)
 
-let implic cfg file ff_mode format learn_depth learn_budget jobs =
+let implic cfg file ff_mode format learn_depth learn_budget jobs invariants =
   let jobs = jobs_of jobs in
   let nl, _ = load_netlist cfg file in
   let module U = Olfu_atpg.Untestable in
   let module I = Olfu_atpg.Implic in
   let t = U.analyze ~ff_mode ~learn_depth ~learn_budget nl in
+  (* invariant-strengthened conflict counts, reported separately from the
+     plain UC row: prove state invariants on the netlist as given (all
+     inputs free — unconditional facts), rebuild the analysis with them
+     assumed, and count what only the strengthened database closes *)
+  let ui =
+    if not invariants then 0
+    else
+      let module Inv = Olfu_invar.Invar in
+      let ir = Inv.run ~jobs nl in
+      let strengthened =
+        U.analyze ~learn_depth ~learn_budget
+          ~consts:
+            (Olfu_atpg.Ternary.run ~ff_mode ~assume:(Inv.assume_facts ir) nl)
+          ~extra_edges:(Inv.edges ir) nl
+      in
+      List.assoc Olfu_fault.Status.Invariant
+        (U.untestable_breakdown ~invariant:strengthened t nl)
+  in
   let db =
     match U.implication_db t with
     | Some db -> db
@@ -968,6 +1116,9 @@ let implic cfg file ff_mode format learn_depth learn_budget jobs =
       Format.printf
         "stuck-at universe %d: untestable %d (UT %d, UB %d, UC %d)@."
         (Olfu_fault.Flist.size fl) classified ut ub uc;
+      if invariants then
+        Format.printf
+          "invariant-strengthened: %d more conflict-untestable (UI)@." ui;
       Format.printf "transition universe %d: untestable %d@." tdf_univ tdf_un;
       if conflicts <> [] then begin
         Format.printf "conflict nets (sample):@.";
@@ -997,7 +1148,7 @@ let implic cfg file ff_mode format learn_depth learn_budget jobs =
                J.Obj
                  [
                    ("UT", J.Int ut); ("UB", J.Int ub); ("UC", J.Int uc);
-                   ("US", J.Int us);
+                   ("US", J.Int us); ("UI", J.Int ui);
                  ] );
              ("tdf_universe", J.Int tdf_univ);
              ("tdf_untestable", J.Int tdf_un);
@@ -1027,6 +1178,7 @@ let implic cfg file ff_mode format learn_depth learn_budget jobs =
           ("UB", string_of_int ub);
           ("UC", string_of_int uc);
           ("US", string_of_int us);
+          ("UI", string_of_int ui);
           ("TDF universe", string_of_int tdf_univ);
           ("TDF untestable", string_of_int tdf_un);
         ])
@@ -1034,6 +1186,15 @@ let implic cfg file ff_mode format learn_depth learn_budget jobs =
   `Ok ()
 
 let implic_cmd =
+  let implic_invariants =
+    Arg.(
+      value & flag
+      & info [ "invariants" ]
+          ~doc:
+            "Also prove state invariants (k-induction, all inputs free) \
+             and report the conflict faults only the invariant-assumed \
+             database closes as a separate UI row.")
+  in
   let learn_depth =
     Arg.(
       value & opt int 2
@@ -1057,7 +1218,7 @@ let implic_cmd =
       ret
         (const implic $ config_arg $ file_arg $ ff_mode_arg
        $ C.format_arg ~summary:true () $ learn_depth $ learn_budget
-       $ jobs_arg))
+       $ jobs_arg $ implic_invariants))
 
 (* --- safety --- *)
 
@@ -1125,6 +1286,25 @@ let safety cfg window seu_limit jobs format trace manifest =
                           (Olfu_fault.Status.Undetectable u),
                         J.Int n ))
                     r.Sc.software_by) );
+             ( "invariant_safe_by",
+               J.Obj
+                 (List.map
+                    (fun (u, n) ->
+                      ( Olfu_fault.Status.code
+                          (Olfu_fault.Status.Undetectable u),
+                        J.Int n ))
+                    r.Sc.invariant_by) );
+             ( "invariants",
+               match r.Sc.invariants with
+               | None -> J.Null
+               | Some ir ->
+                   let module Inv = Olfu_invar.Invar in
+                   J.Obj
+                     [
+                       ("mined", J.Int (List.length ir.Inv.mined));
+                       ("proved", J.Int (List.length ir.Inv.proved));
+                       ("k", J.Int ir.Inv.k);
+                     ] );
              ("assume_nodes", J.Int r.Sc.assume_nodes);
              ( "seu",
                J.Obj
@@ -1172,8 +1352,11 @@ let safety_cmd =
       value & opt int 64
       & info [ "seu-limit" ] ~docv:"N"
           ~doc:
-            "Check an evenly strided sample of N flip-flops (0 checks \
-             every flop).")
+            "Check a deterministic, evenly strided sample of N \
+             flip-flops: flop $(i,k) of the sample is sequential node \
+             $(i,k*total/N) in netlist order, so the same netlist and N \
+             always select the same flops.  0 (or N >= total) checks \
+             every flop.")
   in
   let exits =
     Cmd.Exit.info 0 ~doc:"taxonomy consistent."
@@ -1202,7 +1385,7 @@ let main_cmd =
     [
       generate_cmd; analyze_cmd; tdf_cmd; trace_scan_cmd; memmap_cmd;
       categories_cmd; coverage_cmd; atpg_cmd; absint_cmd; simulate_cmd;
-      equiv_cmd; lint_cmd; report_cmd; implic_cmd; safety_cmd;
+      equiv_cmd; lint_cmd; report_cmd; implic_cmd; invar_cmd; safety_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

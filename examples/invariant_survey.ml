@@ -1,0 +1,39 @@
+(* Invariant survey: mine, filter and prove state invariants on the
+   tcore32 mission machine (debug controls tied by the flow, scan
+   interface held functional), then show what the proofs buy the
+   conflict-untestability engine. *)
+
+open Olfu_netlist
+module Soc = Olfu_soc.Soc
+module Invar = Olfu_invar.Invar
+module U = Olfu_atpg.Untestable
+module Ternary = Olfu_atpg.Ternary
+
+let () =
+  let cfg = Soc.tcore32 in
+  let nl = Soc.generate cfg in
+  let mission = Olfu.Mission.of_soc cfg nl in
+  let flow = Olfu.Flow.run Olfu.Run_config.default nl mission in
+  let mnl = flow.Olfu.Flow.mission_netlist in
+  let machine = Olfu_safety.Classify.bmc_machine mnl in
+  Format.printf "tcore32 mission machine: %a@.@." Netlist.pp_summary machine;
+
+  let t0 = Unix.gettimeofday () in
+  let r = Invar.run machine in
+  Format.printf "%a@.@." (Invar.pp machine) r;
+
+  (* what the proved facts add to the conflict engine *)
+  let observable = Olfu.Mission.observed_in_field mission mnl in
+  let base = U.analyze ~observable_output:observable machine in
+  let strengthened =
+    U.analyze ~observable_output:observable
+      ~consts:(Ternary.run ~assume:(Invar.assume_facts r) machine)
+      ~extra_edges:(Invar.edges r) machine
+  in
+  let rows = U.untestable_breakdown ~invariant:strengthened base machine in
+  Format.printf "untestable breakdown with the invariant row:@.";
+  List.iter
+    (fun (c, n) ->
+      Format.printf "  %s %6d@." (Olfu_fault.Status.code (Undetectable c)) n)
+    rows;
+  Format.printf "total time: %.2f s@." (Unix.gettimeofday () -. t0)

@@ -131,7 +131,7 @@ let derived_count s = s.derived
 (* Direct implications from gate semantics                           *)
 (* ---------------------------------------------------------------- *)
 
-let build_direct nl consts =
+let build_direct ?(extra_edges = []) nl consts =
   let n = Netlist.length nl in
   let pre : int list array = Array.make (2 * n) [] in
   let count = ref 0 in
@@ -235,6 +235,12 @@ let build_direct nl consts =
         (* frame cut: no combinational implication across state *)
         ())
     nl;
+  (* caller-supplied single-literal facts (proved state invariants):
+     routed through [imp2] so contraposition closure is preserved *)
+  List.iter
+    (fun (a, b) ->
+      if a >= 0 && a < 2 * n && b >= 0 && b < 2 * n && a <> b then imp2 a b)
+    extra_edges;
   (Array.map (fun l -> Array.of_list l) pre, !count)
 
 (* ---------------------------------------------------------------- *)
@@ -394,10 +400,10 @@ let default_learn_depth = 2
 let default_learn_budget = 200_000
 
 let build ?(learn_depth = default_learn_depth)
-    ?(learn_budget = default_learn_budget) ~consts nl =
+    ?(learn_budget = default_learn_budget) ?(extra_edges = []) ~consts nl =
   let t0 = Unix.gettimeofday () in
   let n = Netlist.length nl in
-  let succ, direct = build_direct nl consts in
+  let succ, direct = build_direct ~extra_edges nl consts in
   let db =
     {
       nl;

@@ -56,6 +56,7 @@ type stats = {
 val build :
   ?learn_depth:int ->
   ?learn_budget:int ->
+  ?extra_edges:(int * int) list ->
   consts:Logic4.t array ->
   Netlist.t ->
   t
@@ -65,7 +66,15 @@ val build :
     [learn_depth] (default 2) bounds the recursive-learning case-split
     nesting; 0 disables learning.  [learn_budget] (default 200_000)
     caps the total closure visits the build-time learning sweep may
-    spend; the sweep processes literals in node order until exhausted. *)
+    spend; the sweep processes literals in node order until exhausted.
+
+    [extra_edges] are caller-supplied implications [(a, b)] over
+    {!lit}-encoded literals, added before learning with their
+    contrapositives — the hook for externally proved facts such as
+    induction-proved state invariants ({!Olfu_invar}).  The caller
+    guarantees their soundness for the machine being analysed; the
+    database (and every verdict derived from it) is only valid under the
+    same assumptions. *)
 
 val stats : t -> stats
 val netlist : t -> Netlist.t

@@ -39,7 +39,8 @@ let make_walker_for ?cache nl implic =
   }
 
 let analyze ?ff_mode ?(observable_output = fun _ -> true) ?consts
-    ?(implic = true) ?learn_depth ?learn_budget ?(trace = Trace.null) nl =
+    ?(implic = true) ?learn_depth ?learn_budget ?extra_edges
+    ?(trace = Trace.null) nl =
   let _ = Trace.span trace ~cat:"engine" "graph" (fun () -> Analysis.get nl) in
   let consts =
     match consts with
@@ -57,7 +58,7 @@ let analyze ?ff_mode ?(observable_output = fun _ -> true) ?consts
     if implic then
       Some
         (Trace.span trace ~cat:"engine" "implic" (fun () ->
-             Implic.build ?learn_depth ?learn_budget
+             Implic.build ?learn_depth ?learn_budget ?extra_edges
                ~consts:consts.Ternary.values nl))
     else None
   in
@@ -407,9 +408,9 @@ let classify ?jobs ?(trace = Trace.null) t fl =
   Trace.add trace "classify.classified" !changed;
   !changed
 
-let untestable_breakdown ?software t nl =
+let untestable_breakdown ?software ?invariant t nl =
   let tied = ref 0 and blocked = ref 0 and conflict = ref 0 in
-  let sw = ref 0 in
+  let sw = ref 0 and inv = ref 0 in
   Array.iter
     (fun f ->
       match fault_verdict t f with
@@ -418,17 +419,21 @@ let untestable_breakdown ?software t nl =
       | Some (Status.Undetectable Status.Conflict) -> incr conflict
       | Some _ | None -> (
         (* unproved here: software-assumed analysis may still prove it,
-           and that delta is exactly the software-safe class *)
+           and that delta is exactly the software-safe class; the
+           invariant-strengthened analysis gets whatever both miss *)
         match software with
-        | None -> ()
-        | Some tsw ->
-          if fault_verdict tsw f <> None then incr sw))
+        | Some tsw when fault_verdict tsw f <> None -> incr sw
+        | _ -> (
+          match invariant with
+          | None -> ()
+          | Some tin -> if fault_verdict tin f <> None then incr inv)))
     (Fault.universe nl);
   [
     (Status.Tied, !tied);
     (Status.Blocked, !blocked);
     (Status.Conflict, !conflict);
     (Status.Software, !sw);
+    (Status.Invariant, !inv);
   ]
 
 let untestable_count t nl =

@@ -55,6 +55,7 @@ val analyze :
   ?implic:bool ->
   ?learn_depth:int ->
   ?learn_budget:int ->
+  ?extra_edges:(int * int) list ->
   ?trace:Olfu_obs.Trace.sink ->
   Netlist.t ->
   t
@@ -64,7 +65,10 @@ val analyze :
     observability).  [ff_mode] is ignored when [consts] is supplied.
     [implic] (default [true]) builds the static implication database so
     {!fault_verdict} can return UC verdicts; [learn_depth] /
-    [learn_budget] are passed to {!Implic.build}.
+    [learn_budget] / [extra_edges] are passed to {!Implic.build}
+    ([extra_edges] carries externally proved implications — in practice
+    {!Olfu_invar} state invariants; every verdict of the resulting
+    analysis is then conditional on those facts).
 
     A recording [trace] attributes each phase to an ["engine"]-category
     span: ["graph"] (analysis construction), ["ternary"] (skipped when
@@ -101,13 +105,21 @@ val untestable_count : t -> Netlist.t -> int
     (faults on tie cells excluded, as in {!Fault.universe}). *)
 
 val untestable_breakdown :
-  ?software:t -> t -> Netlist.t -> (Status.undetectable * int) list
+  ?software:t ->
+  ?invariant:t ->
+  t ->
+  Netlist.t ->
+  (Status.undetectable * int) list
 (** {!untestable_count} split by verdict class —
-    [[Tied, n; Blocked, n; Conflict, n; Software, n]] in that order — so
-    Table-I-style reports can attribute the proofs to the engine that
-    made them.  [software], when given, must be an analysis of the same
-    netlist strengthened with software-proven constants
-    ([Ternary.run ~assume] over {!Olfu_absint} facts): faults the base
-    analysis leaves unproved but the strengthened one classifies are
-    counted under {!Status.Software} (0 without it), keeping the
-    structural/conflict rows identical either way. *)
+    [[Tied, n; Blocked, n; Conflict, n; Software, n; Invariant, n]] in
+    that order — so Table-I-style reports can attribute the proofs to
+    the engine that made them.  [software], when given, must be an
+    analysis of the same netlist strengthened with software-proven
+    constants ([Ternary.run ~assume] over {!Olfu_absint} facts): faults
+    the base analysis leaves unproved but the strengthened one
+    classifies are counted under {!Status.Software} (0 without it).
+    [invariant], likewise, is an analysis of the mission-held machine
+    strengthened with proved state invariants ({!Olfu_invar}): faults
+    neither the base nor the software analysis proves but the invariant
+    one does are counted under {!Status.Invariant}.  The
+    structural/conflict rows are identical with or without either. *)

@@ -23,7 +23,7 @@ type step_report = {
 let undet_classes =
   [|
     Status.Unused; Status.Tied; Status.Blocked; Status.Conflict;
-    Status.Redundant; Status.Software;
+    Status.Redundant; Status.Software; Status.Invariant;
   |]
 
 let undet_tally fl =
@@ -40,6 +40,7 @@ let undet_tally fl =
           | Status.Conflict -> 3
           | Status.Redundant -> 4
           | Status.Software -> 5
+          | Status.Invariant -> 6
         in
         a.(k) <- a.(k) + 1
       | _ -> ())

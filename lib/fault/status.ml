@@ -1,4 +1,11 @@
-type undetectable = Unused | Tied | Blocked | Conflict | Redundant | Software
+type undetectable =
+  | Unused
+  | Tied
+  | Blocked
+  | Conflict
+  | Redundant
+  | Software
+  | Invariant
 
 type t =
   | Not_analyzed
@@ -21,6 +28,7 @@ let code = function
   | Undetectable Conflict -> "UC"
   | Undetectable Redundant -> "UR"
   | Undetectable Software -> "US"
+  | Undetectable Invariant -> "UI"
   | Atpg_untestable -> "AU"
   | Not_detected -> "ND"
 

@@ -17,6 +17,14 @@ type undetectable =
           address/data bits, never-written memory), so no mission
           execution can excite and observe the fault.  Unlike the other
           classes the proof is conditional on the analysed program set. *)
+  | Invariant
+      (** UI: safe relative to the machine's proved state invariants —
+          the analysis of the mission-held machine (scan interface kept
+          functional), strengthened with induction-proved reachability
+          invariants ({!Olfu_invar}), classifies the fault untestable.
+          The proof is conditional on the mission hold and on the
+          invariant certificates, so it is reported separately from the
+          unconditional structural classes. *)
 
 type t =
   | Not_analyzed  (** NA *)

@@ -1,0 +1,782 @@
+open Olfu_logic
+open Olfu_netlist
+module S = Olfu_sat.Solver
+module CB = Olfu_atpg.Cnf.Builder
+module Bmc = Olfu_atpg.Bmc
+module Implic = Olfu_atpg.Implic
+module Eval = Olfu_sim.Eval
+module Pool = Olfu_pool.Pool
+module Trace = Olfu_obs.Trace
+
+type candidate =
+  | Const of { ff : int; value : bool }
+  | Implies of { a : int; av : bool; b : int; bv : bool }
+  | Mutex of int * int
+  | At_most_one of int array
+  | Range of { group : int array; reach : int list }
+
+type certificate = { cert_k : int; cert_rounds : int }
+type invariant = { form : candidate; cert : certificate }
+
+type report = {
+  total_ffs : int;
+  mined : candidate list;
+  killed : candidate list;
+  unproved : candidate list;
+  proved : invariant list;
+  k : int;
+  seconds : float;
+}
+
+let class_name = function
+  | Const _ -> "const"
+  | Implies _ -> "implies"
+  | Mutex _ -> "mutex"
+  | At_most_one _ -> "at-most-one"
+  | Range _ -> "range"
+
+let is_const = function Const _ -> true | _ -> false
+
+let node_label nl i =
+  match Netlist.name nl i with Some s -> s | None -> Printf.sprintf "n%d" i
+
+let group_label nl g =
+  (* the common base of the members' [base[i]] names, if any *)
+  match Netlist.name nl g.(0) with
+  | Some s -> (
+    match String.index_opt s '[' with
+    | Some j -> String.sub s 0 j
+    | None -> s)
+  | None -> Printf.sprintf "n%d.." g.(0)
+
+let pp_candidate nl ppf = function
+  | Const { ff; value } ->
+    Format.fprintf ppf "const %s = %d" (node_label nl ff)
+      (if value then 1 else 0)
+  | Implies { a; av; b; bv } ->
+    Format.fprintf ppf "%s=%d -> %s=%d" (node_label nl a)
+      (if av then 1 else 0)
+      (node_label nl b)
+      (if bv then 1 else 0)
+  | Mutex (a, b) ->
+    Format.fprintf ppf "mutex(%s, %s)" (node_label nl a) (node_label nl b)
+  | At_most_one g ->
+    Format.fprintf ppf "at-most-one %s[%d]" (group_label nl g)
+      (Array.length g)
+  | Range { group; reach } ->
+    Format.fprintf ppf "%s[%d] in {%s}" (group_label nl group)
+      (Array.length group)
+      (String.concat "," (List.map string_of_int reach))
+
+(* ------------------------------------------------------------------ *)
+(* 64-lane random sequential simulation                                *)
+(* ------------------------------------------------------------------ *)
+
+(* xorshift64*: deterministic, never zero *)
+let rand_word st =
+  let x = !st in
+  let x = Int64.logxor x (Int64.shift_left x 13) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+  let x = Int64.logxor x (Int64.shift_left x 17) in
+  st := x;
+  Int64.mul x 0x2545F4914F6CDD1DL
+
+let seed_state seed =
+  let s = Int64.logxor (Int64.of_int seed) 0x9E3779B97F4A7C15L in
+  ref (if s = 0L then 88172645463325252L else s)
+
+let ones (v : Dualrail.t) = Int64.logand v.Dualrail.hi (Int64.lognot v.Dualrail.lo)
+let zeros (v : Dualrail.t) = Int64.logand v.Dualrail.lo (Int64.lognot v.Dualrail.hi)
+
+(* One random mission run: resettable flops start at 0, plain flops at a
+   random binary value per lane, reset inputs held inactive (1), [hold]
+   inputs constant, every other input (and every Tiex) a fresh random
+   binary value per lane per cycle.  [observe env] sees each cycle's
+   settled values — flop slots hold the current state. *)
+let simulate ~seed ~cycles ~hold nl ~observe =
+  let n = Netlist.length nl in
+  let rng = seed_state seed in
+  let rand_dr () =
+    let w = rand_word rng in
+    Dualrail.make ~hi:w ~lo:(Int64.lognot w)
+  in
+  let hold_tbl = Hashtbl.create 17 in
+  List.iter
+    (fun (i, v) ->
+      Hashtbl.replace hold_tbl i (if v then Dualrail.one else Dualrail.zero))
+    hold;
+  let seqs = Netlist.seq_nodes nl in
+  let state =
+    Array.map
+      (fun s ->
+        match Netlist.kind nl s with
+        | Cell.Dffr | Cell.Sdffr -> Dualrail.zero
+        | _ -> rand_dr ())
+      seqs
+  in
+  let env = Array.make n Dualrail.unknown in
+  let max_arity = ref 0 in
+  Netlist.iter_nodes
+    (fun _ nd -> max_arity := max !max_arity (Array.length nd.Netlist.fanin))
+    nl;
+  let ins_by_arity =
+    Array.init (!max_arity + 1) (fun a -> Array.make a Dualrail.unknown)
+  in
+  let operand i p = env.((Netlist.fanin nl i).(p)) in
+  let topo = Netlist.topo nl in
+  for _c = 0 to cycles - 1 do
+    Netlist.iter_nodes
+      (fun i nd ->
+        match nd.Netlist.kind with
+        | Cell.Input ->
+          env.(i) <-
+            (match Hashtbl.find_opt hold_tbl i with
+            | Some v -> v
+            | None ->
+              if Netlist.has_role nl i Netlist.Reset then Dualrail.one
+              else rand_dr ())
+        | Cell.Tie0 -> env.(i) <- Dualrail.zero
+        | Cell.Tie1 -> env.(i) <- Dualrail.one
+        | Cell.Tiex -> env.(i) <- rand_dr ()
+        | _ -> ())
+      nl;
+    Array.iteri (fun k s -> env.(s) <- state.(k)) seqs;
+    Array.iter
+      (fun i ->
+        let nd = Netlist.node nl i in
+        let a = Array.length nd.Netlist.fanin in
+        let ins = ins_by_arity.(a) in
+        for p = 0 to a - 1 do
+          ins.(p) <- operand i p
+        done;
+        env.(i) <- Eval.comb_par nd.Netlist.kind ins)
+      topo;
+    observe env;
+    Array.iteri
+      (fun k s ->
+        state.(k) <-
+          (match Netlist.kind nl s with
+          | Cell.Dff -> operand s 0
+          | Cell.Dffr ->
+            Dualrail.mux ~sel:(operand s 1) ~a:Dualrail.zero ~b:(operand s 0)
+          | Cell.Sdff ->
+            Dualrail.mux ~sel:(operand s 2) ~a:(operand s 0) ~b:(operand s 1)
+          | Cell.Sdffr ->
+            Dualrail.mux ~sel:(operand s 3) ~a:Dualrail.zero
+              ~b:(Dualrail.mux ~sel:(operand s 2) ~a:(operand s 0)
+                    ~b:(operand s 1))
+          | _ -> assert false))
+      seqs
+  done
+
+(* Lanes (as a mask) where the candidate is violated in this cycle.  X
+   lanes never violate: a candidate is only refuted by a binary
+   counterexample, exactly like {!Dualrail.diff_mask}. *)
+let violation env = function
+  | Const { ff; value } -> if value then zeros env.(ff) else ones env.(ff)
+  | Implies { a; av; b; bv } ->
+    let la = if av then ones env.(a) else zeros env.(a) in
+    let nb = if bv then zeros env.(b) else ones env.(b) in
+    Int64.logand la nb
+  | Mutex (a, b) -> Int64.logand (ones env.(a)) (ones env.(b))
+  | At_most_one g ->
+    let one = ref 0L and two = ref 0L in
+    Array.iter
+      (fun f ->
+        let o = ones env.(f) in
+        two := Int64.logor !two (Int64.logand !one o);
+        one := Int64.logor !one o)
+      g;
+    !two
+  | Range { group; reach } ->
+    let allbin =
+      Array.fold_left
+        (fun m f -> Int64.logand m (Dualrail.binary_mask env.(f)))
+        Int64.minus_one group
+    in
+    let ok =
+      List.fold_left
+        (fun acc v ->
+          let m = ref allbin in
+          Array.iteri
+            (fun k f ->
+              m :=
+                Int64.logand !m
+                  (if (v lsr k) land 1 = 1 then ones env.(f) else zeros env.(f)))
+            group;
+          Int64.logor acc !m)
+        0L reach
+    in
+    Int64.logand allbin (Int64.lognot ok)
+
+(* ------------------------------------------------------------------ *)
+(* Mining                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let split_bit name =
+  match String.rindex_opt name '[' with
+  | Some i when String.length name > i + 2 && name.[String.length name - 1] = ']'
+    -> (
+    match int_of_string_opt (String.sub name (i + 1) (String.length name - i - 2))
+    with
+    | Some b when b >= 0 -> Some (String.sub name 0 i, b)
+    | _ -> None)
+  | _ -> None
+
+(* Cluster flop names [base[i]] into registers: only complete groups
+   (bits 0..w-1 all present exactly once) are trusted. *)
+let registers nl =
+  let seqs = Netlist.seq_nodes nl in
+  let tbl = Hashtbl.create 37 in
+  Array.iter
+    (fun s ->
+      match Netlist.name nl s with
+      | None -> ()
+      | Some nm -> (
+        match split_bit nm with
+        | None -> ()
+        | Some (base, bit) ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt tbl base) in
+          Hashtbl.replace tbl base ((bit, s) :: prev)))
+    seqs;
+  let groups = ref [] in
+  Hashtbl.iter
+    (fun _base members ->
+      let w = List.length members in
+      if w >= 2 then begin
+        let sorted = List.sort compare members in
+        let complete =
+          List.for_all2
+            (fun k (bit, _) -> k = bit)
+            (List.init w (fun k -> k))
+            sorted
+        in
+        if complete then
+          groups := Array.of_list (List.map snd sorted) :: !groups
+      end)
+    tbl;
+  (* deterministic order: by first member's node id *)
+  List.sort (fun a b -> compare a.(0) b.(0)) !groups
+
+let max_range_values = 32
+let max_group_width = 16
+let pairing_cap = 48
+
+let mine ?(seed = 0x11A8) ?(cycles = 96) ?(hold = []) ?(max_candidates = 512)
+    nl =
+  let seqs = Netlist.seq_nodes nl in
+  let nseq = Array.length seqs in
+  let groups =
+    List.filter (fun g -> Array.length g <= max_group_width) (registers nl)
+  in
+  (* per-flop value coverage *)
+  let seen0 = Array.make nseq false and seen1 = Array.make nseq false in
+  let pos = Hashtbl.create 97 in
+  Array.iteri (fun k s -> Hashtbl.replace pos s k) seqs;
+  (* per-group observed value sets *)
+  let gsets = List.map (fun g -> (g, Hashtbl.create 17, ref false)) groups in
+  (* pairing set: one-bit registers and bits of narrow registers *)
+  let grouped = Hashtbl.create 97 in
+  List.iter (Array.iter (fun s -> Hashtbl.replace grouped s ())) groups;
+  let pairset =
+    let bits = ref [] in
+    Array.iter
+      (fun s -> if not (Hashtbl.mem grouped s) then bits := s :: !bits)
+      seqs;
+    List.iter
+      (fun g -> if Array.length g <= 4 then Array.iter (fun s -> bits := s :: !bits) g)
+      groups;
+    let l = List.sort_uniq compare !bits in
+    Array.of_list (List.filteri (fun i _ -> i < pairing_cap) l)
+  in
+  let np = Array.length pairset in
+  (* combo coverage per unordered pair: bit0 = 00 seen, 1 = 01, 2 = 10, 3 = 11
+     (a-value is the high bit; pairs indexed i*np+j for i<j) *)
+  let combos = Array.make (np * np) 0 in
+  let observe env =
+    Array.iteri
+      (fun k s ->
+        if ones env.(s) <> 0L then seen1.(k) <- true;
+        if zeros env.(s) <> 0L then seen0.(k) <- true)
+      seqs;
+    List.iter
+      (fun (g, set, saturated) ->
+        if not !saturated then begin
+          let w = Array.length g in
+          let allbin =
+            Array.fold_left
+              (fun m f -> Int64.logand m (Dualrail.binary_mask env.(f)))
+              Int64.minus_one g
+          in
+          for lane = 0 to 63 do
+            if Int64.logand allbin (Int64.shift_left 1L lane) <> 0L then begin
+              let v = ref 0 in
+              for k = 0 to w - 1 do
+                if
+                  Int64.logand (ones env.(g.(k))) (Int64.shift_left 1L lane)
+                  <> 0L
+                then v := !v lor (1 lsl k)
+              done;
+              if not (Hashtbl.mem set !v) then
+                if Hashtbl.length set >= max_range_values then saturated := true
+                else Hashtbl.replace set !v ()
+            end
+          done
+        end)
+      gsets;
+    for i = 0 to np - 1 do
+      let oi = ones env.(pairset.(i)) and zi = zeros env.(pairset.(i)) in
+      for j = i + 1 to np - 1 do
+        let oj = ones env.(pairset.(j)) and zj = zeros env.(pairset.(j)) in
+        let c = ref combos.(i * np + j) in
+        if Int64.logand zi zj <> 0L then c := !c lor 1;
+        if Int64.logand zi oj <> 0L then c := !c lor 2;
+        if Int64.logand oi zj <> 0L then c := !c lor 4;
+        if Int64.logand oi oj <> 0L then c := !c lor 8;
+        combos.(i * np + j) <- !c
+      done
+    done
+  in
+  simulate ~seed ~cycles ~hold nl ~observe;
+  let consts = ref [] in
+  let is_const_ff = Array.make nseq false in
+  Array.iteri
+    (fun k s ->
+      if seen0.(k) && not seen1.(k) then begin
+        is_const_ff.(k) <- true;
+        consts := Const { ff = s; value = false } :: !consts
+      end
+      else if seen1.(k) && not seen0.(k) then begin
+        is_const_ff.(k) <- true;
+        consts := Const { ff = s; value = true } :: !consts
+      end)
+    seqs;
+  let ranges = ref [] and amos = ref [] in
+  List.iter
+    (fun (g, set, saturated) ->
+      if not !saturated then begin
+        let w = Array.length g in
+        let values = Hashtbl.fold (fun v () acc -> v :: acc) set [] in
+        let values = List.sort compare values in
+        let nvals = List.length values in
+        let full = w < 6 && nvals = 1 lsl w in
+        if nvals >= 1 && not full then
+          ranges := Range { group = g; reach = values } :: !ranges
+        else if
+          w >= 2
+          && List.for_all
+               (fun v -> v land (v - 1) = 0 (* popcount <= 1 *))
+               values
+        then amos := At_most_one g :: !amos
+      end
+      else if
+        Array.length g >= 2
+        && Hashtbl.fold
+             (fun v () acc -> acc && v land (v - 1) = 0)
+             set true
+      then
+        (* value set overflowed but every observed code was one-hot/idle *)
+        amos := At_most_one g :: !amos)
+    gsets;
+  let pair_cands = ref [] in
+  for i = 0 to np - 1 do
+    for j = i + 1 to np - 1 do
+      let a = pairset.(i) and b = pairset.(j) in
+      let ka = Hashtbl.find pos a and kb = Hashtbl.find pos b in
+      (* pairs where one side is a constant candidate carry no news *)
+      if
+        (not is_const_ff.(ka)) && (not is_const_ff.(kb))
+        && seen0.(ka) && seen1.(ka) && seen0.(kb) && seen1.(kb)
+      then begin
+        let c = combos.(i * np + j) in
+        if c land 8 = 0 then pair_cands := Mutex (a, b) :: !pair_cands;
+        if c land 4 = 0 then
+          pair_cands := Implies { a; av = true; b; bv = true } :: !pair_cands;
+        if c land 2 = 0 then
+          pair_cands :=
+            Implies { a; av = false; b; bv = false } :: !pair_cands;
+        if c land 1 = 0 then
+          pair_cands := Implies { a; av = false; b; bv = true } :: !pair_cands
+      end
+    done
+  done;
+  let all =
+    List.rev !consts @ List.rev !ranges @ List.rev !amos
+    @ List.rev !pair_cands
+  in
+  List.filteri (fun i _ -> i < max_candidates) all
+
+(* ------------------------------------------------------------------ *)
+(* Filter                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let filter ?(seed = 0xF117) ?(cycles = 256) ?(hold = []) nl cands =
+  let arr = Array.of_list cands in
+  let alive = Array.make (Array.length arr) true in
+  let observe env =
+    Array.iteri
+      (fun i c -> if alive.(i) && violation env c <> 0L then alive.(i) <- false)
+      arr
+  in
+  simulate ~seed ~cycles ~hold nl ~observe;
+  let survivors = ref [] and killed = ref [] in
+  Array.iteri
+    (fun i c -> if alive.(i) then survivors := c :: !survivors
+      else killed := c :: !killed)
+    arr;
+  (List.rev !survivors, List.rev !killed)
+
+(* ------------------------------------------------------------------ *)
+(* Proof: strengthening-set k-induction                                *)
+(* ------------------------------------------------------------------ *)
+
+let cand_lit b state_of = function
+  | Const { ff; value } ->
+    let l = state_of ff in
+    if value then l else -l
+  | Implies { a; av; b = bb; bv } ->
+    let la = state_of a and lb = state_of bb in
+    CB.mk_or b [ (if av then -la else la); (if bv then lb else -lb) ]
+  | Mutex (x, y) -> -CB.mk_and b [ state_of x; state_of y ]
+  | At_most_one g ->
+    let ls = Array.to_list (Array.map state_of g) in
+    let rec pairs = function
+      | [] -> []
+      | x :: tl -> List.map (fun y -> -CB.mk_and b [ x; y ]) tl @ pairs tl
+    in
+    CB.mk_and b (pairs ls)
+  | Range { group; reach } ->
+    CB.mk_or b
+      (List.map
+         (fun v ->
+           CB.mk_and b
+             (Array.to_list
+                (Array.mapi
+                   (fun k f ->
+                     let l = state_of f in
+                     if (v lsr k) land 1 = 1 then l else -l)
+                   group)))
+         reach)
+
+let state_literals b ~state_of invs =
+  List.map (fun inv -> cand_lit b state_of inv.form) invs
+
+let state_fn st =
+  let h = Hashtbl.create 97 in
+  Array.iter (fun (i, l) -> Hashtbl.replace h i l) st;
+  fun i -> Hashtbl.find h i
+
+(* Unroll [steps] transitions: returns the state literal tables for
+   cycles 0..steps.  Reset inputs inactive, [hold] inputs constant,
+   everything else (and every Tiex) fresh per cycle — the same frame
+   semantics as {!Olfu_safety.Seu} and {!simulate}. *)
+let unroll b nl ~steps ~hold ~init =
+  let id_stem _ l = l in
+  let id_op _ _ l = l in
+  let hold_tbl = Hashtbl.create 17 in
+  List.iter (fun (i, v) -> Hashtbl.replace hold_tbl i v) hold;
+  let states = Array.make (steps + 1) init in
+  for c = 0 to steps - 1 do
+    let input_tbl = Hashtbl.create 37 in
+    Array.iter
+      (fun i ->
+        let v =
+          match Hashtbl.find_opt hold_tbl i with
+          | Some true -> CB.vtrue b
+          | Some false -> -CB.vtrue b
+          | None ->
+            if Netlist.has_role nl i Netlist.Reset then CB.vtrue b
+            else CB.fresh b
+        in
+        Hashtbl.replace input_tbl i v)
+      (Netlist.inputs nl);
+    let tiex_tbl = Hashtbl.create 7 in
+    Netlist.iter_nodes
+      (fun i nd ->
+        if nd.Netlist.kind = Cell.Tiex then
+          Hashtbl.replace tiex_tbl i (CB.fresh b))
+      nl;
+    let st = state_fn states.(c) in
+    let source i =
+      match Netlist.kind nl i with
+      | Cell.Input -> Hashtbl.find input_tbl i
+      | Cell.Tiex -> Hashtbl.find tiex_tbl i
+      | _ -> st i
+    in
+    let _, lit =
+      Bmc.eval_cycle b nl ~source ~inject_stem:id_stem ~inject_operand:id_op
+    in
+    states.(c + 1) <- Bmc.next_state b nl lit ~inject_operand:id_op
+  done;
+  states
+
+let reset_init b nl =
+  Array.map
+    (fun i ->
+      match Netlist.kind nl i with
+      | Cell.Dffr | Cell.Sdffr -> (i, -CB.vtrue b)
+      | _ -> (i, CB.fresh b))
+    (Netlist.seq_nodes nl)
+
+let free_init b nl =
+  Array.map (fun i -> (i, CB.fresh b)) (Netlist.seq_nodes nl)
+
+(* Every query runs on a fresh solver so its outcome (including budget
+   exhaustion) depends only on the formula — never on which worker ran
+   it or what it solved before: the Houdini result is jobs-invariant. *)
+let base_holds ~k ~conflict_limit ~hold nl cand =
+  let s = S.create () in
+  let b = CB.create s in
+  let states = unroll b nl ~steps:(k - 1) ~hold ~init:(reset_init b nl) in
+  let viols =
+    List.init k (fun j -> -cand_lit b (state_fn states.(j)) cand)
+  in
+  S.add_clause s viols;
+  match S.solve ~conflict_limit s with S.Unsat -> true | _ -> false
+
+let step_holds ~k ~conflict_limit ~hold nl survivors cand =
+  let s = S.create () in
+  let b = CB.create s in
+  let states = unroll b nl ~steps:k ~hold ~init:(free_init b nl) in
+  for j = 0 to k - 1 do
+    let st = state_fn states.(j) in
+    Array.iter (fun c -> S.add_clause s [ cand_lit b st c ]) survivors
+  done;
+  S.add_clause s [ -cand_lit b (state_fn states.(k)) cand ];
+  match S.solve ~conflict_limit s with S.Unsat -> true | _ -> false
+
+let bounded_check ?(cycles = 8) ?(conflict_limit = 100_000) ?(hold = []) nl
+    cand =
+  base_holds ~k:cycles ~conflict_limit ~hold nl cand
+
+let prove ?(k = 1) ?(conflict_limit = 100_000) ?jobs ?(trace = Trace.null)
+    ?(hold = []) nl cands =
+  let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
+  let shard label arr check =
+    let n = Array.length arr in
+    let oks = Array.make n false in
+    Pool.with_pool ~jobs (fun pool ->
+        (* one candidate per chunk; each index writes its own slot *)
+        Pool.parallel_chunks pool ~n ~chunk:1 ~trace ~label
+          (fun ~worker:_ ~lo ~hi ->
+            for i = lo to hi - 1 do
+              oks.(i) <- check arr.(i)
+            done));
+    oks
+  in
+  let arr = Array.of_list cands in
+  let base_ok =
+    shard "invar-base" arr (base_holds ~k ~conflict_limit ~hold nl)
+  in
+  let survivors = ref [] in
+  Array.iteri (fun i c -> if base_ok.(i) then survivors := c :: !survivors) arr;
+  let survivors = ref (Array.of_list (List.rev !survivors)) in
+  let rounds = ref 0 in
+  let stable = ref (Array.length !survivors = 0) in
+  while not !stable do
+    incr rounds;
+    let cur = !survivors in
+    let ok =
+      shard "invar-step" cur (step_holds ~k ~conflict_limit ~hold nl cur)
+    in
+    if Array.for_all (fun x -> x) ok then stable := true
+    else begin
+      let keep = ref [] in
+      Array.iteri (fun i c -> if ok.(i) then keep := c :: !keep) cur;
+      survivors := Array.of_list (List.rev !keep);
+      if Array.length !survivors = 0 then stable := true
+    end
+  done;
+  let cert = { cert_k = k; cert_rounds = !rounds } in
+  let proved_set = Hashtbl.create 97 in
+  Array.iter (fun c -> Hashtbl.replace proved_set c ()) !survivors;
+  let proved =
+    Array.to_list (Array.map (fun form -> { form; cert }) !survivors)
+  in
+  let failed = List.filter (fun c -> not (Hashtbl.mem proved_set c)) cands in
+  (proved, failed)
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(seed = 0x11A8) ?(mine_cycles = 96) ?(filter_cycles = 256)
+    ?(max_candidates = 512) ?(k = 1) ?(conflict_limit = 100_000) ?jobs
+    ?(trace = Trace.null) ?(hold = []) ?(no_prove = false) nl =
+  let t0 = Unix.gettimeofday () in
+  Trace.span trace ~cat:"engine" "invar" @@ fun () ->
+  let mined = mine ~seed ~cycles:mine_cycles ~hold ~max_candidates nl in
+  let survivors, killed =
+    filter ~seed:(seed + 1) ~cycles:filter_cycles ~hold nl mined
+  in
+  let proved, unproved =
+    if no_prove then ([], survivors)
+    else prove ~k ~conflict_limit ?jobs ~trace ~hold nl survivors
+  in
+  let r =
+    {
+      total_ffs = Array.length (Netlist.seq_nodes nl);
+      mined;
+      killed;
+      unproved;
+      proved;
+      k;
+      seconds = Unix.gettimeofday () -. t0;
+    }
+  in
+  if Trace.enabled trace then begin
+    Trace.add trace "invar.mined" (List.length mined);
+    Trace.add trace "invar.killed" (List.length killed);
+    Trace.add trace "invar.proved" (List.length proved);
+    Trace.add trace "invar.unproved" (List.length unproved)
+  end;
+  r
+
+let count_by_class r =
+  let classes = [ "const"; "implies"; "mutex"; "at-most-one"; "range" ] in
+  List.map
+    (fun cls ->
+      let p =
+        List.length
+          (List.filter (fun i -> class_name i.form = cls) r.proved)
+      in
+      let u =
+        List.length (List.filter (fun c -> class_name c = cls) r.unproved)
+        + List.length (List.filter (fun c -> class_name c = cls) r.killed)
+      in
+      (cls, p, u))
+    classes
+
+let pp nl ppf r =
+  Format.fprintf ppf "@[<v>invariants (%d flops): %d mined, %d sim-killed, \
+                      %d proved (k=%d), %d unproved@,"
+    r.total_ffs (List.length r.mined) (List.length r.killed)
+    (List.length r.proved) r.k (List.length r.unproved);
+  List.iter
+    (fun (cls, p, u) ->
+      if p + u > 0 then
+        Format.fprintf ppf "  %-12s proved %3d  refuted/open %3d@," cls p u)
+    (count_by_class r);
+  List.iter
+    (fun i ->
+      Format.fprintf ppf "  proved: %a  [k=%d, rounds=%d]@,"
+        (pp_candidate nl) i.form i.cert.cert_k i.cert.cert_rounds)
+    r.proved;
+  Format.fprintf ppf "mine+filter+prove time: %.3f s@]" r.seconds
+
+(* ------------------------------------------------------------------ *)
+(* Consumption (proved invariants only)                                *)
+(* ------------------------------------------------------------------ *)
+
+let range_const_bits group reach =
+  (* bits every reachable value agrees on *)
+  let w = Array.length group in
+  List.init w (fun kbit ->
+      match reach with
+      | [] -> None
+      | v0 :: _ ->
+        let b0 = (v0 lsr kbit) land 1 in
+        if List.for_all (fun v -> (v lsr kbit) land 1 = b0) reach then
+          Some (group.(kbit), b0 = 1)
+        else None)
+  |> List.filter_map (fun x -> x)
+
+let const_facts r =
+  let facts = ref [] in
+  List.iter
+    (fun i ->
+      match i.form with
+      | Const { ff; value } -> facts := (ff, value) :: !facts
+      | Range { group; reach } ->
+        facts := range_const_bits group reach @ !facts
+      | _ -> ())
+    r.proved;
+  List.sort_uniq compare !facts
+
+let assume_facts r =
+  List.map
+    (fun (ff, v) -> (ff, if v then Logic4.L1 else Logic4.L0))
+    (const_facts r)
+
+let edges r =
+  let lit = Implic.lit in
+  let consts = const_facts r in
+  let const_tbl = Hashtbl.create 17 in
+  List.iter (fun (ff, v) -> Hashtbl.replace const_tbl ff v) consts;
+  let es = ref [] in
+  let mutex a b = es := (lit a true, lit b false) :: !es in
+  List.iter
+    (fun i ->
+      match i.form with
+      | Const _ -> ()
+      | Implies { a; av; b; bv } -> es := (lit a av, lit b bv) :: !es
+      | Mutex (a, b) -> mutex a b
+      | At_most_one g ->
+        Array.iteri
+          (fun x a ->
+            Array.iteri (fun y b -> if x < y then mutex a b) g)
+          g
+      | Range { group; reach } ->
+        let w = Array.length group in
+        for i' = 0 to w - 1 do
+          for j = 0 to w - 1 do
+            if
+              i' <> j
+              && (not (Hashtbl.mem const_tbl group.(i')))
+              && not (Hashtbl.mem const_tbl group.(j))
+            then
+              List.iter
+                (fun x ->
+                  let ys =
+                    List.sort_uniq compare
+                      (List.filter_map
+                         (fun v ->
+                           if (v lsr i') land 1 = x then
+                             Some ((v lsr j) land 1)
+                           else None)
+                         reach)
+                  in
+                  match ys with
+                  | [ y ] ->
+                    es := (lit group.(i') (x = 1), lit group.(j) (y = 1)) :: !es
+                  | _ -> ())
+                [ 0; 1 ]
+          done
+        done)
+    r.proved;
+  List.sort_uniq compare !es
+
+(* --- lint bridge --- *)
+
+let lint_facts r =
+  let pairwise g =
+    let acc = ref [] in
+    Array.iteri
+      (fun i a ->
+        Array.iteri (fun j b -> if i < j then acc := (a, b) :: !acc) g)
+      g;
+    List.rev !acc
+  in
+  let mutex =
+    List.concat_map
+      (fun inv ->
+        match inv.form with
+        | Mutex (a, b) -> [ (a, b) ]
+        | At_most_one g -> pairwise g
+        | _ -> [])
+      r.proved
+  in
+  let ranges =
+    List.filter_map
+      (fun inv ->
+        match inv.form with
+        | Range { group; reach } -> Some (group, reach)
+        | _ -> None)
+      r.proved
+  in
+  {
+    Olfu_lint.Ctx.inv_label = Printf.sprintf "induction (k=%d)" r.k;
+    inv_consts = const_facts r;
+    inv_mutex = List.sort_uniq compare mutex;
+    inv_ranges = ranges;
+  }

@@ -1,0 +1,183 @@
+open Olfu_logic
+open Olfu_netlist
+
+(** Sequential state-invariant engine: mine – filter – prove.
+
+    The paper's untestability arguments all reduce to one move — prove a
+    value combination functionally unreachable, then every fault that
+    needs it is safe.  This module mines candidate invariants over the
+    flip-flop state of a netlist, filters them with 64-lane random
+    sequential simulation, and proves the survivors by strengthening-set
+    k-induction (Houdini) over the {!Olfu_atpg.Bmc} cycle primitives.
+
+    {b Soundness rule}: only {e proved} invariants — those carrying an
+    induction {!certificate} — are ever exported to downstream consumers
+    ({!const_facts}, {!assume_facts}, {!edges}, {!state_literals}).
+    Sim-surviving but unproved candidates are reported for inspection and
+    nothing else.
+
+    A proved invariant holds in {e every} state reachable from reset
+    (resettable flops at 0, plain flops arbitrary, reset inactive, held
+    inputs constant).  It is therefore valid for any analysis of the
+    mission machine: extra implication edges for {!Olfu_atpg.Implic},
+    assumed constants for {!Olfu_atpg.Ternary}, and initial-state
+    constraints for bounded model checks whose cycle-0 state stands for
+    "any reachable state". *)
+
+(** A candidate state predicate.  All node ids are flip-flop outputs of
+    the analyzed netlist; [Range] groups are least-significant bit
+    first. *)
+type candidate =
+  | Const of { ff : int; value : bool }  (** the flop never leaves [value] *)
+  | Implies of { a : int; av : bool; b : int; bv : bool }
+      (** whenever [a = av], also [b = bv] *)
+  | Mutex of int * int  (** never both 1 in the same cycle *)
+  | At_most_one of int array  (** at most one member is 1 (one-hot or idle) *)
+  | Range of { group : int array; reach : int list }
+      (** the register's value is always one of [reach] (sorted) *)
+
+type certificate = {
+  cert_k : int;  (** induction depth the proof used *)
+  cert_rounds : int;
+      (** Houdini strengthening rounds until the set was inductive *)
+}
+
+type invariant = { form : candidate; cert : certificate }
+
+type report = {
+  total_ffs : int;
+  mined : candidate list;  (** everything the miner proposed *)
+  killed : candidate list;  (** violated by the random-simulation filter *)
+  unproved : candidate list;
+      (** survived simulation but not the induction proof — {e never}
+          exported *)
+  proved : invariant list;
+  k : int;
+  seconds : float;
+}
+
+val class_name : candidate -> string
+(** ["const"], ["implies"], ["mutex"], ["at-most-one"] or ["range"]. *)
+
+val is_const : candidate -> bool
+
+val pp_candidate : Netlist.t -> Format.formatter -> candidate -> unit
+val pp : Netlist.t -> Format.formatter -> report -> unit
+
+val count_by_class : report -> (string * int * int) list
+(** Per class name: (class, proved, unproved-or-killed). *)
+
+val mine :
+  ?seed:int ->
+  ?cycles:int ->
+  ?hold:(int * bool) list ->
+  ?max_candidates:int ->
+  Netlist.t ->
+  candidate list
+(** Propose candidates from a [cycles]-cycle (default 96) random
+    64-lane simulation: per-flop constants, per-register value sets and
+    at-most-one groups (registers are discovered by clustering flop
+    names of the form [base[i]]), and mutex / implication literals over
+    a bounded pairing set of one-bit and narrow-register flops.  Every
+    candidate holds on the mining trace by construction.  [hold] pins
+    the listed primary inputs to constants for the whole run (the
+    mission hold — e.g. scan enables at 0); inputs with the
+    {!Netlist.Reset} role are held inactive (1) and resettable flops
+    start at 0, plain flops random.  Deterministic in [seed]. *)
+
+val filter :
+  ?seed:int ->
+  ?cycles:int ->
+  ?hold:(int * bool) list ->
+  Netlist.t ->
+  candidate list ->
+  candidate list * candidate list
+(** [(survivors, killed)] after a fresh [cycles]-cycle (default 256)
+    random simulation with a different default seed: cheap refutation so
+    only plausible candidates reach the prover. *)
+
+val prove :
+  ?k:int ->
+  ?conflict_limit:int ->
+  ?jobs:int ->
+  ?trace:Olfu_obs.Trace.sink ->
+  ?hold:(int * bool) list ->
+  Netlist.t ->
+  candidate list ->
+  invariant list * candidate list
+(** [(proved, failed)] by strengthening-set k-induction (default [k] 1):
+    base case from the reset state (plain flops unconstrained), then
+    Houdini rounds — every survivor is assumed at cycles [0..k-1], each
+    is checked at cycle [k], and all failures of a round are removed
+    together until the set is inductive.  The greatest inductive subset
+    is unique, so the result is independent of [jobs] (each query runs
+    on a fresh solver; a solver [Unknown] under [conflict_limit],
+    default 100_000, counts as a failure — sound, never unsound).
+    Sharded over {!Olfu_pool.Pool} with one candidate per chunk. *)
+
+val bounded_check :
+  ?cycles:int ->
+  ?conflict_limit:int ->
+  ?hold:(int * bool) list ->
+  Netlist.t ->
+  candidate ->
+  bool
+(** Independent bounded oracle: SAT-check that no state within [cycles]
+    (default 8) of the reset state violates the candidate.  [true] means
+    no violation exists in the window (a solver [Unknown] also returns
+    [false]).  Used by the bench gates to cross-check induction proofs
+    with a proof mechanism that shares none of the induction
+    structure. *)
+
+val run :
+  ?seed:int ->
+  ?mine_cycles:int ->
+  ?filter_cycles:int ->
+  ?max_candidates:int ->
+  ?k:int ->
+  ?conflict_limit:int ->
+  ?jobs:int ->
+  ?trace:Olfu_obs.Trace.sink ->
+  ?hold:(int * bool) list ->
+  ?no_prove:bool ->
+  Netlist.t ->
+  report
+(** The full pipeline.  [no_prove] stops after the simulation filter
+    (every survivor is reported as [unproved]; nothing is proved).  A
+    recording [trace] gets one ["engine"]-category ["invar"] span and
+    the jobs-invariant counters ["invar.mined"], ["invar.killed"],
+    ["invar.proved"], ["invar.unproved"]. *)
+
+(** {2 Consumption — proved invariants only} *)
+
+val const_facts : report -> (int * bool) list
+(** Proved constant flops, plus per-bit constants implied by proved
+    [Range] invariants whose reachable values all agree on a bit.
+    Sorted, deduplicated. *)
+
+val assume_facts : report -> (int * Logic4.t) list
+(** {!const_facts} as a [Ternary.run ~assume] / [Implic] constant list. *)
+
+val edges : report -> (int * int) list
+(** Proved pairwise facts as {!Olfu_atpg.Implic.lit} implication edges
+    [(a, b)] meaning [a -> b] (contrapositives are added by the database
+    builder): [Implies] directly, [Mutex] and [At_most_one] as pairwise
+    exclusions, [Range] as the bit-pair implications its value set
+    forces between non-constant bits. *)
+
+val state_literals :
+  Olfu_atpg.Cnf.Builder.t ->
+  state_of:(int -> int) ->
+  invariant list ->
+  int list
+(** CNF literals asserting each invariant on one state of an unrolled
+    model, where [state_of] maps a flop node to its state literal for
+    that cycle.  Used to constrain a BMC initial state to the proved
+    reachable over-approximation ({!Olfu_safety.Seu}). *)
+
+val lint_facts : report -> Olfu_lint.Ctx.invariants
+(** The proved facts repackaged as the plain-data record the INV-* lint
+    rules consume ({!Olfu_lint.Ctx.invariants}): proved constants
+    (including {!Range}-derived agreed bits), pairwise mutex facts (from
+    {!Mutex} and {!At_most_one}), and the reachable value sets.  Only
+    certificate-carrying invariants contribute. *)

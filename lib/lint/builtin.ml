@@ -991,11 +991,131 @@ let seu_001 =
                (List.length exposed) (Array.length seqs) (name ctx hd));
         ])
 
+(* ---------------------------------------------------------------- *)
+(* Invariant-backed (proved reachable-state facts)                  *)
+(* ---------------------------------------------------------------- *)
+
+let inv_001 =
+  Rule.make ~code:"INV-001" ~category:Rule.Invariant ~severity:Rule.Info
+    ~title:"register group reaches only part of its encoding space"
+    ~doc:
+      "The invariant engine proved the register's reachable value set by \
+       k-induction; every missing code is an unreachable encoding, so the \
+       decode logic for those codes is functionally untestable on-line \
+       and the register is a re-encoding opportunity."
+    (fun ctx ->
+      match Ctx.invariants ctx with
+      | None -> []
+      | Some inv ->
+        List.filter_map
+          (fun (group, reach) ->
+            let w = Array.length group in
+            if w = 0 || w > 16 then None
+            else
+              let space = 1 lsl w in
+              let missing = space - List.length reach in
+              if missing <= 0 then None
+              else
+                Some
+                  (Rule.raw ~node:group.(0) ~path:(Array.to_list group)
+                     (Printf.sprintf
+                        "%s: %d-bit register at %s reaches %d of %d codes \
+                         (%d unreachable encodings)"
+                        inv.Ctx.inv_label w (name ctx group.(0))
+                        (List.length reach) space missing)))
+          inv.Ctx.inv_ranges)
+
+let inv_002 =
+  Rule.make ~code:"INV-002" ~category:Rule.Invariant ~severity:Rule.Warning
+    ~title:"gate conjoins a proved-mutex flop pair (dead branch)"
+    ~doc:
+      "An and/nand gate whose inputs trace back (through buffers, with \
+       even inversion) to two flops the invariant engine proved never \
+       simultaneously 1 can never see both inputs asserted: the and \
+       output never rises, so the branch it selects is dead in every \
+       reachable state."
+    (fun ctx ->
+      match Ctx.invariants ctx with
+      | Some inv when inv.Ctx.inv_mutex <> [] ->
+        let nl = Ctx.nl ctx in
+        let mutex = Hashtbl.create 17 in
+        List.iter
+          (fun (a, b) -> Hashtbl.replace mutex (min a b, max a b) ())
+          inv.Ctx.inv_mutex;
+        let acc = ref [] in
+        for i = 0 to Netlist.length nl - 1 do
+          match Netlist.kind nl i with
+          | Cell.And | Cell.Nand ->
+            let ins =
+              Array.to_list (Netlist.fanin nl i)
+              |> List.filter_map (fun f ->
+                     let tr = Ctx.back_trace nl f in
+                     if tr.Ctx.inverted then None else Some tr.Ctx.origin)
+            in
+            let rec first_pair = function
+              | [] -> None
+              | a :: rest -> (
+                match
+                  List.find_opt
+                    (fun b -> Hashtbl.mem mutex (min a b, max a b))
+                    rest
+                with
+                | Some b -> Some (a, b)
+                | None -> first_pair rest)
+            in
+            (match first_pair ins with
+            | Some (a, b) ->
+              acc :=
+                Rule.raw ~node:i ~path:[ a; b ]
+                  (Printf.sprintf
+                     "%s %s conjoins mutex flops %s and %s — the gate can \
+                      never assert in any reachable state"
+                     (Cell.kind_name (Netlist.kind nl i))
+                     (name ctx i) (name ctx a) (name ctx b))
+                :: !acc
+            | None -> ())
+          | _ -> ()
+        done;
+        List.rev !acc
+      | _ -> [])
+
+let inv_003 =
+  Rule.make ~code:"INV-003" ~category:Rule.Invariant ~severity:Rule.Info
+    ~title:"flop proved constant by induction but not structurally tied"
+    ~doc:
+      "The invariant engine proved these flops constant in every \
+       reachable state, yet mission ternary implication cannot show it: \
+       each is a Sec. 3.3 tie/assume opportunity, and every fault whose \
+       tests need the opposite value is functionally untestable \
+       on-line."
+    (fun ctx ->
+      match Ctx.invariants ctx with
+      | None -> []
+      | Some inv -> (
+        let tern = Ctx.mission_ternary ctx in
+        let untied =
+          List.filter
+            (fun (ff, _) ->
+              not (Logic4.is_binary (Olfu_atpg.Ternary.const_of tern ff)))
+            inv.Ctx.inv_consts
+        in
+        match untied with
+        | [] -> []
+        | (ff0, v0) :: _ ->
+          [
+            Rule.raw ~node:ff0 ~path:(List.map fst untied)
+              (Printf.sprintf
+                 "%s proves %d flops constant (e.g. %s = %d) that ternary \
+                  implication cannot tie"
+                 inv.Ctx.inv_label (List.length untied) (name ctx ff0)
+                 (if v0 then 1 else 0));
+          ]))
+
 let all =
   [
     scan_001; scan_002; scan_003; scan_004; scan_005; scan_006; scan_007;
     loop_001; drv_001; drv_002; rst_001; rst_002; rst_003; rst_004; rst_005;
     rst_006; clk_001; net_001; net_002; xprop_001; const_001; conflict_001;
     obs_001; test_001; dbg_001; dbg_002; struct_001; struct_002; sw_001;
-    sw_002; sw_003; sw_004; seu_001;
+    sw_002; sw_003; sw_004; seu_001; inv_001; inv_002; inv_003;
   ]

@@ -33,10 +33,18 @@ type software = {
   sw_unmapped : string list;
 }
 
+type invariants = {
+  inv_label : string;
+  inv_consts : (int * bool) list;
+  inv_mutex : (int * int) list;
+  inv_ranges : (int array * int list) list;
+}
+
 type t = {
   nl : Netlist.t;
   limits : thresholds;
   software : software option;
+  invariants : invariants option;
   ternary : Olfu_atpg.Ternary.t Lazy.t;
   mission_ternary : Olfu_atpg.Ternary.t Lazy.t;
   scoap : Olfu_atpg.Scoap.t Lazy.t;
@@ -228,13 +236,14 @@ let combined_assume nl software =
   mission_assume nl
   @ (match software with Some s -> s.sw_assume | None -> [])
 
-let create ?(thresholds = default_thresholds) ?software nl =
+let create ?(thresholds = default_thresholds) ?software ?invariants nl =
   let chains = lazy (trace_chains nl) in
   let ternary = lazy (Olfu_atpg.Ternary.run nl) in
   {
     nl;
     limits = thresholds;
     software;
+    invariants;
     ternary;
     mission_ternary =
       lazy (Olfu_atpg.Ternary.run ~assume:(combined_assume nl software) nl);
@@ -258,6 +267,7 @@ let create ?(thresholds = default_thresholds) ?software nl =
 let nl t = t.nl
 let limits t = t.limits
 let software t = t.software
+let invariants t = t.invariants
 let assumptions t = combined_assume t.nl t.software
 let name t i = node_label t.nl i
 let ternary t = Lazy.force t.ternary

@@ -68,13 +68,38 @@ type software = {
       (** accesses that may escape every mapped region *)
 }
 
+(** Facts proven about the reachable state space by an external
+    invariant engine (in practice {!Olfu_invar} mine/filter/prove over
+    the mission-held machine; this library stays below [olfu_invar] in
+    the dependency order, so — exactly like {!software} — the proofs
+    arrive as plain data).  Consumed by the INV-* rules.  Soundness is
+    the producer's responsibility: only certificate-carrying proved
+    invariants may be handed over. *)
+type invariants = {
+  inv_label : string;  (** provenance, e.g. ["invar k=1"] *)
+  inv_consts : (int * bool) list;
+      (** flops proved constant in every reachable state *)
+  inv_mutex : (int * int) list;
+      (** flop pairs proved never simultaneously 1 *)
+  inv_ranges : (int array * int list) list;
+      (** register bit-groups (LSB first) with their proved reachable
+          value sets — gaps are unreachable encodings *)
+}
+
 type t
 
-val create : ?thresholds:thresholds -> ?software:software -> Netlist.t -> t
+val create :
+  ?thresholds:thresholds ->
+  ?software:software ->
+  ?invariants:invariants ->
+  Netlist.t ->
+  t
 val nl : t -> Netlist.t
 val limits : t -> thresholds
 
 val software : t -> software option
+
+val invariants : t -> invariants option
 
 val assumptions : t -> (int * Logic4.t) list
 (** Everything {!mission_ternary} assumes: {!mission_assume} plus the

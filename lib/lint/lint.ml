@@ -12,8 +12,10 @@ type outcome = {
 let registry = Builtin.all
 let find_rule code = List.find_opt (fun r -> r.Rule.code = code) registry
 
-let run ?(config = Config.default) ?software nl =
-  let ctx = Ctx.create ~thresholds:config.Config.thresholds ?software nl in
+let run ?(config = Config.default) ?software ?invariants nl =
+  let ctx =
+    Ctx.create ~thresholds:config.Config.thresholds ?software ?invariants nl
+  in
   let rules = List.filter (Config.rule_enabled config) registry in
   let all =
     List.concat_map
@@ -57,7 +59,8 @@ let run ?(config = Config.default) ?software nl =
   in
   { netlist = nl; findings; waived; baselined; unused_waivers; rules }
 
-let findings ?config ?software nl = (run ?config ?software nl).findings
+let findings ?config ?software ?invariants nl =
+  (run ?config ?software ?invariants nl).findings
 let errors =
   List.filter (fun (f : Rule.finding) -> f.Rule.severity = Rule.Error)
 

@@ -18,15 +18,25 @@ val registry : Rule.t list
 
 val find_rule : string -> Rule.t option
 
-val run : ?config:Config.t -> ?software:Ctx.software -> Netlist.t -> outcome
+val run :
+  ?config:Config.t ->
+  ?software:Ctx.software ->
+  ?invariants:Ctx.invariants ->
+  Netlist.t ->
+  outcome
 (** Runs every enabled rule over one shared {!Ctx.t}.  Each raw finding
     gets the rule's code and effective severity; findings matching a
     waiver or a baseline fingerprint are moved to [waived]/[baselined].
     [software] supplies program-side facts to the SW-* rules and to
-    {!Ctx.mission_ternary} (they stay silent without it). *)
+    {!Ctx.mission_ternary}; [invariants] supplies proved state facts to
+    the INV-* rules (each family stays silent without its facts). *)
 
 val findings :
-  ?config:Config.t -> ?software:Ctx.software -> Netlist.t -> Rule.finding list
+  ?config:Config.t ->
+  ?software:Ctx.software ->
+  ?invariants:Ctx.invariants ->
+  Netlist.t ->
+  Rule.finding list
 (** [(run nl).findings] — convenience for callers that only want the
     live findings. *)
 

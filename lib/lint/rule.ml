@@ -23,6 +23,7 @@ type category =
   | Structure
   | Testability
   | Software
+  | Invariant
 
 let category_name = function
   | Scan -> "scan"
@@ -34,11 +35,12 @@ let category_name = function
   | Structure -> "structure"
   | Testability -> "testability"
   | Software -> "software"
+  | Invariant -> "invariant"
 
 let all_categories =
   [
     Scan; Reset; Clock; Net; Observability; Debug; Structure; Testability;
-    Software;
+    Software; Invariant;
   ]
 
 let category_of_name s =

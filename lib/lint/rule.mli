@@ -23,6 +23,8 @@ type category =
   | Structure
   | Testability
   | Software  (** facts proven about the mission software (SW rules) *)
+  | Invariant
+      (** facts proven about the reachable state space (INV rules) *)
 
 val category_name : category -> string
 val category_of_name : string -> category option

@@ -5,12 +5,14 @@ module Ternary = Olfu_atpg.Ternary
 module Trace = Olfu_obs.Trace
 module Absint = Olfu_absint.Absint
 module Script = Olfu_manip.Script
+module Invar = Olfu_invar.Invar
 
 type config = {
   rc : Olfu.Run_config.t;
   window : int;
   seu_limit : int;
   conflict_limit : int;
+  invariants : bool;
 }
 
 let default =
@@ -19,6 +21,7 @@ let default =
     window = 4;
     seu_limit = 64;
     conflict_limit = 50_000;
+    invariants = true;
   }
 
 type report = {
@@ -30,6 +33,9 @@ type report = {
   software_by : (Status.undetectable * int) list;
   assume_nodes : int;
   facts : Absint.activation_facts;
+  invariant_safe : int;
+  invariant_by : (Status.undetectable * int) list;
+  invariants : Invar.report option;
   seu : Seu.report;
   bmc_netlist : Netlist.t;
   observable : int -> bool;
@@ -114,6 +120,51 @@ let run ?(config = default) ~facts nl mission =
       (Array.map2 (fun c n -> (c, n)) base_classes sw_by)
     |> List.filter (fun (_, n) -> n > 0)
   in
+  (* 2b. invariant-safe: the on-line machine (scan interface held
+     functional), re-analyzed with induction-proved state invariants —
+     assumed constants strengthen the ternary fixpoint, pairwise facts
+     strengthen the implication database.  Newly proved verdicts become
+     the Invariant class, keeping the underlying evidence tally. *)
+  let machine = bmc_machine mnl in
+  let invariants =
+    if config.invariants then
+      Some (Invar.run ~jobs:rc.Olfu.Run_config.jobs ~trace machine)
+    else None
+  in
+  let before_inv = Array.init size (Flist.status fl) in
+  let invariant_safe =
+    match invariants with
+    | None -> 0
+    | Some ir ->
+      let consts =
+        Trace.span trace ~cat:"engine" "ternary" (fun () ->
+            Ternary.run ~ff_mode:rc.Olfu.Run_config.ff_mode
+              ~assume:(Invar.assume_facts ir) machine)
+      in
+      let tin =
+        U.analyze ~observable_output:observable ~consts
+          ~implic:rc.Olfu.Run_config.implic ~extra_edges:(Invar.edges ir)
+          ~trace machine
+      in
+      Trace.span trace ~cat:"step" "Invariant safe" (fun () ->
+          U.classify ~jobs:rc.Olfu.Run_config.jobs ~trace tin fl)
+  in
+  let inv_by = Array.make (Array.length base_classes) 0 in
+  for i = 0 to size - 1 do
+    let now = Flist.status fl i in
+    if not (Status.equal before_inv.(i) now) then begin
+      Array.iteri
+        (fun k c ->
+          if Status.equal now (Status.Undetectable c) then
+            inv_by.(k) <- inv_by.(k) + 1)
+        base_classes;
+      Flist.set_status fl i (Status.Undetectable Status.Invariant)
+    end
+  done;
+  let invariant_by =
+    Array.to_list (Array.map2 (fun c n -> (c, n)) base_classes inv_by)
+    |> List.filter (fun (_, n) -> n > 0)
+  in
   (* 3. the partition *)
   let classes =
     Array.init size (fun i -> Taxonomy.of_status (Flist.status fl i))
@@ -126,12 +177,17 @@ let run ?(config = default) ~facts nl mission =
   let counts =
     Array.to_list (Array.map (fun c -> (c, count c)) Taxonomy.safe_classes)
   in
-  (* 4. transient axis on the BMC machine *)
-  let bmc_nl = bmc_machine mnl in
+  (* 4. transient axis on the BMC machine, with the proved invariants
+     restricting the pre-upset state to the reachable
+     over-approximation *)
+  let bmc_nl = machine in
   let seu =
     Seu.run ~window:config.window ~conflict_limit:config.conflict_limit
       ~limit:config.seu_limit ~jobs:rc.Olfu.Run_config.jobs ~trace
-      ~observable_output:observable bmc_nl
+      ~observable_output:observable
+      ~invariants:
+        (match invariants with Some ir -> ir.Invar.proved | None -> [])
+      bmc_nl
   in
   (* 5. consistency against the pre-software verdicts *)
   let violations = ref [] in
@@ -150,6 +206,8 @@ let run ?(config = default) ~facts nl mission =
       match (st, classes.(i)) with
       | Status.Detected, Taxonomy.Software_safe ->
         note "fault %d both detected and software-safe" i
+      | Status.Detected, Taxonomy.Invariant_safe ->
+        note "fault %d both detected and invariant-safe" i
       | (Status.Detected | Status.Possibly_detected | Status.Undetectable _),
         _
         when not (Status.equal st after.(i)) ->
@@ -161,6 +219,7 @@ let run ?(config = default) ~facts nl mission =
     note "class counts do not partition the universe";
   if Trace.enabled trace then begin
     Trace.add trace "safety.software_safe" software_safe;
+    Trace.add trace "safety.invariant_safe" invariant_safe;
     Trace.add trace "safety.unclassified"
       (count Taxonomy.Unclassified)
   end;
@@ -173,6 +232,9 @@ let run ?(config = default) ~facts nl mission =
     software_by;
     assume_nodes = List.length assume;
     facts;
+    invariant_safe;
+    invariant_by;
+    invariants;
     seu;
     bmc_netlist = bmc_nl;
     observable;
@@ -200,6 +262,22 @@ let pp ppf r =
     Format.fprintf ppf "  (%d software-assumed nodes, facts: %s)@,"
       r.assume_nodes r.facts.Absint.af_label
   end;
+  (match r.invariants with
+  | None -> ()
+  | Some ir ->
+    Format.fprintf ppf
+      "  invariants: %d proved (k=%d) of %d mined; invariant-safe \
+       evidence:"
+      (List.length ir.Invar.proved)
+      ir.Invar.k
+      (List.length ir.Invar.mined);
+    if r.invariant_by = [] then Format.fprintf ppf " none"
+    else
+      List.iter
+        (fun (c, n) ->
+          Format.fprintf ppf " %s=%d" (Status.code (Status.Undetectable c)) n)
+        r.invariant_by;
+    Format.fprintf ppf "@,");
   Format.fprintf ppf
     "SEU axis (window %d): %d/%d flops checked — masked %d, protected %d, \
      vulnerable %d, unknown %d@,"

@@ -13,8 +13,14 @@ open Olfu_fault
        newly closes is reclassified {!Olfu_fault.Status.Software}
        — safe {e relative to the analysed program set} (arXiv
        2009.11621's "new categories of safe faults");}
+    {- the on-line machine (scan held functional) is re-analyzed with
+       induction-proved state invariants ({!Olfu_invar}); every fault
+       those certificates newly close is reclassified
+       {!Olfu_fault.Status.Invariant} — safe relative to the proved
+       reachable state over-approximation;}
     {- every flip-flop of a deterministic sample gets a transient
-       verdict from the {!Seu} bounded model check.}}
+       verdict from the {!Seu} bounded model check, its pre-upset state
+       constrained by the same proved invariants.}}
 
     The taxonomy is a partition by construction — classes are read off
     the final fault-list statuses — and the report carries an explicit
@@ -28,10 +34,14 @@ type config = {
   window : int;  (** SEU latching window, cycles *)
   seu_limit : int;  (** flop sample size; [<= 0] checks every flop *)
   conflict_limit : int;  (** SAT budget per SEU query *)
+  invariants : bool;
+      (** run the {!Olfu_invar} engine and the invariant-safe pass
+          (default [true]) *)
 }
 
 val default : config
-(** {!Olfu.Run_config.default}, window 4, 64 flops, 50,000 conflicts. *)
+(** {!Olfu.Run_config.default}, window 4, 64 flops, 50,000 conflicts,
+    invariants on. *)
 
 type report = {
   universe : int;
@@ -44,6 +54,14 @@ type report = {
           the fault under the software assumptions (UT/UB/UC) *)
   assume_nodes : int;  (** resolved software assumptions on the machine *)
   facts : Olfu_absint.Absint.activation_facts;
+  invariant_safe : int;
+      (** faults newly proved by the invariant-strengthened pass *)
+  invariant_by : (Status.undetectable * int) list;
+      (** evidence behind the invariant-safe class (UT/UB/UC under the
+          proved invariants) *)
+  invariants : Olfu_invar.Invar.report option;
+      (** the mine/filter/prove report ([None] when [config.invariants]
+          is off) *)
   seu : Seu.report;
   bmc_netlist : Netlist.t;
       (** the machine the SEU axis was checked on (mission netlist with
@@ -52,6 +70,14 @@ type report = {
   consistency : string list;  (** violations; empty means consistent *)
   seconds : float;
 }
+
+val bmc_machine : Netlist.t -> Netlist.t
+(** The on-line machine bounded model checks (and the invariant engine)
+    run on: the mission netlist with the scan interface held functional
+    ([scan_en] / [scan_in0] tied to 0 when present).  Only input kinds
+    change, so node ids are stable — facts proved on this machine apply
+    to the same ids of the mission netlist under the on-line
+    assumption. *)
 
 val run :
   ?config:config ->
@@ -65,8 +91,10 @@ val run :
     software-safe faults, never a claim).
 
     A recording trace (via [config.rc.trace]) gets the flow's spans plus
-    a ["Software safe"] step span, the {!Seu.run} span/counters, and the
-    ["safety.software_safe"] / ["safety.unclassified"] counters. *)
+    ["Software safe"] and ["Invariant safe"] step spans, the
+    {!Olfu_invar.Invar.run} and {!Seu.run} spans/counters, and the
+    ["safety.software_safe"] / ["safety.invariant_safe"] /
+    ["safety.unclassified"] counters. *)
 
 val consistent : report -> bool
 

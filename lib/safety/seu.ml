@@ -68,7 +68,7 @@ let reaches_observation nl ~window ~func_outs ff =
   !hit
 
 let classify_ff ?(window = 4) ?(conflict_limit = 50_000)
-    ?(observable_output = fun _ -> true) ?alarm nl ff =
+    ?(observable_output = fun _ -> true) ?alarm ?(invariants = []) nl ff =
   if not (Cell.is_seq (Netlist.kind nl ff)) then
     invalid_arg "Seu.classify_ff: not a sequential node";
   let alarm = match alarm with Some f -> f | None -> default_alarm nl in
@@ -122,6 +122,19 @@ let classify_ff ?(window = 4) ?(conflict_limit = 50_000)
           | _ -> (i, CB.fresh b))
         seqs
     in
+    (* reachable-state prefilter: the pre-upset state satisfies every
+       proved invariant, so cycle 0 ranges over the invariant
+       over-approximation of the reachable set instead of all 2^n
+       states (the flipped copy is that state with one bit inverted —
+       deliberately off-manifold) *)
+    if invariants <> [] then begin
+      let tbl = Hashtbl.create 97 in
+      Array.iter (fun (i, l) -> Hashtbl.replace tbl i l) init;
+      List.iter
+        (fun l -> S.add_clause s [ l ])
+        (Olfu_invar.Invar.state_literals b ~state_of:(Hashtbl.find tbl)
+           invariants)
+    end;
     (* the upset machine: identical, except the target flop starts
        inverted — a single bit-flip latched just before cycle 0 *)
     let flipped =
@@ -192,7 +205,8 @@ let sample_ffs ~limit seqs =
   else Array.init limit (fun k -> seqs.(k * total / limit))
 
 let run ?(window = 4) ?(conflict_limit = 50_000) ?(limit = 0) ?jobs
-    ?(trace = Trace.null) ?(observable_output = fun _ -> true) ?alarm nl =
+    ?(trace = Trace.null) ?(observable_output = fun _ -> true) ?alarm
+    ?(invariants = []) nl =
   let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
   let seqs = Netlist.seq_nodes nl in
   let sample = sample_ffs ~limit seqs in
@@ -209,7 +223,7 @@ let run ?(window = 4) ?(conflict_limit = 50_000) ?(limit = 0) ?jobs
               for k = lo to hi - 1 do
                 results.(k) <-
                   classify_ff ~window ~conflict_limit ~observable_output
-                    ?alarm nl sample.(k)
+                    ?alarm ~invariants nl sample.(k)
               done)));
   let count c =
     Array.fold_left

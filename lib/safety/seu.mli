@@ -49,6 +49,7 @@ val classify_ff :
   ?conflict_limit:int ->
   ?observable_output:(int -> bool) ->
   ?alarm:(int -> bool) ->
+  ?invariants:Olfu_invar.Invar.invariant list ->
   Netlist.t ->
   int ->
   ff_result
@@ -56,7 +57,11 @@ val classify_ff :
     cycles; [conflict_limit] (default 50,000) bounds each SAT query.
     [observable_output] selects the outputs the field can check;
     [alarm] (default {!default_alarm}) splits them into functional and
-    alarm outputs.  Raises [Invalid_argument] on a non-sequential
+    alarm outputs.  [invariants] (proved on this machine — see
+    {!Olfu_invar}) constrain the pre-upset cycle-0 state to the proved
+    reachable over-approximation: a sound strengthening that prunes
+    upset states no mission run can reach and typically speeds the
+    queries up.  Raises [Invalid_argument] on a non-sequential
     node. *)
 
 val run :
@@ -67,12 +72,19 @@ val run :
   ?trace:Olfu_obs.Trace.sink ->
   ?observable_output:(int -> bool) ->
   ?alarm:(int -> bool) ->
+  ?invariants:Olfu_invar.Invar.invariant list ->
   Netlist.t ->
   report
-(** Classify a deterministic, evenly strided sample of [limit] flops
-    ([limit <= 0] checks all of them), sharded one flop per chunk over a
-    {!Olfu_pool.Pool} of [jobs] workers; each flop's verdict is
-    independent, so the report is identical for any [jobs].
+(** Classify a deterministic, evenly strided sample of [limit] flops,
+    sharded one flop per chunk over a {!Olfu_pool.Pool} of [jobs]
+    workers; each flop's verdict is independent, so the report is
+    identical for any [jobs].
+
+    Sampling: [limit <= 0] (or [limit >= total]) checks {e every} flop;
+    otherwise flop [k] of the sample is sequential node
+    [seqs.(k * total / limit)] — a fixed even stride over the netlist's
+    sequential-node order, so the same netlist and limit always select
+    the same flops (no randomness anywhere).
 
     A recording [trace] gets an ["engine"]-category ["seu"] span and the
     jobs-invariant counters ["seu.checked"], ["seu.masked"],

@@ -20,6 +20,11 @@ type safe_class =
           software-proven constants (constant address/data bits,
           never-written memory): safe relative to the analysed program
           set (US) *)
+  | Invariant_safe
+      (** unproved by the above, but the analysis of the mission-held
+          machine strengthened with induction-proved state invariants
+          ({!Olfu_invar}) classifies it untestable: safe relative to the
+          mission hold and the invariant certificates (UI) *)
   | Unclassified  (** no safety proof — assume dangerous *)
 
 val safe_classes : safe_class array
@@ -31,9 +36,9 @@ val safe_code : safe_class -> string
 
 val of_status : Status.t -> safe_class
 (** The partition rule: [Undetectable Conflict] is {!Conflict_uc},
-    [Undetectable Software] is {!Software_safe}, any other
-    [Undetectable _] is {!Structural_uc}, everything else
-    {!Unclassified}. *)
+    [Undetectable Software] is {!Software_safe}, [Undetectable
+    Invariant] is {!Invariant_safe}, any other [Undetectable _] is
+    {!Structural_uc}, everything else {!Unclassified}. *)
 
 (** Per-flip-flop transient classification (OpenSEA-style), over a
     bounded latching window: what can a single bit-flip in this flop do

@@ -4,28 +4,39 @@
 # abstract interpreter to analyse the SBST suite cleanly (including
 # the cross-check against the memory map), and the software-aware
 # lint pass to stay error-free on every core.
+#
+# Each gate is timed so slow ones are visible: `gate <name> <cmd...>`
+# prints the wall seconds after the command finishes (and still fails
+# the whole script on a non-zero exit, via set -e).
 set -e
 cd "$(dirname "$0")/.."
 
-dune build
-dune runtest
+gate() {
+  _name="$1"; shift
+  _t0=$(date +%s)
+  "$@"
+  echo "[gate ${_name}: $(( $(date +%s) - _t0 )) s]"
+}
 
-dune exec bin/olfu_cli.exe -- absint -c tcore32 --suite
+gate build dune build
+gate runtest dune runtest
+
+gate absint dune exec bin/olfu_cli.exe -- absint -c tcore32 --suite
 
 for core in tcore32 tcore32_dft tcore16; do
-  dune exec bin/olfu_cli.exe -- lint -c "$core" --fail-on error
-  dune exec bin/olfu_cli.exe -- lint -c "$core" --software --fail-on error
+  gate "lint-$core" dune exec bin/olfu_cli.exe -- lint -c "$core" --fail-on error
+  gate "lint-sw-$core" dune exec bin/olfu_cli.exe -- lint -c "$core" --software --fail-on error
 done
 
 # Fault-simulation smoke gate: the cone-limited engine at --jobs 2 must
 # reproduce the sequential full-settle statuses exactly on tcore32 (the
 # bench exits non-zero on any divergence) and refreshes BENCH_fsim.json.
-dune exec bench/main.exe -- fsim
+gate fsim dune exec bench/main.exe -- fsim
 
 # Implication-engine gate: the flow with the conflict engine must classify
 # strictly more faults than UT+UB alone, stay jobs-invariant and monotone,
 # and survive the BMC oracle spot-check; refreshes BENCH_implic.json.
-dune exec bench/main.exe -- implic
+gate implic dune exec bench/main.exe -- implic
 
 # Observability gate: the analyze flow must emit a schema-valid run
 # manifest and a Chrome-loadable trace, with per-engine and per-step
@@ -33,13 +44,20 @@ dune exec bench/main.exe -- implic
 # counters identical across --jobs 1/2/4; refreshes BENCH_obs.json.
 OBS_TMP=$(mktemp -d)
 trap 'rm -rf "$OBS_TMP"' EXIT
-dune exec bin/olfu_cli.exe -- analyze -c tcore32 \
-  --trace "$OBS_TMP/trace.json" --manifest "$OBS_TMP/manifest.json" \
-  > /dev/null
-dune exec bench/main.exe -- obs "$OBS_TMP/manifest.json" "$OBS_TMP/trace.json"
+gate analyze-obs sh -c "dune exec bin/olfu_cli.exe -- analyze -c tcore32 \
+  --trace '$OBS_TMP/trace.json' --manifest '$OBS_TMP/manifest.json' \
+  > /dev/null"
+gate obs dune exec bench/main.exe -- obs "$OBS_TMP/manifest.json" "$OBS_TMP/trace.json"
 
 # Safety-taxonomy gate: the classifier must stay consistent on every
 # core (partition, untouched structural/conflict populations), prove
 # software-safe faults and unmasked flops on tcore32, stay jobs-invariant,
 # and survive the BMC + replay oracles; refreshes BENCH_safety.json.
-dune exec bench/main.exe -- safety
+gate safety dune exec bench/main.exe -- safety
+
+# Invariant-engine gate: mine/filter/prove must stay jobs-invariant
+# (unique greatest inductive subset), prove a non-constant class on
+# tcore32, survive the bounded reachability oracle, and close >= 1
+# conflict fault the plain analysis leaves open (UC-delta); refreshes
+# BENCH_invar.json.
+gate invar dune exec bench/main.exe -- invar
