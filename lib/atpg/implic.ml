@@ -74,21 +74,23 @@ let vis_push s l =
 (* Mark one literal as implied.  A contradiction is both values of one
    net, or a value against a binary ternary constant; a single required
    value on an unknown (even uncontrollable) net is never by itself a
-   conflict — the net still carries some binary value in a real frame. *)
+   conflict — the net still carries some binary value in a real frame.
+   Every marked literal lands in [vis] (even a contradicting one), so
+   [vis] is the exact undo log {!rollback} needs; [drain] stops at a
+   contradiction, so a contra literal is never expanded. *)
 let push db s ~seed l =
   if s.mark.(l) <> s.gen && not s.contra then begin
     if s.budget > 0 then begin
       s.budget <- s.budget - 1;
       s.mark.(l) <- s.gen;
+      vis_push s l;
       if s.mark.(lit_not l) = s.gen then s.contra <- true
-      else begin
-        (match db.consts.(lit_net l) with
+      else
+        match db.consts.(lit_net l) with
         | Logic4.L0 -> if lit_value l then s.contra <- true
         | Logic4.L1 -> if not (lit_value l) then s.contra <- true
         | Logic4.X | Logic4.Z ->
-          if not seed then s.derived <- s.derived + 1);
-        if not s.contra then vis_push s l
-      end
+          if not seed then s.derived <- s.derived + 1
     end
   end
 
@@ -119,6 +121,44 @@ let extend db s lits =
   List.iter (push db s ~seed:true) lits;
   drain db s;
   not s.contra
+
+let set_budget s b = s.budget <- max 0 b
+
+(* A drained closure is complete up to its budget: everything derivable
+   from the pre-checkpoint seeds is already in [vis.(0 .. vislen)], so
+   truncating [vis] and unmarking the suffix restores the closure state
+   exactly — the basis of per-stem closure reuse in [Untestable]. *)
+type checkpoint = {
+  c_gen : int;
+  c_vislen : int;
+  c_qhead : int;
+  c_derived : int;
+  c_contra : bool;
+  c_budget : int;
+}
+
+let checkpoint s =
+  {
+    c_gen = s.gen;
+    c_vislen = s.vislen;
+    c_qhead = s.qhead;
+    c_derived = s.derived;
+    c_contra = s.contra;
+    c_budget = s.budget;
+  }
+
+let rollback s ck =
+  if ck.c_gen <> s.gen then invalid_arg "Implic.rollback: stale checkpoint";
+  for k = ck.c_vislen to s.vislen - 1 do
+    (* generations start at 1 (bumped by every [assume]), so 0 never
+       matches the current one *)
+    s.mark.(s.vis.(k)) <- 0
+  done;
+  s.vislen <- ck.c_vislen;
+  s.qhead <- min ck.c_qhead ck.c_vislen;
+  s.derived <- ck.c_derived;
+  s.contra <- ck.c_contra;
+  s.budget <- ck.c_budget
 
 let implied s net =
   if s.mark.(lit net false) = s.gen then Logic4.L0

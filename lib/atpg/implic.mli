@@ -108,6 +108,28 @@ val extend : t -> Scratch.t -> int list -> bool
     remaining budget) and re-saturate.  Returns [false] on
     contradiction. *)
 
+val set_budget : Scratch.t -> int -> unit
+(** Reset the remaining visit budget of the current closure (floored at
+    0) without disturbing its marks. *)
+
+type checkpoint
+(** A snapshot of a drained closure (generation, visited length,
+    remaining budget, contradiction flag).  Valid until the next
+    [assume] on the same scratch. *)
+
+val checkpoint : Scratch.t -> checkpoint
+
+val rollback : Scratch.t -> checkpoint -> unit
+(** Restore the closure to its checkpointed state: literals marked since
+    are unmarked, the worklist truncated, and the remaining budget
+    restored to its checkpointed value (so repeated extend/rollback
+    cycles from one checkpoint all see the same budget — the basis of
+    per-stem closure reuse in {!Untestable}).  Exact, because a drained
+    closure is complete up to its budget — everything derivable from the
+    pre-checkpoint seeds is already inside the checkpointed prefix.
+    Raises [Invalid_argument] on a checkpoint from an older
+    generation. *)
+
 val implied : Scratch.t -> int -> Logic4.t
 (** After {!assume}/{!extend}: the value the closure implies for a net
     ([X] when unconstrained).  Only meaningful when the last

@@ -13,7 +13,18 @@ type walker = {
   mutable agen : int;
   cache : (int, bool) Hashtbl.t;
   iscr : Implic.Scratch.t option;
+      (* holds the current per-stem dominator closure *)
+  iscr2 : Implic.Scratch.t option;
+      (* separate scratch for [Implic.impossible] probes, so they never
+         clobber the stem closure kept in [iscr] *)
   dom_lits : (int, int list) Hashtbl.t;
+  (* per-stem closure cache over [iscr]: fault lists are ordered (or
+     cost-sorted into runs) by site, so consecutive faults share a stem;
+     assuming the dominator literals once per stem and rolling back the
+     per-fault extension replaces a full re-assume per fault *)
+  mutable closure_stem : int;
+  mutable closure_ok : bool;
+  mutable closure_ck : Implic.checkpoint option;
 }
 
 type t = {
@@ -35,7 +46,11 @@ let make_walker_for ?cache nl implic =
     agen = 0;
     cache = (match cache with Some c -> c | None -> Hashtbl.create 997);
     iscr = Option.map Implic.Scratch.create implic;
+    iscr2 = Option.map Implic.Scratch.create implic;
     dom_lits = Hashtbl.create 997;
+    closure_stem = -1;
+    closure_ok = false;
+    closure_ck = None;
   }
 
 let analyze ?ff_mode ?(observable_output = fun _ -> true) ?consts
@@ -282,9 +297,8 @@ let dominator_necessary t w stem acc =
 let conflict_closure_budget = 128
 
 let conflict_verdict t w (f : Fault.t) =
-  match (t.implic, w.iscr) with
-  | None, _ | _, None -> None
-  | Some db, Some iscr -> (
+  match (t.implic, w.iscr, w.iscr2) with
+  | Some db, Some iscr, Some iscr2 -> (
     let nl = t.netlist in
     let { Fault.node; pin } = f.Fault.site in
     match pin with
@@ -296,32 +310,72 @@ let conflict_verdict t w (f : Fault.t) =
         | Cell.Pin.In p -> (Netlist.fanin nl node).(p)
         | _ -> node
       in
-      if Implic.impossible db iscr exc_net exc_v then
+      if Implic.impossible db iscr2 exc_net exc_v then
         Some (Status.Undetectable Status.Conflict)
       else begin
-        (* seeds the closure can rely on in any detecting frame *)
-        let seeds = ref [ Implic.lit exc_net exc_v ] in
-        let necessary = ref [] in
-        (match pin with
-        | Cell.Pin.In p -> (
-          necessary := immediate_necessary nl node p !necessary;
-          (* forced good output of the immediate gate, when it is a
-             single literal given excitation + necessary sides *)
-          match Netlist.kind nl node with
-          | Cell.And | Cell.Or -> seeds := Implic.lit node exc_v :: !seeds
-          | Cell.Nand | Cell.Nor ->
-            seeds := Implic.lit node (not exc_v) :: !seeds
-          | Cell.Mux2 when p = 1 || p = 2 ->
-            seeds := Implic.lit node exc_v :: !seeds
-          | _ -> ())
-        | _ -> ());
-        necessary := dominator_necessary t w node !necessary;
-        let ok =
-          Implic.assume ~budget:conflict_closure_budget db iscr !seeds
-          && Implic.extend db iscr !necessary
-        in
-        if not ok then Some (Status.Undetectable Status.Conflict) else None
+        (* The dominator side-input literals are a pure per-stem fact:
+           close them once per stem in [iscr], checkpoint the drained
+           closure, and per fault extend + roll back — instead of
+           re-assuming the whole set for every fault at the stem.
+           The verdict stays pure in (t, fault): the closure is rebuilt
+           deterministically whenever the stem changes. *)
+        if w.closure_stem <> node then begin
+          w.closure_stem <- node;
+          w.closure_ck <- None;
+          (* most stems have no dominator literals at all (the tcore
+             configurations measure ~70%) — for those a per-fault plain
+             [assume] beats paying checkpoint/rollback bookkeeping, so a
+             stem closure is only built and shared when it is non-empty *)
+          let dl = dominator_necessary t w node [] in
+          w.closure_ok <-
+            dl = []
+            || Implic.assume ~budget:conflict_closure_budget db iscr dl;
+          if w.closure_ok && dl <> [] then begin
+            (* replenish before the snapshot: rollback restores the
+               checkpointed budget, so every fault's extension runs on a
+               full budget regardless of what the stem closure spent —
+               at least as strong as closing seeds + dominators per
+               fault under one shared budget *)
+            Implic.set_budget iscr conflict_closure_budget;
+            w.closure_ck <- Some (Implic.checkpoint iscr)
+          end
+        end;
+        if not w.closure_ok then
+          (* assignments necessary for any fault at this stem already
+             contradict *)
+          Some (Status.Undetectable Status.Conflict)
+        else begin
+          (* per-fault literals every detecting frame requires *)
+          let seeds = ref [ Implic.lit exc_net exc_v ] in
+          (match pin with
+          | Cell.Pin.In p -> (
+            seeds := immediate_necessary nl node p !seeds;
+            (* forced good output of the immediate gate, when it is a
+               single literal given excitation + necessary sides *)
+            match Netlist.kind nl node with
+            | Cell.And | Cell.Or -> seeds := Implic.lit node exc_v :: !seeds
+            | Cell.Nand | Cell.Nor ->
+              seeds := Implic.lit node (not exc_v) :: !seeds
+            | Cell.Mux2 when p = 1 || p = 2 ->
+              seeds := Implic.lit node exc_v :: !seeds
+            | _ -> ())
+          | _ -> ());
+          let ok =
+            match w.closure_ck with
+            | None ->
+              Implic.assume ~budget:conflict_closure_budget db iscr !seeds
+            | Some ck ->
+              (* extend on the budget the stem closure left over
+                 (rollback restores it), so each fault at the stem sees
+                 the same deterministic state *)
+              let ok = Implic.extend db iscr !seeds in
+              Implic.rollback iscr ck;
+              ok
+          in
+          if not ok then Some (Status.Undetectable Status.Conflict) else None
+        end
       end)
+  | _ -> None
 
 let structural_verdict_w t w (f : Fault.t) =
   let nl = t.netlist in
@@ -385,19 +439,29 @@ let classify ?jobs ?(trace = Trace.null) t fl =
           let walkers =
             Array.init nw (fun k -> if k = 0 then t.walker else make_walker t)
           in
-          let wchanged = Array.make nw 0 in
+          (* stride-padded per-worker tallies (no false sharing) *)
+          let stride = 8 in
+          let wchanged = Array.make (nw * stride) 0 in
+          (* heavy cones first, same-site runs kept contiguous, so the
+             per-stem closure and one-entry cone caches keep hitting *)
+          let order =
+            Analysis.order_by_cost t.walker.an
+              ~site:(fun k -> (Flist.fault fl k).Fault.site.Fault.node)
+              nf
+          in
           Pool.parallel_chunks pool ~n:nf ~chunk:512 ~trace ~label:"classify"
             (fun ~worker ~lo ~hi ->
               let w = walkers.(worker) in
               let nexam = ref 0 in
-              for i = lo to hi - 1 do
+              for k = lo to hi - 1 do
+                let i = order.(k) in
                 match Flist.status fl i with
                 | Status.Not_analyzed | Status.Not_detected -> (
                   incr nexam;
                   match verdict_w t w (Flist.fault fl i) with
                   | Some v ->
                     Flist.set_status fl i v;
-                    wchanged.(worker) <- wchanged.(worker) + 1
+                    wchanged.(worker * stride) <- wchanged.(worker * stride) + 1
                   | None -> ())
                 | _ -> ()
               done;

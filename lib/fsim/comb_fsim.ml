@@ -259,7 +259,18 @@ let run ?(observe_captures = true) ?(observable_output = fun _ -> true)
         | Full_settle ->
           Array.init nw (fun _ -> Array.make n Dualrail.unknown)
       in
-      let wdet = Array.make nw 0 and wposs = Array.make nw 0 in
+      (* stride-padded per-worker counters: adjacent slots would
+         false-share when every worker bumps its own tally *)
+      let stride = 8 in
+      let wdet = Array.make (nw * stride) 0
+      and wposs = Array.make (nw * stride) 0 in
+      (* heavy cones first: the pool's shrinking tail claims and work
+         stealing absorb the skew instead of serializing it *)
+      let order =
+        Analysis.order_by_cost an
+          ~site:(fun k -> (Flist.fault fl k).Fault.site.Fault.node)
+          nfaults
+      in
       let good_cap = Array.make n Dualrail.unknown in
       let nbatches = (Array.length patterns + 63) / 64 in
       for batch = 0 to nbatches - 1 do
@@ -290,7 +301,8 @@ let run ?(observe_captures = true) ?(observable_output = fun _ -> true)
           (fun ~worker ~lo ~hi ->
             let s = scratches.(worker) in
             let nact = ref 0 in
-            for fi = lo to hi - 1 do
+            for k = lo to hi - 1 do
+              let fi = order.(k) in
               let st = Flist.status fl fi in
               let f = Flist.fault fl fi in
               let active =
@@ -315,13 +327,13 @@ let run ?(observe_captures = true) ?(observable_output = fun _ -> true)
                 let pt = Int64.logand pt lane_full in
                 if det <> 0L then begin
                   Flist.set_status fl fi Status.Detected;
-                  wdet.(worker) <- wdet.(worker) + 1
+                  wdet.(worker * stride) <- wdet.(worker * stride) + 1
                 end
                 else if
                   pt <> 0L && not (Status.equal st Status.Possibly_detected)
                 then begin
                   Flist.set_status fl fi Status.Possibly_detected;
-                  wposs.(worker) <- wposs.(worker) + 1
+                  wposs.(worker * stride) <- wposs.(worker * stride) + 1
                 end
               end
             done;

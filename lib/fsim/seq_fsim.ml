@@ -16,6 +16,16 @@ type report = {
 }
 
 (* Per-batch injection tables: lanes 1..63 each carry one fault. *)
+(* Per-worker simulation buffers, reused across batches. *)
+type wscratch = {
+  ws_env : Olfu_logic.Dualrail.t array;
+  ws_inputs : Olfu_logic.Dualrail.t array;
+  ws_state : Olfu_logic.Dualrail.t array;
+  ws_det : bool array;
+  ws_pt : bool array;
+  ws_ins_by_arity : Olfu_logic.Dualrail.t array array;
+}
+
 type batch = {
   fault_index : int array;  (* flist index per lane, -1 for unused/good *)
   stem0 : (int, int64) Hashtbl.t;  (* node -> lanes stuck at 0 *)
@@ -92,18 +102,22 @@ let run ?(init = Logic4.X) ?(observe = fun _ -> true) ?jobs
   let batch_faults = Array.of_list (batches active) in
   (* One 63-fault batch per unit of parallel work: a fault index lives in
      exactly one lane of one batch, so concurrent workers write disjoint
-     status slots and the merge is order-independent. *)
-  let run_batch ~wdet ~wposs lane_faults =
+     status slots and the merge is order-independent.  The netlist-sized
+     simulation buffers live in [ws], created once per worker and reused
+     across batches — allocating them per batch multiplied minor-heap
+     churn by the batch count and stalled every domain at each minor
+     collection. *)
+  let run_batch ~ws ~wdet ~wposs lane_faults =
       let b = make_batch fl lane_faults in
-      let env = Array.make n Dualrail.unknown in
-      let state = Array.map (fun _ -> Dualrail.const init) seqs in
-      let inputs = Array.make n Dualrail.unknown in
-      let det = Array.make 64 false and pt = Array.make 64 false in
-      let ins_by_arity =
-        Array.init
-          (Analysis.max_arity an + 1)
-          (fun k -> Array.make k Dualrail.unknown)
-      in
+      let env = ws.ws_env in
+      let state = ws.ws_state in
+      let inputs = ws.ws_inputs in
+      let det = ws.ws_det and pt = ws.ws_pt in
+      let ins_by_arity = ws.ws_ins_by_arity in
+      Array.fill state 0 (Array.length state) (Dualrail.const init);
+      Array.fill inputs 0 n Dualrail.unknown;
+      Array.fill det 0 64 false;
+      Array.fill pt 0 64 false;
       let operand node p =
         let v = env.((Netlist.fanin nl node).(p)) in
         let m0 = mask_of b.branch0 (node, p)
@@ -204,12 +218,26 @@ let run ?(init = Logic4.X) ?(observe = fun _ -> true) ?jobs
       let nw = Pool.jobs pool in
       let wdet = Array.init nw (fun _ -> ref 0) in
       let wposs = Array.init nw (fun _ -> ref 0) in
+      let scratches =
+        Array.init nw (fun _ ->
+            {
+              ws_env = Array.make n Dualrail.unknown;
+              ws_inputs = Array.make n Dualrail.unknown;
+              ws_state = Array.map (fun _ -> Dualrail.const init) seqs;
+              ws_det = Array.make 64 false;
+              ws_pt = Array.make 64 false;
+              ws_ins_by_arity =
+                Array.init
+                  (Analysis.max_arity an + 1)
+                  (fun k -> Array.make k Dualrail.unknown);
+            })
+      in
       Pool.parallel_chunks pool ~n:(Array.length batch_faults) ~chunk:1
         ~trace ~label:"seq_fsim"
         (fun ~worker ~lo ~hi ->
           for k = lo to hi - 1 do
-            run_batch ~wdet:wdet.(worker) ~wposs:wposs.(worker)
-              batch_faults.(k)
+            run_batch ~ws:scratches.(worker) ~wdet:wdet.(worker)
+              ~wposs:wposs.(worker) batch_faults.(k)
           done);
       Array.iter (fun r -> detected := !detected + !r) wdet;
       Array.iter (fun r -> possibly := !possibly + !r) wposs);

@@ -17,6 +17,9 @@ type t = {
   mutable ipdom : int array option;
       (* global immediate post-dominators towards the virtual observation
          sink; built lazily under [cm] *)
+  mutable cost : int array option;
+      (* saturating per-node fanout-cone cost estimate; built lazily
+         under [cm] *)
   cm : Mutex.t;
   mutable cone_budget : int;
 }
@@ -256,6 +259,73 @@ let stem_dominators t s d =
     a
   end
 
+(* Per-node fanout-cone cost estimate in one reverse-topological pass:
+   est(i) = 1 + sum over combinational fanout sinks of est(sink),
+   saturated.  Reconvergent fanout double-counts, which only exaggerates
+   the nodes whose cones are genuinely large — fine for ordering. *)
+let cost_cap = 1 lsl 20
+
+let build_cost t =
+  let nl = t.nl in
+  let n = Netlist.length nl in
+  let est = Array.make n 0 in
+  let of_fanouts i =
+    let acc = ref 1 in
+    Array.iter
+      (fun (sink, _pin) ->
+        if !acc < cost_cap then
+          if Cell.is_seq (Netlist.kind nl sink) then incr acc
+          else acc := !acc + est.(sink))
+      (Netlist.fanout nl i);
+    min !acc cost_cap
+  in
+  let topo = Netlist.topo nl in
+  for k = Array.length topo - 1 downto 0 do
+    let i = topo.(k) in
+    est.(i) <- of_fanouts i
+  done;
+  (* sources (inputs, ties, sequential cells): every fanout sink is a
+     non-source node already computed above *)
+  Array.iter (fun i -> if est.(i) = 0 then est.(i) <- of_fanouts i) t.sources;
+  Netlist.iter_nodes
+    (fun i nd ->
+      if Cell.is_tie nd.Netlist.kind && est.(i) = 0 then
+        est.(i) <- of_fanouts i)
+    nl;
+  est
+
+let cone_cost t =
+  Mutex.lock t.cm;
+  let a =
+    match t.cost with
+    | Some a -> a
+    | None ->
+      let a = build_cost t in
+      t.cost <- Some a;
+      a
+  in
+  Mutex.unlock t.cm;
+  a
+
+(* Heavy-first schedule over work items: a permutation of [0, n) sorted
+   by descending cone cost of [site k], ascending index on ties.  The
+   stable tiebreak keeps same-site runs contiguous, preserving the
+   one-entry cone/dominator caches of the walkers; drawing the heaviest
+   cones first lets the pool's shrinking tail claims and work stealing
+   even out the imbalance instead of serializing it behind one worker. *)
+let order_by_cost t ~site n =
+  let est = cone_cost t in
+  (* materialize the keys first: [site] may fetch a record per call, and
+     the comparator runs n log n times *)
+  let key = Array.init n (fun k -> est.(site k)) in
+  let order = Array.init n (fun k -> k) in
+  Array.sort
+    (fun a b ->
+      let c = Int.compare key.(b) key.(a) in
+      if c <> 0 then c else Int.compare a b)
+    order;
+  order
+
 let make nl =
   let n = Netlist.length nl in
   let topo_pos = Array.make n (-1) in
@@ -273,6 +343,7 @@ let make nl =
     max_arity = !max_arity;
     cones = Array.make n None;
     ipdom = None;
+    cost = None;
     cm = Mutex.create ();
     cone_budget = memo_budget;
   }

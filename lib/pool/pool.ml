@@ -2,23 +2,69 @@ module Trace = Olfu_obs.Trace
 
 let clamp_jobs j = max 1 (min 64 j)
 
+let env_warned = ref false
+
 let default_jobs () =
   match Sys.getenv_opt "OLFU_JOBS" with
   | None -> 1
   | Some s -> (
     match int_of_string_opt (String.trim s) with
     | Some j -> clamp_jobs j
-    | None -> 1)
+    | None ->
+      if not !env_warned then begin
+        env_warned := true;
+        Printf.eprintf
+          "olfu: warning: OLFU_JOBS=%S is not an integer; falling back to 1 \
+           job\n\
+           %!"
+          s
+      end;
+      1)
+
+(* Spawning more domains than the machine has cores is a pessimization in
+   OCaml 5: minor collections are stop-the-world across every domain, so
+   an oversubscribed domain set pays scheduling latency on each GC.  All
+   pool consumers are jobs-invariant by contract, so silently running a
+   [jobs = 4] request on fewer domains changes timing only, never
+   results. *)
+let hardware_jobs () = clamp_jobs (Domain.recommended_domain_count ())
+
+let effective ~oversubscribe jobs =
+  let j = clamp_jobs jobs in
+  if oversubscribe then j else min j (hardware_jobs ())
+
+(* ------------------------------------------------------------------ *)
+(* Per-worker ranges with half-range stealing                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A worker's unclaimed items form one contiguous range packed into a
+   single OCaml int: [(lo lsl 31) lor hi], both fields < 2^31.  The
+   owner claims quantum-capped chunks off [lo] with a CAS on its own
+   cell; a worker whose range ran dry steals the top half of the fullest
+   sibling range with a CAS on the victim's cell.  One atomic per worker
+   replaces the single shared cursor every domain used to hammer. *)
+
+let field_bits = 31
+let field_mask = (1 lsl field_bits) - 1
+let max_items = field_mask
+let pack ~lo ~hi = (lo lsl field_bits) lor hi
+let range_lo x = x lsr field_bits
+let range_hi x = x land field_mask
+
+(* One cache line of floats per worker: adjacent slots of the busy array
+   would otherwise false-share when every worker stamps its own time. *)
+let busy_stride = 8
 
 type job = {
   f : worker:int -> lo:int -> hi:int -> unit;
-  n : int;
-  chunk : int;
-  cursor : int Atomic.t;
+  quantum : int;  (* max items per claim *)
+  ranges : int Atomic.t array;  (* packed per-worker [lo, hi) *)
+  unclaimed : int Atomic.t;  (* items sitting in some range *)
+  steals : int Atomic.t;
   abort : bool Atomic.t;
   trace : Trace.sink;
   label : string;
-  busy : float array;  (* per-worker busy seconds, written once per job *)
+  busy : float array;  (* per-worker busy seconds, stride-padded *)
 }
 
 type t = {
@@ -32,41 +78,104 @@ type t = {
   mutable exn : (exn * Printexc.raw_backtrace) option;
   mutable shut : bool;
   mutable domains : unit Domain.t array;
+  mutable leased : bool;  (* held by a [with_pool] caller (registry) *)
+  mutable last_steals : int;  (* previous dispatch, scheduling-dependent *)
   njobs : int;
 }
 
 let jobs t = t.njobs
+let last_steals t = t.last_steals
 
 let record t e bt =
   Mutex.lock t.m;
   if t.exn = None then t.exn <- Some (e, bt);
   Mutex.unlock t.m
 
-(* Pull contiguous chunks off the job's cursor until it runs dry (or a
-   sibling worker failed). *)
-let consume t j ~worker =
-  let rec loop () =
-    let lo = Atomic.fetch_and_add j.cursor j.chunk in
-    if lo < j.n && not (Atomic.get j.abort) then begin
-      (try j.f ~worker ~lo ~hi:(min j.n (lo + j.chunk))
-       with e ->
-         let bt = Printexc.get_raw_backtrace () in
-         Atomic.set j.abort true;
-         record t e bt);
-      loop ()
+(* Claim a chunk off the worker's own range.  The claim halves what is
+   left (capped by the quantum), so early claims are big and cheap while
+   tail claims shrink towards 1 and stay stealable — dropped faults and
+   skewed cone sizes cannot strand a long tail behind one worker. *)
+let rec claim j ~worker =
+  let r = j.ranges.(worker) in
+  let cur = Atomic.get r in
+  let lo = range_lo cur and hi = range_hi cur in
+  if lo >= hi then None
+  else begin
+    let take = min j.quantum (max 1 ((hi - lo + 1) / 2)) in
+    if Atomic.compare_and_set r cur (pack ~lo:(lo + take) ~hi) then begin
+      ignore (Atomic.fetch_and_add j.unclaimed (-take) : int);
+      Some (lo, lo + take)
+    end
+    else claim j ~worker
+  end
+
+(* Move the top half of the fullest sibling range into our own (empty)
+   cell.  Only the owner ever grows its cell back from empty, so the
+   publish is a plain store; thieves only shrink via CAS. *)
+let try_steal j ~worker nw =
+  let best = ref (-1) and best_avail = ref 0 in
+  for v = 0 to nw - 1 do
+    if v <> worker then begin
+      let cur = Atomic.get j.ranges.(v) in
+      let avail = range_hi cur - range_lo cur in
+      if avail > !best_avail then begin
+        best := v;
+        best_avail := avail
+      end
+    end
+  done;
+  if !best < 0 then false
+  else begin
+    let r = j.ranges.(!best) in
+    let cur = Atomic.get r in
+    let lo = range_lo cur and hi = range_hi cur in
+    let avail = hi - lo in
+    if avail <= 0 then false
+    else begin
+      let stolen = max 1 (avail / 2) in
+      if Atomic.compare_and_set r cur (pack ~lo ~hi:(hi - stolen)) then begin
+        Atomic.set j.ranges.(worker) (pack ~lo:(hi - stolen) ~hi);
+        ignore (Atomic.fetch_and_add j.steals 1 : int);
+        true
+      end
+      else false (* raced with the owner or another thief; rescan *)
+    end
+  end
+
+(* Work until every item is claimed (or a sibling failed).  A worker
+   exits only once [unclaimed] hits zero, i.e. never while any sibling
+   still holds stealable work. *)
+let consume t j ~worker ~nw =
+  let rec loop spins =
+    if not (Atomic.get j.abort) then begin
+      match claim j ~worker with
+      | Some (lo, hi) ->
+        (try j.f ~worker ~lo ~hi
+         with e ->
+           let bt = Printexc.get_raw_backtrace () in
+           Atomic.set j.abort true;
+           record t e bt);
+        loop 0
+      | None ->
+        if nw > 1 && try_steal j ~worker nw then loop 0
+        else if Atomic.get j.unclaimed > 0 && nw > 1 then begin
+          (* work exists but a steal is mid-flight; back off briefly *)
+          if spins < 64 then Domain.cpu_relax () else Unix.sleepf 5e-5;
+          loop (spins + 1)
+        end
     end
   in
-  loop ()
+  loop 0
 
-(* Busy time is scheduling-dependent, so it goes in spans (one "worker"
-   span per worker per dispatch), never in counters. *)
-let consume_traced t j ~worker =
-  if not (Trace.enabled j.trace) then consume t j ~worker
+(* Busy time is scheduling-dependent, so it goes in spans and gauges
+   (one "worker" span per worker per dispatch), never in counters. *)
+let consume_traced t j ~worker ~nw =
+  if not (Trace.enabled j.trace) then consume t j ~worker ~nw
   else begin
     let t0 = Trace.now j.trace in
-    consume t j ~worker;
+    consume t j ~worker ~nw;
     let dur = Trace.now j.trace -. t0 in
-    j.busy.(worker) <- dur;
+    j.busy.(worker * busy_stride) <- dur;
     Trace.record j.trace ~cat:"worker" ~tid:worker ~t0 ~dur j.label
   end
 
@@ -81,7 +190,7 @@ let worker_loop t ~worker =
       let gen = t.generation in
       let j = Option.get t.job in
       Mutex.unlock t.m;
-      consume_traced t j ~worker;
+      consume_traced t j ~worker ~nw:t.njobs;
       Mutex.lock t.m;
       t.running <- t.running - 1;
       if t.running = 0 then Condition.broadcast t.idle;
@@ -91,8 +200,8 @@ let worker_loop t ~worker =
   in
   loop 0
 
-let create ~jobs =
-  let njobs = clamp_jobs jobs in
+let create ?(oversubscribe = false) ~jobs () =
+  let njobs = effective ~oversubscribe jobs in
   let t =
     {
       m = Mutex.create ();
@@ -105,6 +214,8 @@ let create ~jobs =
       exn = None;
       shut = false;
       domains = [||];
+      leased = false;
+      last_steals = 0;
       njobs;
     }
   in
@@ -130,28 +241,26 @@ let reraise = function
 
 let parallel_chunks t ~n ?chunk ?(trace = Trace.null) ?(label = "pool") f =
   if n > 0 then begin
-    (* The default chunk must not depend on [t.njobs]: the number of
-       chunks (hence the "pool.chunks" counter) is identical for any
-       [jobs] value. *)
-    let chunk =
-      match chunk with Some c -> max 1 c | None -> max 1 ((n + 63) / 64)
-    in
-    let f =
-      if Trace.enabled trace then (fun ~worker ~lo ~hi ->
-        Trace.add trace ~worker "pool.chunks" 1;
-        f ~worker ~lo ~hi)
-      else f
+    if n > max_items then invalid_arg "Pool.parallel_chunks: n too large";
+    let nw = t.njobs in
+    let quantum =
+      match chunk with
+      | Some c -> max 1 c
+      | None -> max 1 (min 1024 (n / (16 * nw)))
     in
     let j =
       {
         f;
-        n;
-        chunk;
-        cursor = Atomic.make 0;
+        quantum;
+        ranges =
+          Array.init nw (fun w ->
+              Atomic.make (pack ~lo:(w * n / nw) ~hi:((w + 1) * n / nw)));
+        unclaimed = Atomic.make n;
+        steals = Atomic.make 0;
         abort = Atomic.make false;
         trace;
         label;
-        busy = Array.make t.njobs 0.;
+        busy = Array.make (nw * busy_stride) 0.;
       }
     in
     Trace.add trace "pool.dispatches" 1;
@@ -160,20 +269,26 @@ let parallel_chunks t ~n ?chunk ?(trace = Trace.null) ?(label = "pool") f =
     let finish_trace () =
       if Trace.enabled trace then begin
         let region = Trace.now trace -. t_start in
-        let idle =
-          Array.fold_left
-            (fun acc b -> acc +. Float.max 0. (region -. b))
-            0. j.busy
-        in
+        let busy_total = ref 0. and idle = ref 0. in
+        for w = 0 to nw - 1 do
+          let b = j.busy.(w * busy_stride) in
+          busy_total := !busy_total +. b;
+          idle := !idle +. Float.max 0. (region -. b)
+        done;
         Trace.record trace ~cat:"pool" ~t0:t_start ~dur:region
           (label ^ " dispatch");
-        Trace.gauge trace "pool.last_idle_seconds" idle
+        Trace.gauge trace "pool.last_idle_seconds" !idle;
+        Trace.gauge trace "pool.last_steals"
+          (float_of_int (Atomic.get j.steals));
+        if region > 0. then
+          Trace.gauge trace "pool.last_utilization"
+            (!busy_total /. (float_of_int nw *. region))
       end
     in
-    if t.njobs = 1 then begin
-      (* No worker domains: consume inline through the same cursor so
-         chunking (and the chunk counters) match the parallel path. *)
-      consume_traced t j ~worker:0;
+    if nw = 1 then begin
+      (* no worker domains: same claim loop, inline *)
+      consume_traced t j ~worker:0 ~nw;
+      t.last_steals <- 0;
       finish_trace ();
       Mutex.lock t.m;
       let e = t.exn in
@@ -189,11 +304,11 @@ let parallel_chunks t ~n ?chunk ?(trace = Trace.null) ?(label = "pool") f =
       end;
       t.job <- Some j;
       t.exn <- None;
-      t.running <- t.njobs - 1;
+      t.running <- nw - 1;
       t.generation <- t.generation + 1;
       Condition.broadcast t.work;
       Mutex.unlock t.m;
-      consume_traced t j ~worker:0;
+      consume_traced t j ~worker:0 ~nw;
       Mutex.lock t.m;
       while t.running > 0 do
         Condition.wait t.idle t.m
@@ -202,11 +317,71 @@ let parallel_chunks t ~n ?chunk ?(trace = Trace.null) ?(label = "pool") f =
       let e = t.exn in
       t.exn <- None;
       Mutex.unlock t.m;
+      t.last_steals <- Atomic.get j.steals;
       finish_trace ();
       reraise e
     end
   end
 
-let with_pool ~jobs f =
-  let t = create ~jobs in
-  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+(* ------------------------------------------------------------------ *)
+(* Shared pools: with_pool reuses one long-lived domain set per size    *)
+(* ------------------------------------------------------------------ *)
+
+(* Spawning domains costs a stop-the-world per spawn and join; a flow
+   dispatches through the pool many times, so [with_pool] leases one
+   process-global pool per effective size instead of respawning.  Pools
+   created directly with [create] are never registered. *)
+let registry : (int, t) Hashtbl.t = Hashtbl.create 7
+let registry_m = Mutex.create ()
+let at_exit_installed = ref false
+
+let with_pool ?(oversubscribe = false) ~jobs f =
+  let njobs = effective ~oversubscribe jobs in
+  if njobs = 1 || oversubscribe then begin
+    let t = create ~oversubscribe ~jobs:njobs () in
+    Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+  end
+  else begin
+    Mutex.lock registry_m;
+    if not !at_exit_installed then begin
+      at_exit_installed := true;
+      Stdlib.at_exit (fun () ->
+          Mutex.lock registry_m;
+          let ps = Hashtbl.fold (fun _ p acc -> p :: acc) registry [] in
+          Hashtbl.reset registry;
+          Mutex.unlock registry_m;
+          List.iter shutdown ps)
+    end;
+    let reused =
+      match Hashtbl.find_opt registry njobs with
+      | Some p when not p.leased ->
+        p.leased <- true;
+        Some p
+      | _ -> None
+    in
+    Mutex.unlock registry_m;
+    match reused with
+    | Some p ->
+      Fun.protect
+        ~finally:(fun () ->
+          Mutex.lock registry_m;
+          p.leased <- false;
+          Mutex.unlock registry_m)
+        (fun () -> f p)
+    | None ->
+      let p = create ~jobs:njobs () in
+      p.leased <- true;
+      Mutex.lock registry_m;
+      let keep = not (Hashtbl.mem registry njobs) in
+      if keep then Hashtbl.replace registry njobs p;
+      Mutex.unlock registry_m;
+      Fun.protect
+        ~finally:(fun () ->
+          if keep then begin
+            Mutex.lock registry_m;
+            p.leased <- false;
+            Mutex.unlock registry_m
+          end
+          else shutdown p)
+        (fun () -> f p)
+  end

@@ -1,11 +1,23 @@
-(** Small stdlib-only domain pool ([Domain] + [Mutex]/[Condition]).
+(** Small stdlib-only domain pool ([Domain] + [Mutex]/[Condition]) with
+    per-worker work ranges and half-range stealing.
 
-    A pool owns [jobs - 1] worker domains (the caller is the remaining
-    worker).  Work is submitted as an index range that workers consume in
-    contiguous chunks through an atomic cursor: chunks keep cache locality
-    for consumers that walk adjacent data (fault lists are ordered by
-    site, so neighbouring indices share fanout cones), while the dynamic
-    cursor balances uneven chunk costs.
+    A pool owns [effective - 1] worker domains (the caller is the
+    remaining worker), where [effective] is the requested [jobs] clamped
+    to the hardware parallelism reported by
+    [Domain.recommended_domain_count].  Oversubscribing domains is a
+    pessimization in OCaml 5 — minor collections are stop-the-world
+    across all domains — and every pool consumer is jobs-invariant by
+    contract, so the clamp changes timing only, never results.  Tests
+    that need more domains than cores pass [~oversubscribe:true].
+
+    Work is submitted as an index range [0, n) that is pre-split into one
+    contiguous range per worker.  Each worker claims chunks off its own
+    range (a private atomic, so the hot path has no cross-domain cache
+    traffic), halving what remains per claim up to a quantum cap: early
+    claims are large and cheap, tail claims shrink towards one item.  A
+    worker whose range runs dry steals the top half of the fullest
+    sibling range, so an item with a pathological cost (a huge fanout
+    cone, say) cannot serialize the tail behind one worker.
 
     Determinism contract: {!parallel_chunks} guarantees every index in
     [0, n) is processed by exactly one worker, but the assignment of
@@ -19,14 +31,29 @@ type t
 
 val default_jobs : unit -> int
 (** Worker count from the [OLFU_JOBS] environment variable, clamped to
-    [1, 64]; [1] when unset or unparsable.  The CLI [--jobs] flag
+    [1, 64]; [1] when unset.  An unparsable value also yields [1] but
+    prints a one-line warning to stderr (once per process) so a
+    misconfigured CI run is diagnosable.  The CLI [--jobs] flag
     overrides it. *)
 
-val create : jobs:int -> t
-(** Spawns [jobs - 1] worker domains ([jobs] is clamped to [1, 64]).
-    A pool with [jobs = 1] spawns nothing and runs everything inline. *)
+val hardware_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] clamped to [1, 64]: the largest
+    worker count {!create} will actually spawn without
+    [~oversubscribe]. *)
+
+val create : ?oversubscribe:bool -> jobs:int -> unit -> t
+(** Spawns [min jobs (hardware_jobs ()) - 1] worker domains ([jobs] is
+    clamped to [1, 64]); with [~oversubscribe:true] the hardware clamp is
+    skipped.  A pool with an effective size of 1 spawns nothing and runs
+    everything inline. *)
 
 val jobs : t -> int
+(** Effective worker count (after the hardware clamp). *)
+
+val last_steals : t -> int
+(** Number of successful steals during the most recent
+    {!parallel_chunks} dispatch.  Scheduling-dependent; exposed for
+    tests and diagnostics. *)
 
 val parallel_chunks :
   t ->
@@ -39,24 +66,33 @@ val parallel_chunks :
 (** [parallel_chunks t ~n f] applies [f ~worker ~lo ~hi] over disjoint
     chunks covering [0, n), in parallel over the pool, and returns once
     every index has been processed (a barrier).  [worker] is a stable id
-    in [0, jobs t), usable to index per-worker scratch.  [chunk] is the
-    chunk length (default: [ceil (n / 64)], at least 1 — independent of
-    the worker count, so the chunk schedule is identical for any [jobs]
-    value).  The first exception raised by any worker is re-raised in
-    the caller after the barrier; remaining chunks are abandoned.
+    in [0, jobs t), usable to index per-worker scratch.  [chunk] caps the
+    number of items per claim (the quantum; default
+    [min 1024 (n / (16 * jobs))], at least 1) — actual claim sizes halve
+    as a worker's range drains, and ranges rebalance by stealing, so the
+    chunk schedule is scheduling-dependent.  No worker returns while a
+    sibling still holds unclaimed items.  The first exception raised by
+    any worker is re-raised in the caller after the barrier; remaining
+    items are abandoned.
 
     With a recording [trace], every dispatch bumps the
-    ["pool.dispatches"]/["pool.items"] counters, each processed chunk
-    bumps ["pool.chunks"] on its worker's shard (jobs-invariant totals),
-    each worker records one ["worker"]-category span named [label], and
-    the dispatch records a ["pool"]-category span plus a
-    ["pool.last_idle_seconds"] gauge (scheduling-dependent, so a gauge
-    rather than a counter). *)
+    ["pool.dispatches"]/["pool.items"] counters (jobs-invariant totals;
+    per-claim counts are scheduling-dependent under stealing and are
+    deliberately not counted), each worker records one
+    ["worker"]-category span named [label], and the dispatch records a
+    ["pool"]-category span plus ["pool.last_idle_seconds"],
+    ["pool.last_steals"] and ["pool.last_utilization"] gauges
+    (scheduling-dependent, so gauges rather than counters;
+    utilization is [sum busy / (jobs * region)]). *)
 
 val shutdown : t -> unit
 (** Joins the worker domains.  The pool must be idle; using it after
     shutdown raises [Invalid_argument].  Idempotent. *)
 
-val with_pool : jobs:int -> (t -> 'a) -> 'a
-(** [with_pool ~jobs f] runs [f] on a fresh pool and shuts it down on
-    exit, including on exception. *)
+val with_pool : ?oversubscribe:bool -> jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] on a pool of the requested size.  Pools
+    with an effective size > 1 are leased from a process-global registry
+    and kept alive for reuse (domain spawn/join is a stop-the-world per
+    domain, and flows dispatch through the pool many times), shutting
+    down at process exit; size-1 and oversubscribed pools are private to
+    the call and shut down on exit, including on exception. *)

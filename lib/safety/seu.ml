@@ -217,7 +217,11 @@ let run ?(window = 4) ?(conflict_limit = 50_000) ?(limit = 0) ?jobs
   Trace.span trace ~cat:"engine" "seu" (fun () ->
       Pool.with_pool ~jobs (fun pool ->
           (* one flop per chunk: each index writes its own slot, so the
-             report is identical for any [jobs] *)
+             report is identical for any [jobs].  A chunk here is an
+             entire bounded model-check, so the pool's halving claims
+             plus work stealing (rather than a fixed pre-split) is what
+             keeps the skewed per-flop costs from serializing behind
+             one worker *)
           Pool.parallel_chunks pool ~n ~chunk:1 ~trace ~label:"seu"
             (fun ~worker:_ ~lo ~hi ->
               for k = lo to hi - 1 do

@@ -38,6 +38,42 @@ gate fsim dune exec bench/main.exe -- fsim
 # and survive the BMC oracle spot-check; refreshes BENCH_implic.json.
 gate implic dune exec bench/main.exe -- implic
 
+# Scheduler gate: re-read the refreshed BENCH JSONs and require the
+# recorded seconds to be monotone non-increasing across jobs 1 -> 2 -> 4
+# (tolerance 1.10 for timer noise) — adding a domain must never slow the
+# wall clock down again.
+speedup_monotone() {
+  awk '
+    /"jobs":/ && match($0, /"seconds": *[0-9.]+/) {
+      s[n++] = substr($0, RSTART + 11, RLENGTH - 11) + 0
+    }
+    END {
+      if (n < 3) { print "fsim: cone seconds missing"; exit 1 }
+      for (i = 1; i < 3; i++)
+        if (s[i] > s[i-1] * 1.10) {
+          printf "fsim: jobs seconds not monotone (%.3f -> %.3f)\n", \
+            s[i-1], s[i]
+          exit 1
+        }
+    }' BENCH_fsim.json
+  awk '
+    /"config": "implic_/ && match($0, /"seconds": *[0-9.]+/) {
+      s[n++] = substr($0, RSTART + 11, RLENGTH - 11) + 0
+    }
+    END {
+      if (n < 6) { print "implic: run seconds missing"; exit 1 }
+      for (i = 1; i < 6; i++) {
+        if (i == 3) continue  # off jobs4 -> on jobs1 boundary
+        if (s[i] > s[i-1] * 1.10) {
+          printf "implic: jobs seconds not monotone (%.3f -> %.3f)\n", \
+            s[i-1], s[i]
+          exit 1
+        }
+      }
+    }' BENCH_implic.json
+}
+gate speedup-monotone speedup_monotone
+
 # Observability gate: the analyze flow must emit a schema-valid run
 # manifest and a Chrome-loadable trace, with per-engine and per-step
 # seconds each summing to within 5% of the recorded wall time, and
