@@ -20,6 +20,11 @@ module B = Netlist.Builder
 let section title =
   Format.printf "@.==== %s ====@." title
 
+(* recorded in every BENCH_*.json: the process's GC high-water mark at
+   write time, in bytes *)
+let peak_heap_bytes () =
+  (Gc.quick_stat ()).Gc.top_heap_words * (Sys.word_size / 8)
+
 (* Shared inputs, generated once. *)
 let t32 = lazy (Soc.generate Soc.tcore32)
 let t16 = lazy (Soc.generate Soc.tcore16)
@@ -800,9 +805,10 @@ let fsim_bench () =
     \  \"monotone_tolerance\": %.2f,\n\
     \  \"obs\": { \"null_sink_seconds\": %.6f, \"recording_sink_seconds\": \
      %.6f, \"overhead_pct\": %.3f, \"min_overhead_pct\": %.3f, \
-     \"gate_pct\": 2.0, \"ok\": %b }\n}\n"
+     \"gate_pct\": 2.0, \"ok\": %b },\n\
+    \  \"peak_heap_bytes\": %d\n}\n"
     speedup ok speedup_monotone monotone_tolerance null_s rec_s overhead_pct
-    min_pct obs_ok;
+    min_pct obs_ok (peak_heap_bytes ());
   close_out oc;
   Format.printf "  wrote BENCH_fsim.json@.";
   if not ok then begin
@@ -1005,9 +1011,10 @@ let implic_bench () =
     \  \"monotone_tolerance\": %.2f,\n\
     \  \"utilization\": { \"jobs1\": %.3f, \"jobs2\": %.3f, \"jobs4\": \
      %.3f },\n\
-    \  \"oracle_checked\": %d,\n  \"oracle_ok\": %b\n}\n"
+    \  \"oracle_checked\": %d,\n  \"oracle_ok\": %b,\n\
+    \  \"peak_heap_bytes\": %d\n}\n"
     gain jobs_ok monotone speedup_monotone monotone_tolerance util1 util2
-    util4 !oracle_checked !oracle_ok;
+    util4 !oracle_checked !oracle_ok (peak_heap_bytes ());
   close_out oc;
   Format.printf "  wrote BENCH_implic.json@.";
   if not (jobs_ok && monotone && !oracle_ok && gain > 0) then begin
@@ -1208,6 +1215,7 @@ let obs_bench files =
          ("noop_sink_seconds", J.Float null_s);
          ("recording_sink_seconds", J.Float w1);
          ("recording_overhead_pct", J.Float overhead_pct);
+         ("peak_heap_bytes", J.Int (peak_heap_bytes ()));
        ]);
   Format.printf "  wrote BENCH_obs.json@.";
   if not (counters_ok && manifest_ok && trace_ok && files_ok) then begin
@@ -1408,9 +1416,10 @@ let safety_bench () =
   Printf.fprintf oc
     "  ],\n  \"jobs_invariant\": %b,\n  \"software_gain\": %d,\n\
     \  \"unmasked_flops\": %d,\n  \"oracle_checked\": %d,\n\
-    \  \"oracle_ok\": %b,\n  \"replay_checked\": %d,\n  \"replay_ok\": %b\n}\n"
+    \  \"oracle_ok\": %b,\n  \"replay_checked\": %d,\n  \"replay_ok\": %b,\n\
+    \  \"peak_heap_bytes\": %d\n}\n"
     jobs_ok sw_gain unmasked32 !oracle_checked !oracle_ok replay_checked
-    !replay_ok;
+    !replay_ok (peak_heap_bytes ());
   close_out oc;
   Format.printf "  wrote BENCH_safety.json@.";
   if
@@ -1537,8 +1546,9 @@ let invar_bench () =
   core "tcore32_dft" rdft true;
   Printf.fprintf oc
     "  ],\n  \"jobs_invariant\": %b,\n  \"oracle_checked\": %d,\n\
-    \  \"oracle_ok\": %b,\n  \"uc_delta\": %d\n}\n"
-    jobs_ok (List.length sample) oracle_ok uc_delta;
+    \  \"oracle_ok\": %b,\n  \"uc_delta\": %d,\n\
+    \  \"peak_heap_bytes\": %d\n}\n"
+    jobs_ok (List.length sample) oracle_ok uc_delta (peak_heap_bytes ());
   close_out oc;
   Format.printf "  wrote BENCH_invar.json@.";
   if
@@ -1549,6 +1559,188 @@ let invar_bench () =
       && List.length rdft.Inv.proved > 0)
   then begin
     prerr_endline "invar: gate violated (invariance/oracle/uc-delta/counts)";
+    exit 1
+  end
+
+(* ---------------------------------------------------------------- *)
+(* slice mode: cone-of-influence slicing gates (BENCH_slice.json)    *)
+(* ---------------------------------------------------------------- *)
+
+(* Gates for the olfu_slice engine:
+   (a) per core: the severed (hard/mission) backward slice-size
+       distribution must improve on the structural cone (mean no
+       larger), plus edge counts and the mission SCC condensation;
+   (b) bit-identity on tcore16 — the whole point of the hard-constant
+       discipline: SEU classes, the invariant proved set (with
+       certificates) and sampled BMC oracle verdicts are identical
+       sliced vs unsliced;
+   (c) the sliced engine carries a full --seu-limit 0 sweep of tcore32
+       (every flop, no sampling), timed.
+   Run with: dune exec bench/main.exe -- slice *)
+let slice_bench () =
+  let module Sl = Olfu_slice.Slice in
+  let module Sc = Olfu_safety.Classify in
+  let module Seu = Olfu_safety.Seu in
+  let module Inv = Olfu_invar.Invar in
+  section "slice — constant-severed cone-of-influence gates";
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let machine nl mission =
+    let flow = Olfu.Flow.run { rc with Olfu.Run_config.jobs = 4 } nl mission in
+    Sc.bmc_machine flow.Olfu.Flow.mission_netlist
+  in
+  let m16 = machine (Lazy.force t16) (Lazy.force mission16) in
+  let m32 = machine (Lazy.force t32) (Lazy.force mission32) in
+  let dft = Soc.generate Soc.tcore32_dft in
+  let mdft = machine dft (Olfu.Mission.of_soc Soc.tcore32_dft dft) in
+  let edge_count (e : Sl.edges) =
+    Array.fold_left (fun a s -> a + Array.length s) 0 e.Sl.supports
+  in
+  let core_stats name m =
+    let g, secs = time (fun () -> Sl.get m) in
+    let d e = Sl.dist_of (Sl.backward_sizes g e) in
+    let ds = d g.Sl.structural
+    and dh = d g.Sl.hard_edges
+    and dm = d g.Sl.mission_edges in
+    let sc = Sl.scc g.Sl.mission_edges (Array.length g.Sl.flops) in
+    Format.printf
+      "  %-12s flops %4d  edges s/h/m %d/%d/%d  slice mean s/h/m \
+       %.1f/%.1f/%.1f  sccs %d  %5.2f s@."
+      name (Array.length g.Sl.flops)
+      (edge_count g.Sl.structural)
+      (edge_count g.Sl.hard_edges)
+      (edge_count g.Sl.mission_edges)
+      ds.Sl.mean dh.Sl.mean dm.Sl.mean
+      (Array.length sc.Sl.comps) secs;
+    (name, g, ds, dh, dm, sc, secs)
+  in
+  let stats =
+    [ core_stats "tcore16" m16; core_stats "tcore32" m32;
+      core_stats "tcore32_dft" mdft ]
+  in
+  let severing_ok =
+    List.for_all
+      (fun (_, _, ds, dh, dm, _, _) ->
+        dh.Sl.mean <= ds.Sl.mean +. 1e-9 && dm.Sl.mean <= dh.Sl.mean +. 1e-9)
+      stats
+  in
+  (* (b1) SEU classes, every flop of tcore16, sliced vs unsliced *)
+  let seu_window = 3 in
+  let seu_s, seu_s_t =
+    time (fun () -> Seu.run ~window:seu_window ~jobs:4 ~limit:0 ~sliced:true m16)
+  in
+  let seu_f, seu_f_t =
+    time (fun () ->
+        Seu.run ~window:seu_window ~jobs:4 ~limit:0 ~sliced:false m16)
+  in
+  let verdicts (r : Seu.report) =
+    Array.map
+      (fun (x : Seu.ff_result) -> (x.Seu.ff, x.Seu.cls, x.Seu.structural))
+      r.Seu.results
+  in
+  let seu_identical = verdicts seu_s = verdicts seu_f in
+  Format.printf
+    "  SEU cross-check (t16, %d flops): sliced %.2f s vs full %.2f s, \
+     identical %b@."
+    seu_s.Seu.total_ffs seu_s_t seu_f_t seu_identical;
+  (* (b2) invariant proved set, certificates included *)
+  let cands = Inv.mine m16 in
+  let inv_s, inv_s_t =
+    time (fun () -> Inv.prove ~jobs:4 ~sliced:true m16 cands)
+  in
+  let inv_f, inv_f_t =
+    time (fun () -> Inv.prove ~jobs:4 ~sliced:false m16 cands)
+  in
+  let invar_identical = inv_s = inv_f in
+  Format.printf
+    "  invar cross-check (t16, %d candidates): sliced %.2f s vs full %.2f \
+     s, identical %b@."
+    (List.length cands) inv_s_t inv_f_t invar_identical;
+  (* (b3) BMC oracle ctor-identity on a fault sample *)
+  let g16 = Sl.get m16 in
+  let u = Fault.universe m16 in
+  let same_ctor a b =
+    match (a, b) with
+    | Bmc.Test _, Bmc.Test _ -> true
+    | Bmc.No_test_within x, Bmc.No_test_within y -> x = y
+    | Bmc.Unknown, Bmc.Unknown -> true
+    | _ -> false
+  in
+  let oracle_checked = ref 0 in
+  let oracle_identical = ref true in
+  Array.iteri
+    (fun i f ->
+      if i mod 409 = 0 && f.Fault.site.Fault.pin <> Cell.Pin.Clk then begin
+        incr oracle_checked;
+        let full = Bmc.run ~cycles:4 m16 f in
+        let sliced = Sl.oracle ~cycles:4 g16 f in
+        if not (same_ctor full sliced) then begin
+          Format.printf "  ORACLE MISMATCH: %s@." (Fault.to_string m16 f);
+          oracle_identical := false
+        end
+      end)
+    u;
+  Format.printf "  BMC oracle cross-check (t16): %d faults, identical %b@."
+    !oracle_checked !oracle_identical;
+  (* (c) the flagship run: every tcore32 flop, sliced *)
+  let full32, full32_t =
+    time (fun () -> Seu.run ~window:seu_window ~jobs:4 ~limit:0 m32)
+  in
+  Format.printf
+    "  full sweep (t32, %d flops, window %d): m/p/v/u %d/%d/%d/%d in %.2f \
+     s@."
+    full32.Seu.total_ffs seu_window full32.Seu.masked full32.Seu.protected_
+    full32.Seu.vulnerable full32.Seu.unknown full32_t;
+  let oc = open_out "BENCH_slice.json" in
+  let dist_fields label (d : Sl.dist) =
+    Printf.sprintf
+      "\"%s\": { \"min\": %d, \"max\": %d, \"mean\": %.2f, \"median\": %d, \
+       \"p90\": %d }"
+      label d.Sl.min_ d.Sl.max_ d.Sl.mean d.Sl.median d.Sl.p90
+  in
+  Printf.fprintf oc "{\n  \"cores\": [\n";
+  List.iteri
+    (fun k (name, g, ds, dh, dm, sc, secs) ->
+      Printf.fprintf oc
+        "    { \"config\": %S, \"flops\": %d, \"edges_structural\": %d, \
+         \"edges_hard\": %d, \"edges_mission\": %d, %s, %s, %s, \
+         \"mission_sccs\": %d, \"seconds\": %.6f }%s\n"
+        name
+        (Array.length g.Sl.flops)
+        (edge_count g.Sl.structural)
+        (edge_count g.Sl.hard_edges)
+        (edge_count g.Sl.mission_edges)
+        (dist_fields "slice_structural" ds)
+        (dist_fields "slice_hard" dh)
+        (dist_fields "slice_mission" dm)
+        (Array.length sc.Sl.comps)
+        secs
+        (if k < List.length stats - 1 then "," else ""))
+    stats;
+  Printf.fprintf oc
+    "  ],\n  \"severing_ok\": %b,\n  \"seu_identical\": %b,\n\
+    \  \"seu_flops\": %d,\n  \"seu_sliced_seconds\": %.6f,\n\
+    \  \"seu_full_seconds\": %.6f,\n  \"invar_identical\": %b,\n\
+    \  \"invar_candidates\": %d,\n  \"oracle_checked\": %d,\n\
+    \  \"oracle_identical\": %b,\n  \"full32_flops\": %d,\n\
+    \  \"full32_window\": %d,\n  \"full32_seconds\": %.6f,\n\
+    \  \"full32_unknown\": %d,\n  \"peak_heap_bytes\": %d\n}\n"
+    severing_ok seu_identical seu_s.Seu.total_ffs seu_s_t seu_f_t
+    invar_identical (List.length cands) !oracle_checked !oracle_identical
+    full32.Seu.total_ffs seu_window full32_t full32.Seu.unknown
+    (peak_heap_bytes ());
+  close_out oc;
+  Format.printf "  wrote BENCH_slice.json@.";
+  if
+    not
+      (severing_ok && seu_identical && invar_identical && !oracle_identical
+     && !oracle_checked > 0)
+  then begin
+    prerr_endline
+      "slice: gate violated (severing/seu/invar/oracle identity)";
     exit 1
   end
 
@@ -1588,4 +1780,6 @@ let () =
     safety_bench ()
   else if Array.length Sys.argv > 1 && Sys.argv.(1) = "invar" then
     invar_bench ()
+  else if Array.length Sys.argv > 1 && Sys.argv.(1) = "slice" then
+    slice_bench ()
   else main ()

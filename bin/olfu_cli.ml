@@ -134,6 +134,13 @@ let analyze cfg file ff_mode paper jobs format trace manifest =
   C.write_obs ~trace ~manifest
     ~config:(C.config_fields ~soc:cfg.Olfu_soc.Soc.name rc)
     ~steps:(C.manifest_steps report) ~prep:report.Olfu.Flow.prep
+    ~extra:
+      [
+        ("universe", Olfu_obs.Json.Int report.Olfu.Flow.universe);
+        ("collapsed", Olfu_obs.Json.Int report.Olfu.Flow.collapsed);
+        ( "dominance_pruned",
+          Olfu_obs.Json.Int report.Olfu.Flow.dominance_pruned );
+      ]
     ~wall_seconds:wall sink;
   `Ok ()
 
@@ -1220,6 +1227,137 @@ let implic_cmd =
        $ C.format_arg ~summary:true () $ learn_depth $ learn_budget
        $ jobs_arg $ implic_invariants))
 
+(* --- slice --- *)
+
+let slice cfg file format dot trace manifest =
+  let module Sl = Olfu_slice.Slice in
+  let module Sc = Olfu_safety.Classify in
+  let nl, cfg = load_netlist cfg file in
+  let mission = mission_of cfg nl file in
+  let sink = C.sink_for ~trace ~manifest in
+  let rc = { Olfu.Run_config.default with trace = sink } in
+  let t0 = Unix.gettimeofday () in
+  (* same machine as every BMC-backed verdict: mission netlist with the
+     scan interface held functional *)
+  let flow = Olfu.Flow.run rc nl mission in
+  let machine = Sc.bmc_machine flow.Olfu.Flow.mission_netlist in
+  let g = Sl.get machine in
+  let edge_count (e : Sl.edges) =
+    let ff = Array.fold_left (fun a s -> a + Array.length s) 0 e.Sl.supports in
+    let inf = Array.fold_left (fun a s -> a + Array.length s) 0 e.Sl.in_deps in
+    let fo =
+      Array.fold_left (fun a (_, s) -> a + Array.length s) 0 e.Sl.out_deps
+    in
+    (ff, inf, fo)
+  in
+  let variants =
+    [
+      ("structural", g.Sl.structural);
+      ("hard", g.Sl.hard_edges);
+      ("mission", g.Sl.mission_edges);
+    ]
+  in
+  let dists =
+    List.map (fun (n, e) -> (n, Sl.dist_of (Sl.backward_sizes g e))) variants
+  in
+  let mscc = Sl.scc g.Sl.mission_edges (Array.length g.Sl.flops) in
+  let largest =
+    Array.fold_left (fun a c -> max a (Array.length c)) 0 mscc.Sl.comps
+  in
+  (match dot with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Sl.condensation_dot g g.Sl.mission_edges);
+      close_out oc);
+  let wall = Unix.gettimeofday () -. t0 in
+  C.emit format
+    ~text:(fun () -> Format.printf "%a@." Sl.pp_stats g)
+    ~summary:(fun () ->
+      C.summary_table Format.std_formatter
+        ([ ("flops", string_of_int (Array.length g.Sl.flops)) ]
+        @ List.concat_map
+            (fun (n, e) ->
+              let ff, inf, fo = edge_count e in
+              [ (n ^ " edges", Printf.sprintf "%d ff / %d in / %d out" ff inf fo) ])
+            variants
+        @ List.map
+            (fun (n, d) ->
+              ( n ^ " slice size",
+                Printf.sprintf "med %d / p90 %d / max %d" d.Sl.median
+                  d.Sl.p90 d.Sl.max_ ))
+            dists
+        @ [
+            ("mission sccs", string_of_int (Array.length mscc.Sl.comps));
+            ("largest scc", string_of_int largest);
+          ]))
+    ~json:(fun () ->
+      let module J = Olfu_obs.Json in
+      let dist_json (d : Sl.dist) =
+        J.Obj
+          [
+            ("count", J.Int d.Sl.count);
+            ("min", J.Int d.Sl.min_);
+            ("max", J.Int d.Sl.max_);
+            ("mean", J.Float d.Sl.mean);
+            ("median", J.Int d.Sl.median);
+            ("p90", J.Int d.Sl.p90);
+          ]
+      in
+      C.print_json
+        (J.Obj
+           [
+             ("flops", J.Int (Array.length g.Sl.flops));
+             ( "edges",
+               J.Obj
+                 (List.map
+                    (fun (n, e) ->
+                      let ff, inf, fo = edge_count e in
+                      ( n,
+                        J.Obj
+                          [
+                            ("flop_flop", J.Int ff);
+                            ("input_flop", J.Int inf);
+                            ("flop_output", J.Int fo);
+                          ] ))
+                    variants) );
+             ( "backward_slice_sizes",
+               J.Obj (List.map (fun (n, d) -> (n, dist_json d)) dists) );
+             ( "mission_scc",
+               J.Obj
+                 [
+                   ("components", J.Int (Array.length mscc.Sl.comps));
+                   ("largest", J.Int largest);
+                 ] );
+           ]))
+    ();
+  C.write_obs ~trace ~manifest
+    ~config:(C.config_fields ~soc:cfg.Olfu_soc.Soc.name rc)
+    ~wall_seconds:wall sink;
+  `Ok ()
+
+let slice_cmd =
+  let dot =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE"
+          ~doc:
+            "Write the Graphviz condensation of the mission-severed flop \
+             graph to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "slice"
+       ~doc:
+         "Constant-severed cone-of-influence statistics: the flop-level \
+          dependency graph under structural, hard (BMC-valid) and \
+          mission (steady-state) severing, backward slice-size \
+          distributions and the SCC condensation.")
+    Term.(
+      ret
+        (const slice $ config_arg $ file_arg
+       $ C.format_arg ~summary:true () $ dot $ C.trace_arg $ C.manifest_arg))
+
 (* --- safety --- *)
 
 let safety cfg window seu_limit jobs format trace manifest =
@@ -1385,7 +1523,8 @@ let main_cmd =
     [
       generate_cmd; analyze_cmd; tdf_cmd; trace_scan_cmd; memmap_cmd;
       categories_cmd; coverage_cmd; atpg_cmd; absint_cmd; simulate_cmd;
-      equiv_cmd; lint_cmd; report_cmd; implic_cmd; invar_cmd; safety_cmd;
+      equiv_cmd; lint_cmd; report_cmd; implic_cmd; invar_cmd; slice_cmd;
+      safety_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -127,6 +127,8 @@ let flow_json (r : Olfu.Flow.report) =
   J.Obj
     [
       ("universe", J.Int r.universe);
+      ("collapsed", J.Int r.collapsed);
+      ("dominance_pruned", J.Int r.dominance_pruned);
       ( "steps",
         J.List
           (List.map

@@ -57,6 +57,8 @@ let diff_tally before after =
 
 type report = {
   universe : int;
+  collapsed : int;
+  dominance_pruned : int;
   steps : step_report list;
   prep : (string * float) list;
   total_olfu : int;
@@ -112,6 +114,17 @@ let run (cfg : Run_config.t) nl mission =
   let fl, flist_t =
     timed (fun () ->
         Trace.span trace ~cat:"engine" "flist" (fun () -> Flist.full nl))
+  in
+  (* structural collapsing on the untouched universe: the prime count
+     is what an ATPG tool would target, the dominance prune what a
+     target list additionally sheds; run on a scratch copy so the
+     flow's own classification never sees the implicit verdicts *)
+  let (collapsed, dominance_pruned), collapse_t =
+    timed (fun () ->
+        Trace.span trace ~cat:"engine" "collapse" (fun () ->
+            let prime = Collapse.num_classes (Collapse.compute fl) in
+            let scratch = Flist.full nl in
+            (prime, Collapse.dominance_prune scratch)))
   in
   (* wrap each step so its newly classified faults are attributed to the
      verdict class (UT/UB/UC/...) that proved them; the tally sweeps run
@@ -219,10 +232,13 @@ let run (cfg : Run_config.t) nl mission =
   let total = scan_count + base_count + ctl_count + obs_count + mem_count in
   {
     universe = Flist.size fl;
+    collapsed;
+    dominance_pruned;
     steps;
     prep =
       [
         ("fault universe", flist_t);
+        ("fault collapsing", collapse_t);
         ("tied netlist", tied_t);
         ("shared ternary fixpoint", shared_ternary_t);
         ("mission observability", mission_obs_t);
@@ -262,6 +278,9 @@ let pp_table1 ?(paper = false) ppf r =
   Format.fprintf ppf
     "Table I: on-line functionally untestable faults (universe %d)@,"
     r.universe;
+  Format.fprintf ppf
+    "  (collapsed: %d prime faults, %d more dominance-prunable)@,"
+    r.collapsed r.dominance_pruned;
   let row name n =
     Format.fprintf ppf "  %-8s %8d  %5.1f%%" name n (pct n);
     if paper then begin

@@ -39,6 +39,14 @@ type step_report = {
 
 type report = {
   universe : int;  (** total stuck-at faults of the original netlist *)
+  collapsed : int;
+      (** prime faults: equivalence classes of the universe under
+          {!Olfu_fault.Collapse} — the count an ATPG tool reports; the
+          paper's Table I counts the uncollapsed universe *)
+  dominance_pruned : int;
+      (** dominator faults a target list can additionally drop
+          ({!Olfu_fault.Collapse.dominance_prune} on a scratch copy —
+          the flow's own classification is never touched) *)
   steps : step_report list;
   prep : (string * float) list;
       (** named work attributed to no step: fault-universe construction,

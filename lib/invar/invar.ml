@@ -7,6 +7,7 @@ module Implic = Olfu_atpg.Implic
 module Eval = Olfu_sim.Eval
 module Pool = Olfu_pool.Pool
 module Trace = Olfu_obs.Trace
+module Slice = Olfu_slice.Slice
 
 type candidate =
   | Const of { ff : int; value : bool }
@@ -34,6 +35,13 @@ let class_name = function
   | Mutex _ -> "mutex"
   | At_most_one _ -> "at-most-one"
   | Range _ -> "range"
+
+let support = function
+  | Const { ff; _ } -> [ ff ]
+  | Implies { a; b; _ } -> [ a; b ]
+  | Mutex (x, y) -> [ x; y ]
+  | At_most_one g -> Array.to_list g
+  | Range { group; _ } -> Array.to_list group
 
 let is_const = function Const _ -> true | _ -> false
 
@@ -549,8 +557,84 @@ let bounded_check ?(cycles = 8) ?(conflict_limit = 100_000) ?(hold = []) nl
     cand =
   base_holds ~k:cycles ~conflict_limit ~hold nl cand
 
+(* Component machines for sliced proving (k = 1 only).
+
+   Two candidates are {e entangled} when the hard-severed backward
+   closures of their supports share a flop — then the step query of one
+   can read state the other constrains at cycle 0, so they must live on
+   one machine.  The transitive grouping is a union-find over flop
+   ordinals: each candidate unions its closure, and its component is the
+   root of its first support flop.  Per component one certified backward
+   machine is built; every query of a member candidate runs there, with
+   the survivor assertions filtered to the same component.  Survivors of
+   other components constrain disjoint variables and are jointly
+   satisfiable (each passed the base pass, so the post-reset states
+   satisfy them all), hence dropping them never changes a verdict. *)
+type comp_machine = {
+  red : Slice.reduced;
+  comp_hold : (int * bool) list;  (* [hold] translated to machine ids *)
+}
+
+let rename_cand m = function
+  | Const { ff; value } -> Const { ff = m ff; value }
+  | Implies { a; av; b; bv } -> Implies { a = m a; av; b = m b; bv }
+  | Mutex (x, y) -> Mutex (m x, m y)
+  | At_most_one g -> At_most_one (Array.map m g)
+  | Range { group; reach } -> Range { group = Array.map m group; reach }
+
+let component_machines g ~hold cands =
+  let nf = Array.length g.Slice.flops in
+  let parent = Array.init nf (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then parent.(ra) <- rb
+  in
+  let closures =
+    Array.map
+      (fun c ->
+        let ords = List.map (fun f -> g.Slice.ford.(f)) (support c) in
+        let m = Slice.backward_flops g.Slice.hard_edges ords in
+        (List.hd ords, m))
+      cands
+  in
+  Array.iter
+    (fun (seed, m) ->
+      Array.iteri (fun o inc -> if inc then union seed o) m)
+    closures;
+  let machines = Hashtbl.create 17 in
+  let comp_of_cand =
+    Array.mapi
+      (fun i c ->
+        let seed, closure = closures.(i) in
+        let root = find seed in
+        if not (Hashtbl.mem machines root) then begin
+          ignore closure;
+          (* the closure of one member need not list every flop of the
+             union — collect the whole component *)
+          let targets = ref [] in
+          Array.iteri
+            (fun o f -> if find o = root then targets := f :: !targets)
+            g.Slice.flops;
+          let targets = List.sort_uniq Int.compare !targets in
+          let red = Slice.backward g ~targets in
+          let comp_hold =
+            List.filter_map
+              (fun (i, v) ->
+                let m = red.Slice.new_of_old.(i) in
+                if m >= 0 then Some (m, v) else None)
+              hold
+          in
+          Hashtbl.replace machines root { red; comp_hold }
+        end;
+        ignore c;
+        root)
+      cands
+  in
+  (comp_of_cand, machines)
+
 let prove ?(k = 1) ?(conflict_limit = 100_000) ?jobs ?(trace = Trace.null)
-    ?(hold = []) nl cands =
+    ?(hold = []) ?(sliced = true) nl cands =
   let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
   let shard label arr check =
     let n = Array.length arr in
@@ -560,14 +644,55 @@ let prove ?(k = 1) ?(conflict_limit = 100_000) ?jobs ?(trace = Trace.null)
         Pool.parallel_chunks pool ~n ~chunk:1 ~trace ~label
           (fun ~worker:_ ~lo ~hi ->
             for i = lo to hi - 1 do
-              oks.(i) <- check arr.(i)
+              oks.(i) <- check i arr.(i)
             done));
     oks
   in
   let arr = Array.of_list cands in
-  let base_ok =
-    shard "invar-base" arr (base_holds ~k ~conflict_limit ~hold nl)
+  (* slicing is exact only for k = 1 (at k >= 2 a survivor of another
+     component constrains the component's own cycle-1 state through
+     shared inputs of the two transition copies; rather than reason
+     about that, fall back to the full machine) *)
+  let ctx =
+    if sliced && k = 1 && Array.length arr > 0 then begin
+      let g = Slice.get nl in
+      let comp_of, machines = component_machines g ~hold arr in
+      let comp_tbl = Hashtbl.create 97 in
+      Array.iteri
+        (fun i c -> Hashtbl.replace comp_tbl c comp_of.(i))
+        arr;
+      Some (machines, comp_tbl)
+    end
+    else None
   in
+  let base_check =
+    match ctx with
+    | None -> fun _ c -> base_holds ~k ~conflict_limit ~hold nl c
+    | Some (machines, comp_tbl) ->
+      fun _ c ->
+        let cm = Hashtbl.find machines (Hashtbl.find comp_tbl c) in
+        let m d = cm.red.Slice.new_of_old.(d) in
+        base_holds ~k ~conflict_limit ~hold:cm.comp_hold
+          cm.red.Slice.rnl (rename_cand m c)
+  in
+  let step_check cur =
+    match ctx with
+    | None -> fun _ c -> step_holds ~k ~conflict_limit ~hold nl cur c
+    | Some (machines, comp_tbl) ->
+      fun _ c ->
+        let root = Hashtbl.find comp_tbl c in
+        let cm = Hashtbl.find machines root in
+        let m d = cm.red.Slice.new_of_old.(d) in
+        let peers =
+          Array.of_list
+            (Array.to_list cur
+            |> List.filter (fun c' -> Hashtbl.find comp_tbl c' = root)
+            |> List.map (rename_cand m))
+        in
+        step_holds ~k ~conflict_limit ~hold:cm.comp_hold
+          cm.red.Slice.rnl peers (rename_cand m c)
+  in
+  let base_ok = shard "invar-base" arr base_check in
   let survivors = ref [] in
   Array.iteri (fun i c -> if base_ok.(i) then survivors := c :: !survivors) arr;
   let survivors = ref (Array.of_list (List.rev !survivors)) in
@@ -576,9 +701,7 @@ let prove ?(k = 1) ?(conflict_limit = 100_000) ?jobs ?(trace = Trace.null)
   while not !stable do
     incr rounds;
     let cur = !survivors in
-    let ok =
-      shard "invar-step" cur (step_holds ~k ~conflict_limit ~hold nl cur)
-    in
+    let ok = shard "invar-step" cur (step_check cur) in
     if Array.for_all (fun x -> x) ok then stable := true
     else begin
       let keep = ref [] in

@@ -59,6 +59,10 @@ type report = {
 val class_name : candidate -> string
 (** ["const"], ["implies"], ["mutex"], ["at-most-one"] or ["range"]. *)
 
+val support : candidate -> int list
+(** The flop nodes the candidate reads (with duplicates for [Implies]
+    on one flop etc.) — the seeds of its cone-of-influence slice. *)
+
 val is_const : candidate -> bool
 
 val pp_candidate : Netlist.t -> Format.formatter -> candidate -> unit
@@ -102,6 +106,7 @@ val prove :
   ?jobs:int ->
   ?trace:Olfu_obs.Trace.sink ->
   ?hold:(int * bool) list ->
+  ?sliced:bool ->
   Netlist.t ->
   candidate list ->
   invariant list * candidate list
@@ -113,7 +118,17 @@ val prove :
     is unique, so the result is independent of [jobs] (each query runs
     on a fresh solver; a solver [Unknown] under [conflict_limit],
     default 100_000, counts as a failure — sound, never unsound).
-    Sharded over {!Olfu_pool.Pool} with one candidate per chunk. *)
+    Sharded over {!Olfu_pool.Pool} with one candidate per chunk.
+
+    [sliced] (default [true]) runs every query (when [k = 1]) on the
+    candidate's certified cone-of-influence component machine
+    ({!Olfu_slice.Slice.backward} over the hard-severed dependency
+    graph): candidates whose support closures share a flop are grouped,
+    one reduced machine is built per group, and survivor assumptions
+    are filtered to the group.  Survivors of other groups constrain
+    disjoint, jointly satisfiable variables, so the proved set, its
+    certificates and the round count are bit-identical to the unsliced
+    run.  With [k >= 2] the full machine is always used. *)
 
 val bounded_check :
   ?cycles:int ->

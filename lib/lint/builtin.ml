@@ -1111,11 +1111,110 @@ let inv_003 =
                  (if v0 then 1 else 0));
           ]))
 
+(* ---------------------------------------------------------------- *)
+(* Slice-backed (constant-severed cone of influence)                *)
+(* ---------------------------------------------------------------- *)
+
+(* an input the mission can actually drive: not clock/reset wiring, not
+   the scan interface, not a tied debug control *)
+let functional_input nl i =
+  not
+    (Netlist.has_role nl i Netlist.Clock
+    || Netlist.has_role nl i Netlist.Reset
+    || Netlist.has_role nl i Netlist.Scan_enable
+    || Netlist.has_role nl i Netlist.Scan_in
+    || Netlist.has_role nl i Netlist.Debug_control)
+
+let functional_output nl o =
+  not
+    (Netlist.has_role nl o Netlist.Scan_out
+    || Netlist.has_role nl o Netlist.Debug_observe)
+
+let slice_001 =
+  Rule.make ~code:"SLICE-001" ~category:Rule.Testability ~severity:Rule.Info
+    ~title:"flop unreachable from any functional input under mission constants"
+    ~doc:
+      "No functional primary input (clock, reset, scan and tied debug \
+       inputs excluded) remains in the flop's backward cone once \
+       mission-constant severing drops the decided mux branches and \
+       scan-data pins: the mission cannot steer the flop's state, so \
+       faults needing a specific value there are on-line \
+       controllability-limited.  Mission-constant flops are excluded — \
+       the constant rules already report those."
+    (fun ctx ->
+      let nl = Ctx.nl ctx in
+      let module Sl = Olfu_slice.Slice in
+      let g = Ctx.slice ctx in
+      let e = g.Sl.mission_edges in
+      let unreachable =
+        Array.to_list g.Sl.flops
+        |> List.filteri (fun o f ->
+               (not (Logic4.is_binary g.Sl.mission.(f)))
+               &&
+               let closure = Sl.backward_flops e [ o ] in
+               let driven = ref false in
+               Array.iteri
+                 (fun o' inc ->
+                   if inc && Array.exists (functional_input nl) e.Sl.in_deps.(o')
+                   then driven := true)
+                 closure;
+               not !driven)
+      in
+      match unreachable with
+      | [] -> []
+      | hd :: _ ->
+        [
+          Rule.raw ~node:hd ~path:unreachable
+            (Printf.sprintf
+               "%d non-constant flops have no functional input left in \
+                their mission-severed backward cone (e.g. %s)"
+               (List.length unreachable) (name ctx hd));
+        ])
+
+let slice_002 =
+  Rule.make ~code:"SLICE-002" ~category:Rule.Testability ~severity:Rule.Info
+    ~title:"flop with no mission path to a functional output or alarm"
+    ~doc:
+      "Under mission-constant severing the flop's forward cone reaches \
+       no output marker except scan-out or debug-observe nets: whatever \
+       it latches, the field never sees it, so every fault whose effect \
+       is confined to this flop is on-line observability-limited.  \
+       Mission-constant flops are excluded."
+    (fun ctx ->
+      let nl = Ctx.nl ctx in
+      let module Sl = Olfu_slice.Slice in
+      let g = Ctx.slice ctx in
+      let e = g.Sl.mission_edges in
+      let unobserved =
+        Array.to_list g.Sl.flops
+        |> List.filteri (fun o f ->
+               (not (Logic4.is_binary g.Sl.mission.(f)))
+               &&
+               let fc = Sl.forward_flops e [ o ] in
+               not
+                 (Array.exists
+                    (fun (m, ffs) ->
+                      functional_output nl m
+                      && Array.exists (fun o' -> fc.(o')) ffs)
+                    e.Sl.out_deps))
+      in
+      match unobserved with
+      | [] -> []
+      | hd :: _ ->
+        [
+          Rule.raw ~node:hd ~path:unobserved
+            (Printf.sprintf
+               "%d non-constant flops reach no functional output or alarm \
+                through the mission-severed graph (e.g. %s)"
+               (List.length unobserved) (name ctx hd));
+        ])
+
 let all =
   [
     scan_001; scan_002; scan_003; scan_004; scan_005; scan_006; scan_007;
     loop_001; drv_001; drv_002; rst_001; rst_002; rst_003; rst_004; rst_005;
     rst_006; clk_001; net_001; net_002; xprop_001; const_001; conflict_001;
     obs_001; test_001; dbg_001; dbg_002; struct_001; struct_002; sw_001;
-    sw_002; sw_003; sw_004; seu_001; inv_001; inv_002; inv_003;
+    sw_002; sw_003; sw_004; seu_001; inv_001; inv_002; inv_003; slice_001;
+    slice_002;
   ]

@@ -53,6 +53,7 @@ type t = {
   chains : chain list Lazy.t;
   chain_cells : (int, unit) Hashtbl.t Lazy.t;
   si_cycles : int list list Lazy.t;
+  slice : Olfu_slice.Slice.t Lazy.t;
 }
 
 let node_label nl i =
@@ -262,6 +263,8 @@ let create ?(thresholds = default_thresholds) ?software ?invariants nl =
            (Lazy.force chains);
          h);
     si_cycles = lazy (compute_si_cycles nl);
+    slice =
+      lazy (Olfu_slice.Slice.build ~assume:(combined_assume nl software) nl);
   }
 
 let nl t = t.nl
@@ -278,3 +281,4 @@ let dead_nodes t = Lazy.force t.dead
 let chains t = Lazy.force t.chains
 let chain_cells t = Lazy.force t.chain_cells
 let si_cycles t = Lazy.force t.si_cycles
+let slice t = Lazy.force t.slice

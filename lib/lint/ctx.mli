@@ -139,6 +139,11 @@ val chains : t -> chain list
 val chain_cells : t -> (int, unit) Hashtbl.t
 (** The set of mux-scan cells reached by some chain. *)
 
+val slice : t -> Olfu_slice.Slice.t
+(** Constant-severed flop dependency graph, with the mission edges
+    strengthened by {!assumptions} (so software-held constants sever
+    too).  Feeds the SLICE-* rules. *)
+
 val si_cycles : t -> int list list
 (** Shift-path cycles: each is the full cycle path in shift order (scan
     cells and the buffers between them).  A cycle is never reachable from

@@ -8,6 +8,8 @@ type cone = {
   seqs : int array;
 }
 
+type cache = ..
+
 type t = {
   nl : Netlist.t;
   sources : int array;
@@ -20,6 +22,9 @@ type t = {
   mutable cost : int array option;
       (* saturating per-node fanout-cone cost estimate; built lazily
          under [cm] *)
+  mutable extra : cache list;
+      (* downstream per-netlist caches (e.g. the slice graph), appended
+         under [cm]; first-published entry of a constructor wins *)
   cm : Mutex.t;
   mutable cone_budget : int;
 }
@@ -33,6 +38,19 @@ let netlist t = t.nl
 let sources t = t.sources
 let max_arity t = t.max_arity
 let topo_pos t = t.topo_pos
+
+let find_cache t f =
+  Mutex.lock t.cm;
+  let r = List.find_map f t.extra in
+  Mutex.unlock t.cm;
+  r
+
+let add_cache t c =
+  Mutex.lock t.cm;
+  (* append: a sibling domain that published the same constructor first
+     keeps winning [find_cache], so every consumer sees one value *)
+  t.extra <- t.extra @ [ c ];
+  Mutex.unlock t.cm
 
 type scratch = {
   owner : t;
@@ -344,6 +362,7 @@ let make nl =
     cones = Array.make n None;
     ipdom = None;
     cost = None;
+    extra = [];
     cm = Mutex.create ();
     cone_budget = memo_budget;
   }

@@ -23,6 +23,23 @@ val get : Netlist.t -> t
     identity): repeated calls on the same netlist return the same
     analysis, from any domain. *)
 
+type cache = ..
+(** Extension point for downstream engines that want a derived structure
+    memoized per netlist without a dependency from this library onto
+    theirs (the slice graph of [Olfu_slice] is the canonical user): the
+    engine declares [type Analysis.cache += My_thing of t'] and stores
+    one value per analysis.  No [Obj.magic]: the extensible variant is
+    the type-safe version of the same trick. *)
+
+val find_cache : t -> (cache -> 'a option) -> 'a option
+(** First cached entry the projection accepts, under the analysis lock.
+    Entries are kept in publication order, so concurrent builders race
+    benignly: the first published value of a constructor is the one
+    every later call sees. *)
+
+val add_cache : t -> cache -> unit
+(** Appends a cache entry (never replaces — see {!find_cache}). *)
+
 val netlist : t -> Netlist.t
 
 val sources : t -> int array

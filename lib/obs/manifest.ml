@@ -50,6 +50,9 @@ let make ?(config = []) ?(steps = []) ?(prep = []) ?(extra = [])
        ("git", Json.Str (git_describe ()));
        ("config", Json.Obj config);
        ("wall_seconds", Json.Float wall_seconds);
+       ( "peak_heap_bytes",
+         Json.Int ((Gc.quick_stat ()).Gc.top_heap_words * (Sys.word_size / 8))
+       );
        ( "engines",
          Json.Obj (List.map (fun (k, s) -> (k, Json.Float s)) engines) );
        ("engine_seconds_total", Json.Float engine_total);

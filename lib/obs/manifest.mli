@@ -33,6 +33,7 @@ val make :
     to no step (e.g. the shared ternary fixpoint) and participate in the
     step-coverage sum; [extra] fields are appended verbatim at top
     level.  ["engines"], ["engine_seconds_total"], ["counters"] and
-    ["gauges"] come from the sink. *)
+    ["gauges"] come from the sink; ["peak_heap_bytes"] records the
+    process's GC [top_heap_words] (in bytes) at manifest time. *)
 
 val to_file : Json.t -> string -> unit

@@ -1,0 +1,611 @@
+open Olfu_logic
+open Olfu_netlist
+module Ternary = Olfu_atpg.Ternary
+module Bmc = Olfu_atpg.Bmc
+module Fault = Olfu_fault.Fault
+
+type edges = {
+  supports : int array array;
+  consumers : int array array;
+  in_deps : int array array;
+  out_deps : (int * int array) array;
+}
+
+type t = {
+  nl : Netlist.t;
+  hard : Logic4.t array;
+  mission : Logic4.t array;
+  flops : int array;
+  ford : int array;
+  structural : edges;
+  hard_edges : edges;
+  mission_edges : edges;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Severing: which fanin positions of a node are still read            *)
+(* ------------------------------------------------------------------ *)
+
+(* The one pin a decided select makes unreadable, or [-1].  A constant
+   select pin itself (and any other constant fanin) is severed by the
+   per-fanin constant check at the use site, so only the un-selected
+   data pin needs special treatment here. *)
+let dead_pin cval nl d =
+  let fi = Netlist.fanin nl d in
+  match Netlist.kind nl d with
+  | Cell.Mux2 -> (
+      (* fanin [sel; a; b]; out = a when sel = 0 *)
+      match cval fi.(0) with Logic4.L0 -> 2 | Logic4.L1 -> 1 | _ -> -1)
+  | Cell.Sdff | Cell.Sdffr -> (
+      (* fanin [d; si; se; ...]; captures si when se = 1 *)
+      match cval fi.(2) with Logic4.L0 -> 1 | Logic4.L1 -> 0 | _ -> -1)
+  | _ -> -1
+
+let iter_live_fanins cval nl d f =
+  let dead = dead_pin cval nl d in
+  Array.iteri (fun p e -> if p <> dead then f p e) (Netlist.fanin nl d)
+
+(* ------------------------------------------------------------------ *)
+(* Flop-level dependency edges under a constant valuation              *)
+(* ------------------------------------------------------------------ *)
+
+let sorted_uniq l = Array.of_list (List.sort_uniq Int.compare l)
+
+let build_edges nl flops ford consts =
+  let n = Netlist.length nl in
+  let nf = Array.length flops in
+  let cval d = consts.(d) in
+  let vis = Array.make n 0 in
+  let gen = ref 0 in
+  (* backward combinational cone of the given seed nodes' live fanins:
+     flop ordinals and non-constant primary inputs it still reads *)
+  let cone_deps seeds =
+    incr gen;
+    let g = !gen in
+    let sup = ref [] and ins = ref [] in
+    let stack = ref [] in
+    let visit e =
+      if vis.(e) <> g then begin
+        vis.(e) <- g;
+        if not (Logic4.is_binary consts.(e)) then
+          let k = Netlist.kind nl e in
+          if Cell.is_seq k then sup := ford.(e) :: !sup
+          else
+            match k with
+            | Cell.Input -> ins := e :: !ins
+            | Cell.Tie0 | Cell.Tie1 | Cell.Tiex -> ()
+            | _ -> stack := e :: !stack
+      end
+    in
+    List.iter visit seeds;
+    let rec drain () =
+      match !stack with
+      | [] -> ()
+      | e :: tl ->
+        stack := tl;
+        iter_live_fanins cval nl e (fun _ d -> visit d);
+        drain ()
+    in
+    drain ();
+    (sorted_uniq !sup, sorted_uniq !ins)
+  in
+  let live_seeds d =
+    let acc = ref [] in
+    iter_live_fanins cval nl d (fun _ e -> acc := e :: !acc);
+    !acc
+  in
+  let supports = Array.make nf [||] in
+  let in_deps = Array.make nf [||] in
+  Array.iteri
+    (fun k f ->
+      let sup, ins = cone_deps (live_seeds f) in
+      supports.(k) <- sup;
+      in_deps.(k) <- ins)
+    flops;
+  let out_deps =
+    Array.map
+      (fun o ->
+        let sup, _ = cone_deps (live_seeds o) in
+        (o, sup))
+      (Netlist.outputs nl)
+  in
+  let cons = Array.make nf [] in
+  Array.iteri
+    (fun k sup -> Array.iter (fun s -> cons.(s) <- k :: cons.(s)) sup)
+    supports;
+  let consumers = Array.map sorted_uniq cons in
+  { supports; consumers; in_deps; out_deps }
+
+(* ------------------------------------------------------------------ *)
+(* Graph construction                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let default_assume nl =
+  Array.to_list (Netlist.inputs nl)
+  |> List.filter_map (fun i ->
+         if Netlist.has_role nl i Netlist.Debug_control then
+           Some (i, Logic4.L0)
+         else None)
+
+let build ?assume nl =
+  let assume =
+    match assume with Some a -> a | None -> default_assume nl
+  in
+  (* hard constants: per-cycle, state-free — valid at every cycle of any
+     BMC encoding (flop outputs are X, so no steady-state claim leaks
+     into a free initial state); reset inactivity is the only
+     environment fact, because every bounded encoding holds it *)
+  let hard = (Ternary.run ~ff_mode:Ternary.Cut nl).Ternary.values in
+  let mission =
+    (Ternary.run ~ff_mode:Ternary.Steady_state ~assume nl).Ternary.values
+  in
+  let n = Netlist.length nl in
+  let flops = Netlist.seq_nodes nl in
+  let ford = Array.make n (-1) in
+  Array.iteri (fun k f -> ford.(f) <- k) flops;
+  let xs = Array.make n Logic4.X in
+  {
+    nl;
+    hard;
+    mission;
+    flops;
+    ford;
+    structural = build_edges nl flops ford xs;
+    hard_edges = build_edges nl flops ford hard;
+    mission_edges = build_edges nl flops ford mission;
+  }
+
+type Analysis.cache += Slice_graph of t
+
+let find a =
+  Analysis.find_cache a (function Slice_graph g -> Some g | _ -> None)
+
+let get nl =
+  let a = Analysis.get nl in
+  match find a with
+  | Some g -> g
+  | None ->
+    Analysis.add_cache a (Slice_graph (build nl));
+    (* re-read: if a sibling domain published first, its value wins *)
+    Option.get (find a)
+
+(* ------------------------------------------------------------------ *)
+(* Flop-level closures and statistics                                  *)
+(* ------------------------------------------------------------------ *)
+
+let closure adj seeds =
+  let mark = Array.make (Array.length adj) false in
+  let rec go k =
+    if not mark.(k) then begin
+      mark.(k) <- true;
+      Array.iter go adj.(k)
+    end
+  in
+  List.iter go seeds;
+  mark
+
+let backward_flops e seeds = closure e.supports seeds
+let forward_flops e seeds = closure e.consumers seeds
+
+let backward_sizes g e =
+  Array.mapi
+    (fun k _ ->
+      let m = backward_flops e [ k ] in
+      Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 m)
+    g.flops
+
+type dist = {
+  count : int;
+  min_ : int;
+  max_ : int;
+  mean : float;
+  median : int;
+  p90 : int;
+}
+
+let dist_of a =
+  let count = Array.length a in
+  if count = 0 then
+    { count = 0; min_ = 0; max_ = 0; mean = 0.; median = 0; p90 = 0 }
+  else begin
+    let s = Array.copy a in
+    Array.sort Int.compare s;
+    let q p = s.(min (count - 1) (p * count / 100)) in
+    {
+      count;
+      min_ = s.(0);
+      max_ = s.(count - 1);
+      mean =
+        float_of_int (Array.fold_left ( + ) 0 s) /. float_of_int count;
+      median = q 50;
+      p90 = q 90;
+    }
+  end
+
+type scc = { comp_of : int array; comps : int array array }
+
+(* Tarjan over the flop support graph; components are emitted callees
+   first, i.e. ids are a reverse-topological numbering of the
+   condensation DAG. *)
+let scc e n =
+  let index = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let comp_of = Array.make n (-1) in
+  let stack = ref [] in
+  let next = ref 0 in
+  let comps = ref [] in
+  let ncomp = ref 0 in
+  let rec strong v =
+    index.(v) <- !next;
+    low.(v) <- !next;
+    incr next;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    Array.iter
+      (fun w ->
+        if index.(w) < 0 then begin
+          strong w;
+          if low.(w) < low.(v) then low.(v) <- low.(w)
+        end
+        else if on_stack.(w) && index.(w) < low.(v) then
+          low.(v) <- index.(w))
+      e.supports.(v);
+    if low.(v) = index.(v) then begin
+      let members = ref [] in
+      let stop = ref false in
+      while not !stop do
+        match !stack with
+        | [] -> stop := true
+        | w :: tl ->
+          stack := tl;
+          on_stack.(w) <- false;
+          comp_of.(w) <- !ncomp;
+          members := w :: !members;
+          if w = v then stop := true
+      done;
+      comps := sorted_uniq !members :: !comps;
+      incr ncomp
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) < 0 then strong v
+  done;
+  { comp_of; comps = Array.of_list (List.rev !comps) }
+
+let flop_name g k =
+  match Netlist.name g.nl g.flops.(k) with
+  | Some s -> s
+  | None -> Printf.sprintf "ff%d" g.flops.(k)
+
+let condensation_dot g e =
+  let n = Array.length g.flops in
+  let c = scc e n in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph slice {\n  rankdir=LR;\n";
+  Array.iteri
+    (fun i members ->
+      Buffer.add_string buf
+        (Printf.sprintf "  c%d [label=\"%s (%d)\"];\n" i
+           (flop_name g members.(0))
+           (Array.length members)))
+    c.comps;
+  let seen = Hashtbl.create 64 in
+  Array.iteri
+    (fun k sup ->
+      Array.iter
+        (fun s ->
+          let a = c.comp_of.(k) and b = c.comp_of.(s) in
+          if a <> b && not (Hashtbl.mem seen (a, b)) then begin
+            Hashtbl.add seen (a, b) ();
+            Buffer.add_string buf (Printf.sprintf "  c%d -> c%d;\n" a b)
+          end)
+        sup)
+    e.supports;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Reduced machines                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type reduced = {
+  rnl : Netlist.t;
+  new_of_old : int array;
+  old_of_new : int array;
+}
+
+let no_taint _ = false
+
+let cert_fail fmt = Printf.ksprintf failwith ("slice certify: " ^^ fmt)
+
+(* Strict map validation against the builder's inputs.  [cut d] marks
+   old sequential nodes rebuilt as free inputs; [cval] is the severing
+   valuation the machine was built with. *)
+let certify_with g r ~cut ~cval =
+  let nl = g.nl in
+  let nn = Netlist.length r.rnl in
+  if Array.length r.new_of_old <> Netlist.length nl then
+    cert_fail "new_of_old length %d <> netlist length %d"
+      (Array.length r.new_of_old) (Netlist.length nl);
+  Array.iteri
+    (fun m d ->
+      if d >= 0 && r.new_of_old.(d) <> m then
+        cert_fail "old_of_new.(%d) = %d but new_of_old.(%d) = %d" m d d
+          r.new_of_old.(d))
+    r.old_of_new;
+  Array.iteri
+    (fun d m ->
+      if m >= 0 then begin
+        if m >= nn || r.old_of_new.(m) <> d then
+          cert_fail "new_of_old.(%d) = %d not mapped back" d m;
+        let ok = Netlist.kind nl d and nk = Netlist.kind r.rnl m in
+        if cut d then begin
+          if not (Cell.equal_kind nk Cell.Input) then
+            cert_fail "cut node %d rebuilt as %s, not Input" d
+              (Cell.kind_name nk)
+        end
+        else begin
+          if not (Cell.equal_kind ok nk) then
+            cert_fail "node %d kind %s rebuilt as %s" d
+              (Cell.kind_name ok) (Cell.kind_name nk);
+          if
+            (not (Cell.equal_kind ok Cell.Input))
+            && Netlist.name nl d <> Netlist.name r.rnl m
+          then cert_fail "node %d name changed" d;
+          let ofi = Netlist.fanin nl d and nfi = Netlist.fanin r.rnl m in
+          if Array.length ofi <> Array.length nfi then
+            cert_fail "node %d arity %d rebuilt as %d" d
+              (Array.length ofi) (Array.length nfi);
+          let dead = dead_pin cval nl d in
+          Array.iteri
+            (fun p oe ->
+              let ne = nfi.(p) in
+              if p = dead then begin
+                if not (Cell.equal_kind (Netlist.kind r.rnl ne) Cell.Tiex)
+                then
+                  cert_fail "node %d severed pin %d not rebuilt as Tiex" d
+                    p
+              end
+              else if Cell.equal_kind (Netlist.kind nl oe) Cell.Input then begin
+                if r.new_of_old.(oe) <> ne then
+                  cert_fail "node %d pin %d: input fanin %d not mapped" d p
+                    oe
+              end
+              else
+                match cval oe with
+                | Logic4.L0 ->
+                  if
+                    not
+                      (Cell.equal_kind (Netlist.kind r.rnl ne) Cell.Tie0)
+                  then cert_fail "node %d pin %d: const-0 not Tie0" d p
+                | Logic4.L1 ->
+                  if
+                    not
+                      (Cell.equal_kind (Netlist.kind r.rnl ne) Cell.Tie1)
+                  then cert_fail "node %d pin %d: const-1 not Tie1" d p
+                | _ ->
+                  if r.new_of_old.(oe) <> ne then
+                    cert_fail
+                      "node %d pin %d: fanin %d maps to %d, rebuilt %d" d
+                      p oe r.new_of_old.(oe) ne)
+            ofi
+        end
+      end)
+    r.new_of_old
+
+(* Backward build under the hard-constant valuation, [taint] disabling
+   severing on fault-reachable nets and [cut] abstracting out-of-cone
+   flops as free inputs. *)
+let machine g ?(taint = no_taint) ?(cut = [||]) ~targets () =
+  let nl = g.nl in
+  let n = Netlist.length nl in
+  let is_cut = Array.make n false in
+  Array.iter (fun d -> is_cut.(d) <- true) cut;
+  let cval d = if taint d then Logic4.X else g.hard.(d) in
+  (* a primary input is never rewired to a tie even when hard-constant
+     (only reset-role inputs can be): keeping it preserves the input
+     alphabet, so sliced stimuli replay on the full machine *)
+  let is_input d = Cell.equal_kind (Netlist.kind nl d) Cell.Input in
+  let const_at d = Logic4.is_binary (cval d) && not (is_input d) in
+  let keep = Array.make n false in
+  let stack = ref [] in
+  let visit d =
+    if not keep.(d) then begin
+      keep.(d) <- true;
+      if not is_cut.(d) then
+        match Netlist.kind nl d with
+        | Cell.Input | Cell.Tie0 | Cell.Tie1 | Cell.Tiex -> ()
+        | _ -> stack := d :: !stack
+    end
+  in
+  List.iter visit targets;
+  let rec drain () =
+    match !stack with
+    | [] -> ()
+    | d :: tl ->
+      stack := tl;
+      iter_live_fanins cval nl d (fun _ e ->
+          if not (const_at e) then visit e);
+      drain ()
+  in
+  drain ();
+  let b = Netlist.Builder.create () in
+  let t0 = Netlist.Builder.tie b Logic4.L0 in
+  let t1 = Netlist.Builder.tie b Logic4.L1 in
+  let new_of_old = Array.make n (-1) in
+  (* pass 1: shells in old-id order (fanins still placeholders) *)
+  for d = 0 to n - 1 do
+    if keep.(d) then begin
+      let roles = Netlist.roles_of nl d in
+      let name d' =
+        match Netlist.name nl d' with
+        | Some s -> s
+        | None -> Printf.sprintf "_n%d" d'
+      in
+      new_of_old.(d) <-
+        (if is_cut.(d) then
+           Netlist.Builder.input b (Printf.sprintf "_cut%d" d)
+         else
+           match Netlist.kind nl d with
+           | Cell.Input -> Netlist.Builder.input ~roles b (name d)
+           | Cell.Output -> Netlist.Builder.output ~roles b (name d) t0
+           | k ->
+             let fanin =
+               Array.to_list (Array.map (fun _ -> t0) (Netlist.fanin nl d))
+             in
+             Netlist.Builder.gate ?name:(Netlist.name nl d) ~roles b k
+               fanin)
+    end
+  done;
+  (* pass 2: rewire — mapped fanin, constant tie, or a fresh Tiex on the
+     pin a decided select makes unreadable (never read by any model, so
+     the encoding stays equisatisfiable with the full machine) *)
+  for d = 0 to n - 1 do
+    if
+      keep.(d) && (not is_cut.(d))
+      && not (Cell.equal_kind (Netlist.kind nl d) Cell.Input)
+    then begin
+      let dead = dead_pin cval nl d in
+      let fanin =
+        Array.mapi
+          (fun p e ->
+            if p = dead then Netlist.Builder.tie b Logic4.Z
+            else if is_input e then new_of_old.(e)
+            else
+              match cval e with
+              | Logic4.L0 -> t0
+              | Logic4.L1 -> t1
+              | _ -> new_of_old.(e))
+          (Netlist.fanin nl d)
+      in
+      Netlist.Builder.set_fanin b new_of_old.(d) fanin
+    end
+  done;
+  let rnl = Netlist.Builder.freeze_exn b in
+  let old_of_new = Array.make (Netlist.length rnl) (-1) in
+  Array.iteri (fun d m -> if m >= 0 then old_of_new.(m) <- d) new_of_old;
+  let r = { rnl; new_of_old; old_of_new } in
+  certify_with g r ~cut:(fun d -> is_cut.(d)) ~cval;
+  r
+
+let backward ?taint g ~targets = machine g ?taint ~targets ()
+
+let forward g ~sources =
+  let e = g.hard_edges in
+  let seed_ords =
+    List.concat_map
+      (fun d ->
+        if g.ford.(d) >= 0 then [ g.ford.(d) ]
+        else
+          (* an input node: seed every flop that still reads it *)
+          let acc = ref [] in
+          Array.iteri
+            (fun k ins ->
+              if Array.exists (fun i -> i = d) ins then acc := k :: !acc)
+            e.in_deps;
+          !acc)
+      sources
+  in
+  let fc = forward_flops e seed_ords in
+  let targets =
+    let flops =
+      Array.to_list g.flops
+      |> List.filteri (fun k _ -> fc.(k))
+    in
+    let outs =
+      Array.to_list e.out_deps
+      |> List.filter_map (fun (o, sup) ->
+             if Array.exists (fun s -> fc.(s)) sup then Some o else None)
+    in
+    flops @ outs
+  in
+  let cut =
+    Array.to_list g.flops
+    |> List.filteri (fun k _ -> not fc.(k))
+    |> Array.of_list
+  in
+  machine g ~cut ~targets ()
+
+let certify g r = certify_with g r ~cut:(fun _ -> false) ~cval:(fun d -> g.hard.(d))
+
+(* ------------------------------------------------------------------ *)
+(* Sliced BMC oracle                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let forward_taint nl fnode =
+  let n = Netlist.length nl in
+  let taint = Array.make n false in
+  let stack = ref [ fnode ] in
+  taint.(fnode) <- true;
+  let rec drain () =
+    match !stack with
+    | [] -> ()
+    | d :: tl ->
+      stack := tl;
+      Array.iter
+        (fun (sink, _pin) ->
+          if not taint.(sink) then begin
+            taint.(sink) <- true;
+            stack := sink :: !stack
+          end)
+        (Netlist.fanout nl d);
+      drain ()
+  in
+  drain ();
+  taint
+
+let oracle ?(cycles = 8) ?(observable_output = fun _ -> true)
+    ?conflict_limit g fault =
+  let fnode = fault.Fault.site.Fault.node in
+  let taint = forward_taint g.nl fnode in
+  let outs =
+    Array.to_list (Netlist.outputs g.nl)
+    |> List.filter (fun o -> taint.(o) && observable_output o)
+  in
+  if outs = [] then Bmc.No_test_within cycles
+  else begin
+    let r = backward ~taint:(fun d -> taint.(d)) g ~targets:(fnode :: outs) in
+    let fault' =
+      {
+        fault with
+        Fault.site = { fault.Fault.site with Fault.node = r.new_of_old.(fnode) };
+      }
+    in
+    let obs m =
+      let d = r.old_of_new.(m) in
+      d >= 0 && observable_output d
+    in
+    match
+      Bmc.run ~cycles ~observable_output:obs ?conflict_limit r.rnl fault'
+    with
+    | Bmc.Test stim ->
+      Bmc.Test
+        (Array.map
+           (fun asg ->
+             List.map (fun (i, v) -> (r.old_of_new.(i), v)) asg
+             |> List.sort (fun (a, _) (b, _) -> Int.compare a b))
+           stim)
+    | other -> other
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let count_edges e =
+  Array.fold_left (fun acc a -> acc + Array.length a) 0 e.supports
+
+let pp_stats ppf g =
+  let line label e =
+    let d = dist_of (backward_sizes g e) in
+    Format.fprintf ppf
+      "  %-10s edges %5d  slice size min %d median %d p90 %d max %d mean \
+       %.1f@,"
+      label (count_edges e) d.min_ d.median d.p90 d.max_ d.mean
+  in
+  Format.fprintf ppf "@[<v>slice graph: %d flops, %d outputs@,"
+    (Array.length g.flops)
+    (Array.length (Netlist.outputs g.nl));
+  line "structural" g.structural;
+  line "hard" g.hard_edges;
+  line "mission" g.mission_edges;
+  Format.fprintf ppf "@]"

@@ -202,6 +202,61 @@ let test_dominance_pairs () =
   let pruned = Collapse.dominance_prune fl in
   Alcotest.(check int) "pruned two dominators (and, nor)" 2 pruned
 
+let test_dominance_prune_semantics () =
+  let b = B.create () in
+  let x = B.input b "x" in
+  let y = B.input b "y" in
+  let g = B.and2 b ~name:"g" x y in
+  let _ = B.output b "o" g in
+  let nl = B.freeze_exn b in
+  let idx fl f = Option.get (Flist.find fl f) in
+  (* a pre-classified dominator is left alone *)
+  let fl = Flist.full nl in
+  let dom = idx fl (Fault.sa1 g Cell.Pin.Out) in
+  Flist.set_status fl dom Status.Detected;
+  let _ = Collapse.dominance_prune fl in
+  Alcotest.(check bool) "classified dominator untouched" true
+    (Status.equal (Flist.status fl dom) Status.Detected);
+  (* a dominator whose dominated fault left the target set is kept as a
+     target: nothing else implies it any more *)
+  let fl = Flist.full nl in
+  List.iter
+    (fun (dominator, dominated) ->
+      if dominator = idx fl (Fault.sa1 g Cell.Pin.Out) then
+        Flist.set_status fl dominated
+          (Status.Undetectable Status.Redundant))
+    (Collapse.dominance_pairs fl);
+  let _ = Collapse.dominance_prune fl in
+  Alcotest.(check bool) "dominator without live dominated kept" true
+    (Status.equal (Flist.status fl dom) Status.Not_analyzed)
+
+(* prune marks exactly the counted faults, and a second pass finds
+   nothing left to do *)
+let prop_dominance_prune_count =
+  QCheck2.Test.make ~count:20 ~name:"dominance prune: count exact, idempotent"
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let nl = Test_support.random_comb_netlist rng ~inputs:4 ~gates:15 in
+      let fl = Flist.full nl in
+      let before = Flist.count_status fl Status.Not_detected in
+      let n = Collapse.dominance_prune fl in
+      let after = Flist.count_status fl Status.Not_detected in
+      after - before = n
+      && n
+         = List.length
+             (List.sort_uniq compare
+                (List.filter_map
+                   (fun (dominator, _) ->
+                     if
+                       Status.equal
+                         (Flist.status fl dominator)
+                         Status.Not_detected
+                     then Some dominator
+                     else None)
+                   (Collapse.dominance_pairs fl)))
+      && Collapse.dominance_prune fl = 0)
+
 (* dominance is semantically sound: any pattern detecting the dominated
    fault also detects the dominator *)
 let prop_dominance_sound =
@@ -314,6 +369,9 @@ let () =
       ( "dominance",
         [
           Alcotest.test_case "pairs + prune" `Quick test_dominance_pairs;
+          Alcotest.test_case "prune semantics" `Quick
+            test_dominance_prune_semantics;
+          qt prop_dominance_prune_count;
           qt prop_dominance_sound;
         ] );
       ( "tdf",

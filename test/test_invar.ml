@@ -259,6 +259,17 @@ let prop_proved_hold_on_traces =
       done;
       !ok)
 
+let prop_sliced_prove_identical =
+  QCheck2.Test.make ~count:15
+    ~name:"sliced prove = unsliced prove (proved set, certs, failures)"
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let nl, _ = build_rand seed in
+      let cands = Invar.mine ~seed nl in
+      let pf = Invar.prove ~jobs:1 ~sliced:false nl cands in
+      let ps = Invar.prove ~jobs:1 ~sliced:true nl cands in
+      pf = ps)
+
 (* --- tcore16 integration regression --- *)
 
 let test_tcore16_counts () =
@@ -301,5 +312,6 @@ let () =
           Alcotest.test_case "report partition" `Quick test_report_partition;
         ] );
       ("soundness", [ qt prop_proved_hold_on_traces ]);
+      ("slicing", [ qt prop_sliced_prove_identical ]);
       ("integration", [ Alcotest.test_case "tcore16 counts" `Quick test_tcore16_counts ]);
     ]

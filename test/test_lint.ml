@@ -71,10 +71,11 @@ let test_clean_exact () =
   (* NET-002 is inherent to any reset netlist: the ternary engine holds
      the Reset-role input at its inactive level, so the rstn net itself
      is steady-state constant.  TEST-001 always reports SCOAP hotspots,
-     and SEU-001 inventories the unhardened state any flop-with-output
-     netlist has. *)
-  Alcotest.(check (list string)) "only the three informative reports"
-    [ "NET-002"; "SEU-001"; "TEST-001" ] (codes nl);
+     SEU-001 inventories the unhardened state any flop-with-output
+     netlist has, and SLICE-002 correctly flags f2, whose only observer
+     is the scan-out marker — invisible to the mission. *)
+  Alcotest.(check (list string)) "only the four informative reports"
+    [ "NET-002"; "SEU-001"; "SLICE-002"; "TEST-001" ] (codes nl);
   let o = Lint.run nl in
   Alcotest.(check bool) "max severity info" true
     (Lint.max_severity o = Some Rule.Info);
@@ -465,6 +466,45 @@ let test_seu_001 () =
   let _ff = B.dff b ~name:"ff" ~d in
   let _ = B.output b "o" (B.buf b d) in
   check_silent (B.freeze_exn b) "SEU-001"
+
+let test_slice_001 () =
+  (* mission ties the debug select to 0, so the mux reads only the
+     flop's own feedback: no functional input can steer the state *)
+  let b = B.create () in
+  let dbg = B.input b ~roles:[ Netlist.Debug_control ] "dbg_sel" in
+  let d = B.input b "d" in
+  let ff = B.dff b ~name:"ff" ~d in
+  let m = B.mux2 b ~name:"m" ~sel:dbg ~a:ff ~b:d in
+  B.set_fanin b ff [| m |];
+  let _ = B.output b "o" ff in
+  check_fires (B.freeze_exn b) "SLICE-001";
+  (* the same mux on a functional select keeps both branches alive *)
+  let b = B.create () in
+  let sel = B.input b "sel" in
+  let d = B.input b "d" in
+  let ff = B.dff b ~name:"ff" ~d in
+  let m = B.mux2 b ~name:"m" ~sel ~a:ff ~b:d in
+  B.set_fanin b ff [| m |];
+  let _ = B.output b "o" ff in
+  check_silent (B.freeze_exn b) "SLICE-001"
+
+let test_slice_002 () =
+  (* a toggling flop whose only observer is the scan-out marker *)
+  let b = B.create () in
+  let d = B.input b "d" in
+  let ff = B.dff b ~name:"ff" ~d in
+  B.set_fanin b ff [| B.not_ b ff |];
+  let _ = B.output b ~roles:[ Netlist.Scan_out ] "so" ff in
+  let _ = B.output b "o" (B.buf b d) in
+  check_fires (B.freeze_exn b) "SLICE-002";
+  (* the same flop with a functional output is observed *)
+  let b = B.create () in
+  let d = B.input b "d" in
+  let ff = B.dff b ~name:"ff" ~d in
+  B.set_fanin b ff [| B.not_ b ff |];
+  let _ = B.output b "q" ff in
+  let _ = B.output b "o" (B.buf b d) in
+  check_silent (B.freeze_exn b) "SLICE-002"
 
 (* ---------------------------------------------------------------- *)
 (* SW rules: software-derived facts                                 *)
@@ -948,6 +988,8 @@ let () =
           Alcotest.test_case "STRUCT-001" `Quick test_struct_001;
           Alcotest.test_case "STRUCT-002" `Quick test_struct_002;
           Alcotest.test_case "SEU-001" `Quick test_seu_001;
+          Alcotest.test_case "SLICE-001" `Quick test_slice_001;
+          Alcotest.test_case "SLICE-002" `Quick test_slice_002;
           Alcotest.test_case "SW rules" `Quick test_sw_rules;
           Alcotest.test_case "SW assume into CONST-001" `Quick
             test_sw_assume_feeds_const_001;

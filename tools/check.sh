@@ -18,6 +18,40 @@ gate() {
   echo "[gate ${_name}: $(( $(date +%s) - _t0 )) s]"
 }
 
+# Source lint: cheap grep-level hygiene over lib/ before anything is
+# built.  Three classes, each waivable by putting the token
+# `source-lint-ok` in a comment on the same line:
+#   - Obj.magic in any lib/ implementation (type-safety escape hatch);
+#   - polymorphic Stdlib.compare / Stdlib.(=) spelled out in the hot
+#     engine paths (fsim/atpg/safety/invar/slice) where a monomorphic
+#     compare belongs (bare `compare` is fine — that is usually the
+#     module's own);
+#   - leftover Printf.printf debugging in lib/ (libraries report
+#     through Format/Fmt or return data; Printf.sprintf and
+#     Format.printf are not matched).
+source_lint() {
+  _fail=0
+  _hits=$(grep -rn 'Obj\.magic' lib --include='*.ml' \
+    | grep -v 'source-lint-ok' || true)
+  if [ -n "$_hits" ]; then
+    echo "source-lint: Obj.magic in lib/:"; echo "$_hits"; _fail=1
+  fi
+  _hits=$(grep -rn 'Stdlib\.compare\|Stdlib\.( *= *)' \
+    lib/fsim lib/atpg lib/safety lib/invar lib/slice --include='*.ml' \
+    | grep -v 'source-lint-ok' || true)
+  if [ -n "$_hits" ]; then
+    echo "source-lint: polymorphic Stdlib compare/= in hot paths:"
+    echo "$_hits"; _fail=1
+  fi
+  _hits=$(grep -rn 'Printf\.printf' lib --include='*.ml' \
+    | grep -v 'source-lint-ok' || true)
+  if [ -n "$_hits" ]; then
+    echo "source-lint: Printf.printf left in lib/:"; echo "$_hits"; _fail=1
+  fi
+  return $_fail
+}
+gate source-lint source_lint
+
 gate build dune build
 gate runtest dune runtest
 
@@ -97,3 +131,29 @@ gate safety dune exec bench/main.exe -- safety
 # conflict fault the plain analysis leaves open (UC-delta); refreshes
 # BENCH_invar.json.
 gate invar dune exec bench/main.exe -- invar
+
+# Slicing gate: the constant-severed cone-of-influence engine must keep
+# every BMC-backed verdict bit-identical to the full machine on tcore16
+# (SEU classes, invariant proved set, sampled BMC oracle), shrink the
+# mean slice against the structural cone, and carry a full
+# --seu-limit 0 sweep of tcore32; refreshes BENCH_slice.json.
+gate slice dune exec bench/main.exe -- slice
+slice_identity() {
+  awk '
+    /"severing_ok":/  { ok1 = /true/ }
+    /"seu_identical":/ { ok2 = /true/ }
+    /"invar_identical":/ { ok3 = /true/ }
+    /"oracle_identical":/ { ok4 = /true/ }
+    /"full32_flops":/ && match($0, /[0-9]+/) { flops = substr($0, RSTART, RLENGTH) + 0 }
+    END {
+      if (!(ok1 && ok2 && ok3 && ok4)) {
+        print "slice: identity flags not all true in BENCH_slice.json"
+        exit 1
+      }
+      if (flops <= 0) {
+        print "slice: full tcore32 sweep missing from BENCH_slice.json"
+        exit 1
+      }
+    }' BENCH_slice.json
+}
+gate slice-identity slice_identity
