@@ -1769,6 +1769,115 @@ let main () =
   run_benchmarks ();
   Format.printf "@.done.@."
 
+(* ---------------------------------------------------------------- *)
+(* serve mode: resident daemon gates (BENCH_serve.json)              *)
+(* ---------------------------------------------------------------- *)
+
+(* Gates for the olfu serve daemon:
+   (a) a warm analyze of tcore32 through the daemon is a cache hit and
+       takes < 0.5x the cold request (the acceptance floor is 2x;
+       in practice the hit is orders of magnitude faster);
+   (b) the daemon's bytes are identical to a fresh local execute of the
+       same request;
+   (c) sustained throughput on warm requests at connection concurrency
+       1 / 2 / 4, as a protocol + dispatch overhead measure.
+   Run with: dune exec bench/main.exe -- serve *)
+let serve_bench () =
+  let module Sv = Olfu_service in
+  section "serve — resident analysis daemon gates";
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "olfu-b%d.sock" (Unix.getpid ()))
+  in
+  let server =
+    Domain.spawn (fun () ->
+        Sv.Server.serve { (Sv.Server.default ~socket) with workers = 4 })
+  in
+  let analyze32 id =
+    Sv.Request.run ~id ~fmt:Sv.Request.Json ~jobs:4
+      (Sv.Request.Config "tcore32")
+      (Sv.Request.Analyze { paper = false })
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let rpc_exn conn req =
+    match Sv.Client.rpc conn req with
+    | Ok r -> r
+    | Error e -> failwith ("serve bench rpc: " ^ e)
+  in
+  let conn =
+    match Sv.Client.connect ~wait_seconds:10. socket with
+    | Ok c -> c
+    | Error e -> failwith ("serve bench connect: " ^ e)
+  in
+  let cold, cold_t = time (fun () -> rpc_exn conn (analyze32 1)) in
+  let warm, warm_t = time (fun () -> rpc_exn conn (analyze32 2)) in
+  Sv.Client.close conn;
+  let speedup = cold_t /. Float.max warm_t 1e-9 in
+  Format.printf
+    "  analyze t32: cold %.2f s, warm %.4f s (%.0fx), cache_hit %b@."
+    cold_t warm_t speedup warm.Sv.Response.cache_hit;
+  (* (b) byte-identity against a fresh one-shot execution *)
+  let local, _ =
+    Sv.Service.execute (Sv.Session.create ()) (analyze32 1)
+  in
+  let identity_ok =
+    local.Sv.Response.output = cold.Sv.Response.output
+    && cold.Sv.Response.output = warm.Sv.Response.output
+  in
+  Format.printf "  daemon vs one-shot bytes identical: %b@." identity_ok;
+  (* (c) warm-request throughput per connection concurrency *)
+  let reqs_per_client = 50 in
+  let throughput conc =
+    let clients () =
+      List.init conc (fun c ->
+          Domain.spawn (fun () ->
+              match Sv.Client.connect socket with
+              | Error e -> failwith ("serve bench client: " ^ e)
+              | Ok conn ->
+                Fun.protect
+                  ~finally:(fun () -> Sv.Client.close conn)
+                  (fun () ->
+                    for i = 1 to reqs_per_client do
+                      ignore (rpc_exn conn (analyze32 ((c * 1000) + i)))
+                    done)))
+    in
+    let ds, wall = time (fun () -> List.iter Domain.join (clients ())) in
+    ignore ds;
+    let rps = float_of_int (conc * reqs_per_client) /. wall in
+    Format.printf "  warm throughput, %d conn: %7.0f req/s@." conc rps;
+    (conc, rps)
+  in
+  let rates = List.map throughput [ 1; 2; 4 ] in
+  (match
+     Sv.Client.request ~wait_seconds:1. ~socket
+       { Sv.Request.id = 0; body = Sv.Request.Shutdown }
+   with
+  | Ok _ -> ()
+  | Error e -> failwith ("serve bench shutdown: " ^ e));
+  Domain.join server;
+  let oc = open_out "BENCH_serve.json" in
+  Printf.fprintf oc
+    "{\n  \"cold_seconds\": %.6f,\n  \"warm_seconds\": %.6f,\n\
+    \  \"speedup\": %.1f,\n  \"warm_cache_hit\": %b,\n\
+    \  \"identity_ok\": %b,\n  \"requests_per_client\": %d,\n\
+    \  \"warm_rps\": { %s },\n  \"peak_heap_bytes\": %d\n}\n"
+    cold_t warm_t speedup warm.Sv.Response.cache_hit identity_ok
+    reqs_per_client
+    (String.concat ", "
+       (List.map (fun (c, r) -> Printf.sprintf "\"%d\": %.1f" c r) rates))
+    (peak_heap_bytes ());
+  close_out oc;
+  Format.printf "  wrote BENCH_serve.json@.";
+  if not (warm.Sv.Response.cache_hit && warm_t < 0.5 *. cold_t && identity_ok)
+  then begin
+    prerr_endline "serve: gate violated (cache hit / 2x warm speedup / identity)";
+    exit 1
+  end
+
 let () =
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "fsim" then fsim_bench ()
   else if Array.length Sys.argv > 1 && Sys.argv.(1) = "implic" then
@@ -1782,4 +1891,6 @@ let () =
     invar_bench ()
   else if Array.length Sys.argv > 1 && Sys.argv.(1) = "slice" then
     slice_bench ()
+  else if Array.length Sys.argv > 1 && Sys.argv.(1) = "serve" then
+    serve_bench ()
   else main ()

@@ -112,37 +112,24 @@ let generate_cmd =
 (* --- analyze --- *)
 
 module C = Olfu_cli_common
+module S = Olfu_service
 
-let analyze cfg file ff_mode paper jobs format trace manifest =
-  let nl, cfg = load_netlist cfg file in
-  let mission = mission_of cfg nl file in
-  let sink = C.sink_for ~trace ~manifest in
-  let rc =
-    { Olfu.Run_config.default with ff_mode; jobs = jobs_of jobs; trace = sink }
-  in
-  let t0 = Unix.gettimeofday () in
-  let report = Olfu.Flow.run rc nl mission in
-  let wall = Unix.gettimeofday () -. t0 in
-  C.emit format
-    ~text:(fun () ->
-      Format.printf "%a@." Netlist.pp_summary nl;
-      Format.printf "@.%a@." (Olfu.Flow.pp_table1 ~paper) report;
-      Format.printf "@.%a@." Olfu_fault.Flist.pp_summary
-        report.Olfu.Flow.flist)
-    ~json:(fun () -> C.print_json (C.flow_json report))
-    ();
-  C.write_obs ~trace ~manifest
-    ~config:(C.config_fields ~soc:cfg.Olfu_soc.Soc.name rc)
-    ~steps:(C.manifest_steps report) ~prep:report.Olfu.Flow.prep
-    ~extra:
-      [
-        ("universe", Olfu_obs.Json.Int report.Olfu.Flow.universe);
-        ("collapsed", Olfu_obs.Json.Int report.Olfu.Flow.collapsed);
-        ( "dominance_pruned",
-          Olfu_obs.Json.Int report.Olfu.Flow.dominance_pruned );
-      ]
-    ~wall_seconds:wall sink;
-  `Ok ()
+(* The analysis subcommands are thin adapters: build a typed
+   [S.Request.t], hand it to [C.run_request] (local session or daemon),
+   print the rendering it returns.  All engine dispatch, rendering and
+   caching lives in [Olfu_service.Service]. *)
+
+let target_of cfg file =
+  match file with
+  | Some path -> S.Request.File path
+  | None -> S.Request.Config cfg.Olfu_soc.Soc.name
+
+let analyze cfg file ff_mode paper jobs format trace manifest connect =
+  C.run_request ~connect ~trace ~manifest
+    (S.Request.run
+       ~fmt:(C.fmt_of format) ~jobs:(jobs_of jobs) ~ff_mode
+       (target_of cfg file)
+       (S.Request.Analyze { paper }))
 
 let analyze_cmd =
   let paper =
@@ -151,11 +138,12 @@ let analyze_cmd =
       & info [ "paper" ] ~doc:"Show the paper's Table I numbers alongside.")
   in
   Cmd.v
-    (Cmd.info "analyze"
+    (Cmd.info "analyze" ~exits:C.std_exits
        ~doc:"Run the on-line untestable fault identification flow (Table I).")
     Term.(
       ret (const analyze $ config_arg $ file_arg $ ff_mode_arg $ paper
-           $ jobs_arg $ C.format_arg () $ C.trace_arg $ C.manifest_arg))
+           $ jobs_arg $ C.format_arg () $ C.trace_arg $ C.manifest_arg
+           $ C.connect_arg))
 
 (* --- tdf --- *)
 
@@ -270,52 +258,12 @@ let categories_cmd =
 
 (* --- coverage --- *)
 
-let coverage cfg sample jobs format trace manifest =
-  let jobs = jobs_of jobs in
-  let nl = Olfu_soc.Soc.generate cfg in
-  let mission = Olfu.Mission.of_soc cfg nl in
-  let sink = C.sink_for ~trace ~manifest in
-  let rc = { Olfu.Run_config.default with jobs; trace = sink } in
-  let t0 = Unix.gettimeofday () in
-  let report = Olfu.Flow.run rc nl mission in
-  if format = C.Text then
-    Format.printf "%a@.@." (Olfu.Flow.pp_table1 ~paper:false) report;
-  let fl = report.Olfu.Flow.flist in
-  let rng = Random.State.make [| 42 |] in
-  let n = Olfu_fault.Flist.size fl in
-  let chosen = Hashtbl.create sample in
-  while Hashtbl.length chosen < min sample n do
-    Hashtbl.replace chosen (Random.State.int rng n) ()
-  done;
-  let idx = List.sort compare (Hashtbl.fold (fun i () a -> i :: a) chosen []) in
-  let faults =
-    Array.of_list (List.map (Olfu_fault.Flist.fault fl) idx)
-  in
-  let sub = Olfu_fault.Flist.create nl faults in
-  List.iteri
-    (fun k i -> Olfu_fault.Flist.set_status sub k (Olfu_fault.Flist.status fl i))
-    idx;
-  let summary =
-    Olfu_sbst.Coverage.grade ~jobs ~trace:sink cfg nl sub
-      (Olfu_sbst.Programs.suite cfg)
-  in
-  let wall = Unix.gettimeofday () -. t0 in
-  C.emit format
-    ~text:(fun () ->
-      Format.printf "%a@." Olfu_sbst.Coverage.pp_summary summary)
-    ~json:(fun () ->
-      C.print_json
-        (Olfu_obs.Json.Obj
-           [
-             ("flow", C.flow_json report);
-             ("coverage", C.coverage_json summary);
-           ]))
-    ();
-  C.write_obs ~trace ~manifest
-    ~config:(C.config_fields ~soc:cfg.Olfu_soc.Soc.name rc)
-    ~steps:(C.manifest_steps report) ~prep:report.Olfu.Flow.prep
-    ~wall_seconds:wall sink;
-  `Ok ()
+let coverage cfg sample jobs format trace manifest connect =
+  C.run_request ~connect ~trace ~manifest
+    (S.Request.run
+       ~fmt:(C.fmt_of format) ~jobs:(jobs_of jobs)
+       (S.Request.Config cfg.Olfu_soc.Soc.name)
+       (S.Request.Coverage { sample }))
 
 let coverage_cmd =
   let sample =
@@ -324,12 +272,12 @@ let coverage_cmd =
       & info [ "s"; "sample" ] ~docv:"N" ~doc:"Fault sample size.")
   in
   Cmd.v
-    (Cmd.info "coverage"
+    (Cmd.info "coverage" ~exits:C.std_exits
        ~doc:"Grade the SBST suite before/after pruning (tcore16 advised).")
     Term.(
       ret
         (const coverage $ config_arg $ sample $ jobs_arg $ C.format_arg ()
-       $ C.trace_arg $ C.manifest_arg))
+       $ C.trace_arg $ C.manifest_arg $ C.connect_arg))
 
 (* --- report --- *)
 
@@ -379,104 +327,62 @@ let report_cmd =
 (* --- lint --- *)
 
 let lint cfg file format rules_only waivers_path baseline_path
-    update_baseline fail_on disabled software invariants =
+    update_baseline fail_on disabled software invariants jobs trace manifest
+    connect =
   let module L = Olfu_lint in
   if rules_only then begin
     Format.printf "%a@." L.Render.rules_catalogue L.Lint.registry;
     `Ok ()
   end
   else begin
-    (* distinct exit codes: 2 = bad input, 1 = findings, 0 = clean *)
-    let bad_input msg =
-      Format.eprintf "olfu lint: %s@." msg;
+    (match (update_baseline, baseline_path, connect) with
+    | true, None, _ ->
+      Format.eprintf "olfu lint: --update-baseline requires --baseline FILE@.";
       exit 2
-    in
-    let nl =
-      match file with
-      | Some path -> (
-        try Olfu_verilog.Elaborate.netlist_of_file path
-        with e -> bad_input (Printexc.to_string e))
-      | None -> Olfu_soc.Soc.generate cfg
-    in
-    let waivers =
-      match waivers_path with
-      | None -> []
-      | Some p -> (
-        match L.Config.load_waivers p with
-        | Ok w -> w
-        | Error m -> bad_input m)
-    in
-    let baseline =
-      match baseline_path with
-      | Some p when Sys.file_exists p -> (
-        match L.Config.load_baseline p with
-        | Ok b -> b
-        | Error m -> bad_input m)
-      | Some _ | None -> []
-    in
-    let config =
-      { L.Config.default with L.Config.waivers; baseline; disabled }
-    in
-    let sw =
-      if not software then None
-      else
-        (* program-side facts for the SW-* rules: abstract-interpret the
-           bundled SBST suite against this configuration *)
-        let named =
-          List.map
-            (fun p ->
-              ( p.Olfu_sbst.Programs.pname,
-                Olfu_absint.Absint.of_program cfg p ))
-            (Olfu_sbst.Programs.suite cfg)
-        in
-        Some
-          (Olfu_absint.Absint.software_facts
-             ~label:(cfg.Olfu_soc.Soc.name ^ "-suite") cfg nl named)
-    in
-    let inv =
-      if not invariants then None
-      else
-        (* state-side facts for the INV-* rules: prove invariants under
-           the mission hold (debug controls and scan interface at 0) *)
-        let module Inv = Olfu_invar.Invar in
-        let hold =
-          List.concat_map
-            (fun role ->
-              Netlist.nodes_with_role nl role
-              |> Array.to_list
-              |> List.filter (fun i ->
-                     Cell.equal_kind (Netlist.kind nl i) Cell.Input)
-              |> List.map (fun i -> (i, false)))
-            [ Netlist.Debug_control; Netlist.Scan_enable; Netlist.Scan_in ]
-        in
-        Some (Inv.lint_facts (Inv.run ~hold nl))
-    in
-    let o = L.Lint.run ~config ?software:sw ?invariants:inv nl in
-    C.emit format
-      ~text:(fun () -> Format.printf "%a@." L.Render.text o)
-      ~summary:(fun () -> Format.printf "%a@." L.Render.summary o)
-      ~json:(fun () -> Format.printf "%a" L.Render.json o)
-      ();
-    (match (update_baseline, baseline_path) with
-    | true, Some p ->
-      L.Config.save_baseline p
-        (L.Config.baseline_of_findings nl o.L.Lint.findings);
-      Format.printf "wrote baseline %s (%d findings)@." p
-        (List.length o.L.Lint.findings)
-    | true, None -> bad_input "--update-baseline requires --baseline FILE"
-    | false, _ -> ());
-    let fail =
-      (not update_baseline)
-      &&
+    | true, Some _, Some _ ->
+      Format.eprintf
+        "olfu lint: --update-baseline rewrites a local file and cannot be \
+         combined with --connect@.";
+      exit 2
+    | _ -> ());
+    let fail_on =
       match fail_on with
-      | `Never -> false
-      | `Sev s -> L.Lint.fails ~fail_on:s o
+      | `Never -> S.Request.Never
+      | `Sev s -> S.Request.Fail_on s
     in
-    if fail then begin
-      Format.print_flush ();
-      exit 1
-    end;
-    `Ok ()
+    (* the baseline rewrite consumes the service's side artifacts: the
+       fingerprint lines and finding count ride along in [meta.aux] *)
+    let on_meta (m : S.Service.meta) =
+      match (update_baseline, baseline_path) with
+      | true, Some p ->
+        let lines =
+          match List.assoc_opt "baseline" m.S.Service.aux with
+          | Some "" | None -> []
+          | Some s -> String.split_on_char '\n' s
+        in
+        let count =
+          match List.assoc_opt "findings" m.S.Service.aux with
+          | Some n -> ( try int_of_string n with Failure _ -> 0)
+          | None -> 0
+        in
+        L.Config.save_baseline p lines;
+        Format.printf "wrote baseline %s (%d findings)@." p count
+      | _ -> ()
+    in
+    C.run_request ~on_meta ~force_ok:update_baseline ~connect ~trace
+      ~manifest
+      (S.Request.run
+         ~fmt:(C.fmt_of format) ~jobs:(jobs_of jobs)
+         (target_of cfg file)
+         (S.Request.Lint
+            {
+              waivers = waivers_path;
+              baseline = baseline_path;
+              disabled;
+              software;
+              invariants;
+              fail_on;
+            }))
   end
 
 let lint_cmd =
@@ -567,16 +473,8 @@ let lint_cmd =
              observability) to the SW-* rules and the mission ternary \
              analysis.")
   in
-  let exits =
-    Cmd.Exit.info 0 ~doc:"no finding at or above the $(b,--fail-on) level."
-    :: Cmd.Exit.info 1
-         ~doc:"findings at or above the $(b,--fail-on) level."
-    :: Cmd.Exit.info 2
-         ~doc:"bad input: unreadable netlist, waiver or baseline file."
-    :: Cmd.Exit.defaults
-  in
   Cmd.v
-    (Cmd.info "lint" ~exits
+    (Cmd.info "lint" ~exits:C.std_exits
        ~doc:
          "Netlist static analysis: scan/shift-path integrity, reset and \
           clock domains, X and constant propagation, debug tie-off \
@@ -585,82 +483,17 @@ let lint_cmd =
       ret
         (const lint $ config_arg $ lint_file $ format $ rules_only $ waivers
        $ baseline $ update_baseline $ fail_on $ disabled $ software
-       $ lint_invariants))
+       $ lint_invariants $ jobs_arg $ C.trace_arg $ C.manifest_arg
+       $ C.connect_arg))
 
 (* --- invar --- *)
 
-let invar cfg file format jobs k no_prove trace manifest =
-  let module Inv = Olfu_invar.Invar in
-  let module Sc = Olfu_safety.Classify in
-  let jobs = jobs_of jobs in
-  let nl, cfg = load_netlist cfg file in
-  let mission = mission_of cfg nl file in
-  let sink = C.sink_for ~trace ~manifest in
-  let rc = { Olfu.Run_config.default with jobs; trace = sink } in
-  let t0 = Unix.gettimeofday () in
-  (* the machine the paper's on-line argument is about: mission netlist
-     (debug controls tied by the flow) with the scan interface held
-     functional — same machine as the safety classifier's BMC axis *)
-  let flow = Olfu.Flow.run rc nl mission in
-  let machine = Sc.bmc_machine flow.Olfu.Flow.mission_netlist in
-  let r = Inv.run ~k ~jobs ~trace:sink ~no_prove machine in
-  let wall = Unix.gettimeofday () -. t0 in
-  C.emit format
-    ~text:(fun () -> Format.printf "%a@." (Inv.pp machine) r)
-    ~summary:(fun () ->
-      C.summary_table Format.std_formatter
-        ([
-           ("flops", string_of_int r.Inv.total_ffs);
-           ("mined", string_of_int (List.length r.Inv.mined));
-           ("sim-killed", string_of_int (List.length r.Inv.killed));
-           ("unproved", string_of_int (List.length r.Inv.unproved));
-           ("proved", string_of_int (List.length r.Inv.proved));
-           ("k", string_of_int r.Inv.k);
-           ("seconds", Printf.sprintf "%.2f" r.Inv.seconds);
-         ]
-        @ List.map
-            (fun (cls, p, rest) ->
-              ("class " ^ cls, Printf.sprintf "%d proved / %d open" p rest))
-            (Inv.count_by_class r)))
-    ~json:(fun () ->
-      let module J = Olfu_obs.Json in
-      let cand_str c = Format.asprintf "%a" (Inv.pp_candidate machine) c in
-      C.print_json
-        (J.Obj
-           [
-             ("flops", J.Int r.Inv.total_ffs);
-             ("mined", J.Int (List.length r.Inv.mined));
-             ("killed", J.Int (List.length r.Inv.killed));
-             ("unproved", J.Int (List.length r.Inv.unproved));
-             ("proved", J.Int (List.length r.Inv.proved));
-             ("k", J.Int r.Inv.k);
-             ("seconds", J.Float r.Inv.seconds);
-             ( "by_class",
-               J.Obj
-                 (List.map
-                    (fun (cls, p, rest) ->
-                      ( cls,
-                        J.Obj [ ("proved", J.Int p); ("open", J.Int rest) ]
-                      ))
-                    (Inv.count_by_class r)) );
-             ( "invariants",
-               J.List
-                 (List.map
-                    (fun (inv : Inv.invariant) ->
-                      J.Obj
-                        [
-                          ("class", J.Str (Inv.class_name inv.Inv.form));
-                          ("form", J.Str (cand_str inv.Inv.form));
-                          ("k", J.Int inv.Inv.cert.Inv.cert_k);
-                          ("rounds", J.Int inv.Inv.cert.Inv.cert_rounds);
-                        ])
-                    r.Inv.proved) );
-           ]))
-    ();
-  C.write_obs ~trace ~manifest
-    ~config:(C.config_fields ~soc:cfg.Olfu_soc.Soc.name rc)
-    ~wall_seconds:wall sink;
-  `Ok ()
+let invar cfg file format jobs k no_prove trace manifest connect =
+  C.run_request ~connect ~trace ~manifest
+    (S.Request.run
+       ~fmt:(C.fmt_of format) ~jobs:(jobs_of jobs)
+       (target_of cfg file)
+       (S.Request.Invar { k; no_prove }))
 
 let invar_cmd =
   let k =
@@ -678,7 +511,7 @@ let invar_cmd =
              candidates without proofs.  Nothing is exported downstream.")
   in
   Cmd.v
-    (Cmd.info "invar"
+    (Cmd.info "invar" ~exits:C.std_exits
        ~doc:
          "Mine, filter and prove sequential state invariants \
           (k-induction) on the mission machine with the scan interface \
@@ -687,7 +520,7 @@ let invar_cmd =
       ret
         (const invar $ config_arg $ file_arg
        $ C.format_arg ~summary:true () $ jobs_arg $ k $ no_prove
-       $ C.trace_arg $ C.manifest_arg))
+       $ C.trace_arg $ C.manifest_arg $ C.connect_arg))
 
 (* --- equiv --- *)
 
@@ -819,163 +652,14 @@ let simulate_cmd =
 
 (* --- absint --- *)
 
-let absint cfg progs whole_suite asm_file format =
-  let module A = Olfu_absint.Absint in
-  let module P = Olfu_sbst.Programs in
-  (* exit codes mirror lint: 2 = bad input, 1 = unsound/degraded, 0 = ok *)
-  let bad_input msg =
-    Format.eprintf "olfu absint: %s@." msg;
-    exit 2
-  in
-  let suite = P.suite cfg in
-  let named =
-    match asm_file with
-    | Some path -> (
-      try [ (Filename.basename path, A.of_items cfg (Olfu_sbst.Asm.parse_file path)) ]
-      with
-      | Olfu_sbst.Asm.Parse_error { line; message } ->
-        bad_input (Printf.sprintf "%s:%d: %s" path line message)
-      | Invalid_argument m | Sys_error m -> bad_input m)
-    | None ->
-      let chosen =
-        if whole_suite || progs = [] then suite
-        else
-          List.map
-            (fun name ->
-              match List.find_opt (fun p -> p.P.pname = name) suite with
-              | Some p -> p
-              | None ->
-                bad_input
-                  (Printf.sprintf "unknown program %S (one of: %s)" name
-                     (String.concat ", " (List.map (fun p -> p.P.pname) suite))))
-            progs
-      in
-      List.map (fun p -> (p.P.pname, A.of_program cfg p)) chosen
-  in
-  let ts = List.map snd named in
-  let width = cfg.Olfu_soc.Soc.xlen in
-  let regions = [ cfg.Olfu_soc.Soc.rom; cfg.Olfu_soc.Soc.ram ] in
-  let consts = A.constant_addr_bits ~width ts in
-  let rdata = A.rdata_constant_bits ~width ts in
-  let check = A.cross_check ~width ts regions in
-  let never = A.never_written ts cfg.Olfu_soc.Soc.ram in
-  let nl = Olfu_soc.Soc.generate cfg in
-  let assume = A.netlist_assume ~width ts nl in
-  let degraded = List.exists (fun t -> A.degraded t <> None) ts in
-  C.emit format
-    ~text:(fun () ->
-      List.iter
-        (fun (name, t) ->
-          match A.degraded t with
-          | Some msg ->
-            Format.printf "%-18s %4d words  DEGRADED: %s@." name
-              (A.image_length t) msg
-          | None ->
-            Format.printf
-              "%-18s %4d words  %3d dead  %d store sites  %d passes@." name
-              (A.image_length t)
-              (List.length (A.dead_pcs t))
-              (A.store_sites t) (A.passes t))
-        named;
-      let pp_bits ppf bits =
-        if bits = [] then Format.fprintf ppf "none"
-        else
-          Format.pp_print_list
-            ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
-            (fun ppf (bit, v) ->
-              Format.fprintf ppf "%d=%d" bit (Bool.to_int v))
-            ppf bits
-      in
-      Format.printf "constant address bits: %a@." pp_bits consts;
-      Format.printf "constant rdata bits:   %a@." pp_bits rdata;
-      Format.printf "netlist assumptions:   %d nodes@." (List.length assume);
-      List.iter
-        (fun (lo, hi) ->
-          Format.printf "never-written RAM:     [0x%X, 0x%X]@." lo hi)
-        never;
-      if check.A.ok then Format.printf "cross-check vs memory map: OK@."
-      else
-        List.iter
-          (fun v -> Format.printf "cross-check VIOLATION: %s@." v)
-          check.A.violations)
-    ~json:(fun () ->
-      let module J = Olfu_obs.Json in
-      let bits_json bits =
-        J.List
-          (List.map
-             (fun (bit, v) ->
-               J.Obj
-                 [ ("bit", J.Int bit); ("value", J.Int (Bool.to_int v)) ])
-             bits)
-      in
-      C.print_json
-        (J.Obj
-           [
-             ("config", J.Str cfg.Olfu_soc.Soc.name);
-             ( "programs",
-               J.List
-                 (List.map
-                    (fun (name, t) ->
-                      J.Obj
-                        [
-                          ("name", J.Str name);
-                          ("words", J.Int (A.image_length t));
-                          ("dead", J.Int (List.length (A.dead_pcs t)));
-                          ("stores", J.Int (A.store_sites t));
-                          ("passes", J.Int (A.passes t));
-                          ( "degraded",
-                            match A.degraded t with
-                            | None -> J.Null
-                            | Some m -> J.Str m );
-                        ])
-                    named) );
-             ("constant_addr_bits", bits_json consts);
-             ("constant_rdata_bits", bits_json rdata);
-             ("assume_nodes", J.Int (List.length assume));
-             ( "never_written_ram",
-               J.List
-                 (List.map
-                    (fun (lo, hi) -> J.List [ J.Int lo; J.Int hi ])
-                    never) );
-             ("cross_check_ok", J.Bool check.A.ok);
-             ( "violations",
-               J.List (List.map (fun v -> J.Str v) check.A.violations) );
-           ]))
-    ~summary:(fun () ->
-      let bits bs =
-        if bs = [] then "none"
-        else
-          String.concat " "
-            (List.map
-               (fun (bit, v) -> Printf.sprintf "%d=%d" bit (Bool.to_int v))
-               bs)
-      in
-      C.summary_table Format.std_formatter
-        [
-          ("config", cfg.Olfu_soc.Soc.name);
-          ("programs", string_of_int (List.length named));
-          ( "degraded",
-            string_of_int
-              (List.length (List.filter (fun t -> A.degraded t <> None) ts))
-          );
-          ("constant addr bits", bits consts);
-          ("constant rdata bits", bits rdata);
-          ("assume nodes", string_of_int (List.length assume));
-          ( "never-written RAM",
-            if never = [] then "none"
-            else
-              String.concat " "
-                (List.map
-                   (fun (lo, hi) -> Printf.sprintf "[0x%X,0x%X]" lo hi)
-                   never) );
-          ("cross-check", if check.A.ok then "OK" else "VIOLATED");
-        ])
-    ();
-  if (not check.A.ok) || degraded then begin
-    Format.print_flush ();
-    exit 1
-  end;
-  `Ok ()
+let absint cfg progs whole_suite asm_file format jobs trace manifest connect
+    =
+  let programs = if whole_suite then [] else progs in
+  C.run_request ~connect ~trace ~manifest
+    (S.Request.run
+       ~fmt:(C.fmt_of format) ~jobs:(jobs_of jobs)
+       (S.Request.Config cfg.Olfu_soc.Soc.name)
+       (S.Request.Absint { programs; asm = asm_file }))
 
 let absint_cmd =
   let progs =
@@ -999,15 +683,8 @@ let absint_cmd =
       & info [ "f"; "asm" ] ~docv:"FILE"
           ~doc:"Assembly source to analyze instead of bundled programs.")
   in
-  let exits =
-    Cmd.Exit.info 0 ~doc:"analysis clean and consistent with the memory map."
-    :: Cmd.Exit.info 1
-         ~doc:"an analysis degraded or the memory-map cross-check failed."
-    :: Cmd.Exit.info 2 ~doc:"bad input: unknown program or unreadable file."
-    :: Cmd.Exit.defaults
-  in
   Cmd.v
-    (Cmd.info "absint" ~exits
+    (Cmd.info "absint" ~exits:C.std_exits
        ~doc:
          "Abstract interpretation of the mission software: prove constant \
           address bits, dead code and never-written memory from the \
@@ -1015,7 +692,8 @@ let absint_cmd =
     Term.(
       ret
         (const absint $ config_arg $ progs $ whole_suite $ asm
-       $ C.format_arg ~summary:true ()))
+       $ C.format_arg ~summary:true () $ jobs_arg $ C.trace_arg
+       $ C.manifest_arg $ C.connect_arg))
 
 (* --- atpg --- *)
 
@@ -1066,131 +744,13 @@ let atpg_cmd =
 
 (* --- implic --- *)
 
-let implic cfg file ff_mode format learn_depth learn_budget jobs invariants =
-  let jobs = jobs_of jobs in
-  let nl, _ = load_netlist cfg file in
-  let module U = Olfu_atpg.Untestable in
-  let module I = Olfu_atpg.Implic in
-  let t = U.analyze ~ff_mode ~learn_depth ~learn_budget nl in
-  (* invariant-strengthened conflict counts, reported separately from the
-     plain UC row: prove state invariants on the netlist as given (all
-     inputs free — unconditional facts), rebuild the analysis with them
-     assumed, and count what only the strengthened database closes *)
-  let ui =
-    if not invariants then 0
-    else
-      let module Inv = Olfu_invar.Invar in
-      let ir = Inv.run ~jobs nl in
-      let strengthened =
-        U.analyze ~learn_depth ~learn_budget
-          ~consts:
-            (Olfu_atpg.Ternary.run ~ff_mode ~assume:(Inv.assume_facts ir) nl)
-          ~extra_edges:(Inv.edges ir) nl
-      in
-      List.assoc Olfu_fault.Status.Invariant
-        (U.untestable_breakdown ~invariant:strengthened t nl)
-  in
-  let db =
-    match U.implication_db t with
-    | Some db -> db
-    | None -> assert false (* analyze builds one unless [~implic:false] *)
-  in
-  let s = I.stats db in
-  let scr = I.Scratch.create db in
-  let conflicts = I.conflict_nets ~limit:10 db scr in
-  let fl = Olfu_fault.Flist.full nl in
-  let classified = U.classify ~jobs t fl in
-  let count c = Olfu_fault.Flist.count_status fl (Olfu_fault.Status.Undetectable c) in
-  let ut = count Olfu_fault.Status.Tied
-  and ub = count Olfu_fault.Status.Blocked
-  and uc = count Olfu_fault.Status.Conflict
-  and us = count Olfu_fault.Status.Software in
-  let tdf_un, tdf_univ = Olfu_atpg.Tdf_classify.count ~jobs t nl in
-  let net_name n =
-    match Netlist.name nl n with Some x -> x | None -> Printf.sprintf "n%d" n
-  in
-  C.emit format
-    ~text:(fun () ->
-      Format.printf "implication database (%d nodes)@."
-        (Netlist.length nl);
-      Format.printf "  literals      %8d@." s.I.literals;
-      Format.printf "  direct edges  %8d@." s.I.direct_edges;
-      Format.printf "  learned edges %8d  (depth %d, budget %d, spent %d)@."
-        s.I.learned_edges s.I.learn_depth s.I.learn_budget s.I.learn_spent;
-      Format.printf "  impossible    %8d  (build-time sweep)@."
-        s.I.impossible_learned;
-      Format.printf "  build time    %8.3f s@." s.I.build_seconds;
-      Format.printf
-        "stuck-at universe %d: untestable %d (UT %d, UB %d, UC %d)@."
-        (Olfu_fault.Flist.size fl) classified ut ub uc;
-      if invariants then
-        Format.printf
-          "invariant-strengthened: %d more conflict-untestable (UI)@." ui;
-      Format.printf "transition universe %d: untestable %d@." tdf_univ tdf_un;
-      if conflicts <> [] then begin
-        Format.printf "conflict nets (sample):@.";
-        List.iter
-          (fun (n, v) ->
-            Format.printf "  %-24s can never be %d@." (net_name n)
-              (if v then 1 else 0))
-          conflicts
-      end)
-    ~json:(fun () ->
-      let module J = Olfu_obs.Json in
-      C.print_json
-        (J.Obj
-           [
-             ("nodes", J.Int (Netlist.length nl));
-             ("literals", J.Int s.I.literals);
-             ("direct_edges", J.Int s.I.direct_edges);
-             ("learned_edges", J.Int s.I.learned_edges);
-             ("impossible_learned", J.Int s.I.impossible_learned);
-             ("learn_depth", J.Int s.I.learn_depth);
-             ("learn_budget", J.Int s.I.learn_budget);
-             ("learn_spent", J.Int s.I.learn_spent);
-             ("build_seconds", J.Float s.I.build_seconds);
-             ("universe", J.Int (Olfu_fault.Flist.size fl));
-             ("untestable", J.Int classified);
-             ( "by_verdict",
-               J.Obj
-                 [
-                   ("UT", J.Int ut); ("UB", J.Int ub); ("UC", J.Int uc);
-                   ("US", J.Int us); ("UI", J.Int ui);
-                 ] );
-             ("tdf_universe", J.Int tdf_univ);
-             ("tdf_untestable", J.Int tdf_un);
-             ( "conflict_nets",
-               J.List
-                 (List.map
-                    (fun (n, v) ->
-                      J.Obj
-                        [
-                          ("net", J.Str (net_name n));
-                          ("impossible_value", J.Int (if v then 1 else 0));
-                        ])
-                    conflicts) );
-           ]))
-    ~summary:(fun () ->
-      C.summary_table Format.std_formatter
-        [
-          ("nodes", string_of_int (Netlist.length nl));
-          ("literals", string_of_int s.I.literals);
-          ("direct edges", string_of_int s.I.direct_edges);
-          ("learned edges", string_of_int s.I.learned_edges);
-          ("impossible", string_of_int s.I.impossible_learned);
-          ("build seconds", Printf.sprintf "%.3f" s.I.build_seconds);
-          ("universe", string_of_int (Olfu_fault.Flist.size fl));
-          ("untestable", string_of_int classified);
-          ("UT", string_of_int ut);
-          ("UB", string_of_int ub);
-          ("UC", string_of_int uc);
-          ("US", string_of_int us);
-          ("UI", string_of_int ui);
-          ("TDF universe", string_of_int tdf_univ);
-          ("TDF untestable", string_of_int tdf_un);
-        ])
-    ();
-  `Ok ()
+let implic cfg file ff_mode format learn_depth learn_budget jobs invariants
+    trace manifest connect =
+  C.run_request ~connect ~trace ~manifest
+    (S.Request.run
+       ~fmt:(C.fmt_of format) ~jobs:(jobs_of jobs) ~ff_mode
+       (target_of cfg file)
+       (S.Request.Implic { learn_depth; learn_budget; invariants }))
 
 let implic_cmd =
   let implic_invariants =
@@ -1216,7 +776,7 @@ let implic_cmd =
           ~doc:"Closure-visit credits for the build-time learning sweep.")
   in
   Cmd.v
-    (Cmd.info "implic"
+    (Cmd.info "implic" ~exits:C.std_exits
        ~doc:
          "Static implication database: build statistics, conflict nets, \
           and the untestable-fault counts it proves (FIRE-style UC \
@@ -1225,116 +785,38 @@ let implic_cmd =
       ret
         (const implic $ config_arg $ file_arg $ ff_mode_arg
        $ C.format_arg ~summary:true () $ learn_depth $ learn_budget
-       $ jobs_arg $ implic_invariants))
+       $ jobs_arg $ implic_invariants $ C.trace_arg $ C.manifest_arg
+       $ C.connect_arg))
 
 (* --- slice --- *)
 
-let slice cfg file format dot trace manifest =
-  let module Sl = Olfu_slice.Slice in
-  let module Sc = Olfu_safety.Classify in
-  let nl, cfg = load_netlist cfg file in
-  let mission = mission_of cfg nl file in
-  let sink = C.sink_for ~trace ~manifest in
-  let rc = { Olfu.Run_config.default with trace = sink } in
-  let t0 = Unix.gettimeofday () in
-  (* same machine as every BMC-backed verdict: mission netlist with the
-     scan interface held functional *)
-  let flow = Olfu.Flow.run rc nl mission in
-  let machine = Sc.bmc_machine flow.Olfu.Flow.mission_netlist in
-  let g = Sl.get machine in
-  let edge_count (e : Sl.edges) =
-    let ff = Array.fold_left (fun a s -> a + Array.length s) 0 e.Sl.supports in
-    let inf = Array.fold_left (fun a s -> a + Array.length s) 0 e.Sl.in_deps in
-    let fo =
-      Array.fold_left (fun a (_, s) -> a + Array.length s) 0 e.Sl.out_deps
-    in
-    (ff, inf, fo)
-  in
-  let variants =
-    [
-      ("structural", g.Sl.structural);
-      ("hard", g.Sl.hard_edges);
-      ("mission", g.Sl.mission_edges);
-    ]
-  in
-  let dists =
-    List.map (fun (n, e) -> (n, Sl.dist_of (Sl.backward_sizes g e))) variants
-  in
-  let mscc = Sl.scc g.Sl.mission_edges (Array.length g.Sl.flops) in
-  let largest =
-    Array.fold_left (fun a c -> max a (Array.length c)) 0 mscc.Sl.comps
-  in
-  (match dot with
-  | None -> ()
-  | Some path ->
-      let oc = open_out path in
-      output_string oc (Sl.condensation_dot g g.Sl.mission_edges);
-      close_out oc);
-  let wall = Unix.gettimeofday () -. t0 in
-  C.emit format
-    ~text:(fun () -> Format.printf "%a@." Sl.pp_stats g)
-    ~summary:(fun () ->
-      C.summary_table Format.std_formatter
-        ([ ("flops", string_of_int (Array.length g.Sl.flops)) ]
-        @ List.concat_map
-            (fun (n, e) ->
-              let ff, inf, fo = edge_count e in
-              [ (n ^ " edges", Printf.sprintf "%d ff / %d in / %d out" ff inf fo) ])
-            variants
-        @ List.map
-            (fun (n, d) ->
-              ( n ^ " slice size",
-                Printf.sprintf "med %d / p90 %d / max %d" d.Sl.median
-                  d.Sl.p90 d.Sl.max_ ))
-            dists
-        @ [
-            ("mission sccs", string_of_int (Array.length mscc.Sl.comps));
-            ("largest scc", string_of_int largest);
-          ]))
-    ~json:(fun () ->
-      let module J = Olfu_obs.Json in
-      let dist_json (d : Sl.dist) =
-        J.Obj
-          [
-            ("count", J.Int d.Sl.count);
-            ("min", J.Int d.Sl.min_);
-            ("max", J.Int d.Sl.max_);
-            ("mean", J.Float d.Sl.mean);
-            ("median", J.Int d.Sl.median);
-            ("p90", J.Int d.Sl.p90);
-          ]
+let slice cfg file format dot jobs trace manifest connect =
+  (match (dot, connect) with
+  | Some _, Some _ ->
+    Format.eprintf
+      "olfu slice: --dot writes a local file and cannot be combined with \
+       --connect@.";
+    exit 2
+  | _ -> ());
+  (* the DOT condensation rides along in [meta.aux] *)
+  let on_meta (m : S.Service.meta) =
+    match dot with
+    | None -> ()
+    | Some path ->
+      let graph =
+        match List.assoc_opt "dot" m.S.Service.aux with
+        | Some g -> g
+        | None -> ""
       in
-      C.print_json
-        (J.Obj
-           [
-             ("flops", J.Int (Array.length g.Sl.flops));
-             ( "edges",
-               J.Obj
-                 (List.map
-                    (fun (n, e) ->
-                      let ff, inf, fo = edge_count e in
-                      ( n,
-                        J.Obj
-                          [
-                            ("flop_flop", J.Int ff);
-                            ("input_flop", J.Int inf);
-                            ("flop_output", J.Int fo);
-                          ] ))
-                    variants) );
-             ( "backward_slice_sizes",
-               J.Obj (List.map (fun (n, d) -> (n, dist_json d)) dists) );
-             ( "mission_scc",
-               J.Obj
-                 [
-                   ("components", J.Int (Array.length mscc.Sl.comps));
-                   ("largest", J.Int largest);
-                 ] );
-           ]))
-    ();
-  C.write_obs ~trace ~manifest
-    ~config:(C.config_fields ~soc:cfg.Olfu_soc.Soc.name rc)
-    ~wall_seconds:wall sink;
-  `Ok ()
+      let oc = open_out path in
+      output_string oc graph;
+      close_out oc
+  in
+  C.run_request ~on_meta ~connect ~trace ~manifest
+    (S.Request.run
+       ~fmt:(C.fmt_of format) ~jobs:(jobs_of jobs)
+       (target_of cfg file)
+       (S.Request.Slice { dot = dot <> None }))
 
 let slice_cmd =
   let dot =
@@ -1347,7 +829,7 @@ let slice_cmd =
              graph to $(docv).")
   in
   Cmd.v
-    (Cmd.info "slice"
+    (Cmd.info "slice" ~exits:C.std_exits
        ~doc:
          "Constant-severed cone-of-influence statistics: the flop-level \
           dependency graph under structural, hard (BMC-valid) and \
@@ -1356,127 +838,17 @@ let slice_cmd =
     Term.(
       ret
         (const slice $ config_arg $ file_arg
-       $ C.format_arg ~summary:true () $ dot $ C.trace_arg $ C.manifest_arg))
+       $ C.format_arg ~summary:true () $ dot $ jobs_arg $ C.trace_arg
+       $ C.manifest_arg $ C.connect_arg))
 
 (* --- safety --- *)
 
-let safety cfg window seu_limit jobs format trace manifest =
-  let module A = Olfu_absint.Absint in
-  let module P = Olfu_sbst.Programs in
-  let module Sc = Olfu_safety.Classify in
-  let module T = Olfu_safety.Taxonomy in
-  let module Seu = Olfu_safety.Seu in
-  let nl = Olfu_soc.Soc.generate cfg in
-  let mission = Olfu.Mission.of_soc cfg nl in
-  let sink = C.sink_for ~trace ~manifest in
-  let rc =
-    { Olfu.Run_config.default with jobs = jobs_of jobs; trace = sink }
-  in
-  let named =
-    List.map (fun p -> (p.P.pname, A.of_program cfg p)) (P.suite cfg)
-  in
-  let facts =
-    A.activation_facts
-      ~label:(cfg.Olfu_soc.Soc.name ^ "-suite")
-      cfg named
-  in
-  let config = { Sc.default with Sc.rc; window; seu_limit } in
-  let r = Sc.run ~config ~facts nl mission in
-  let seu_counts =
-    [
-      ("seu_masked", r.Sc.seu.Seu.masked);
-      ("seu_protected", r.Sc.seu.Seu.protected_);
-      ("seu_vulnerable", r.Sc.seu.Seu.vulnerable);
-      ("seu_unknown", r.Sc.seu.Seu.unknown);
-    ]
-  in
-  C.emit format
-    ~text:(fun () -> Format.printf "%a@." Sc.pp r)
-    ~summary:(fun () ->
-      C.summary_table Format.std_formatter
-        (("universe", string_of_int r.Sc.universe)
-         :: List.map
-              (fun (c, n) -> (T.safe_code c, string_of_int n))
-              r.Sc.counts
-        @ [
-            ( "seu_checked",
-              string_of_int (Array.length r.Sc.seu.Seu.results) );
-          ]
-        @ List.map (fun (k, n) -> (k, string_of_int n)) seu_counts
-        @ [ ("consistent", if Sc.consistent r then "yes" else "NO") ]))
-    ~json:(fun () ->
-      let module J = Olfu_obs.Json in
-      C.print_json
-        (J.Obj
-           [
-             ("config", J.Str cfg.Olfu_soc.Soc.name);
-             ("universe", J.Int r.Sc.universe);
-             ( "classes",
-               J.Obj
-                 (List.map
-                    (fun (c, n) -> (T.safe_code c, J.Int n))
-                    r.Sc.counts) );
-             ( "software_safe_by",
-               J.Obj
-                 (List.map
-                    (fun (u, n) ->
-                      ( Olfu_fault.Status.code
-                          (Olfu_fault.Status.Undetectable u),
-                        J.Int n ))
-                    r.Sc.software_by) );
-             ( "invariant_safe_by",
-               J.Obj
-                 (List.map
-                    (fun (u, n) ->
-                      ( Olfu_fault.Status.code
-                          (Olfu_fault.Status.Undetectable u),
-                        J.Int n ))
-                    r.Sc.invariant_by) );
-             ( "invariants",
-               match r.Sc.invariants with
-               | None -> J.Null
-               | Some ir ->
-                   let module Inv = Olfu_invar.Invar in
-                   J.Obj
-                     [
-                       ("mined", J.Int (List.length ir.Inv.mined));
-                       ("proved", J.Int (List.length ir.Inv.proved));
-                       ("k", J.Int ir.Inv.k);
-                     ] );
-             ("assume_nodes", J.Int r.Sc.assume_nodes);
-             ( "seu",
-               J.Obj
-                 (("window", J.Int r.Sc.seu.Seu.window)
-                 :: ("total_ffs", J.Int r.Sc.seu.Seu.total_ffs)
-                 :: ( "checked",
-                      J.Int (Array.length r.Sc.seu.Seu.results) )
-                 :: List.map (fun (k, n) -> (k, J.Int n)) seu_counts) );
-             ( "consistency",
-               J.List
-                 (List.map (fun v -> J.Str v) r.Sc.consistency) );
-             ("seconds", J.Float r.Sc.seconds);
-             ("flow", C.flow_json r.Sc.flow);
-           ]))
-    ();
-  let module J = Olfu_obs.Json in
-  C.write_obs ~trace ~manifest
-    ~config:
-      (("window", J.Int window)
-      :: ("seu_limit", J.Int seu_limit)
-      :: C.config_fields ~soc:cfg.Olfu_soc.Soc.name rc)
-    ~steps:(C.manifest_steps r.Sc.flow)
-    ~prep:r.Sc.flow.Olfu.Flow.prep
-    ~extra:
-      (List.map
-         (fun (c, n) -> (T.safe_code c, J.Int n))
-         r.Sc.counts
-      @ List.map (fun (k, n) -> (k, J.Int n)) seu_counts)
-    ~wall_seconds:r.Sc.seconds sink;
-  if Sc.consistent r then `Ok ()
-  else begin
-    Format.print_flush ();
-    exit 1
-  end
+let safety cfg window seu_limit jobs format trace manifest connect =
+  C.run_request ~connect ~trace ~manifest
+    (S.Request.run
+       ~fmt:(C.fmt_of format) ~jobs:(jobs_of jobs)
+       (S.Request.Config cfg.Olfu_soc.Soc.name)
+       (S.Request.Safety { window; seu_limit }))
 
 let safety_cmd =
   let window =
@@ -1496,13 +868,8 @@ let safety_cmd =
              always select the same flops.  0 (or N >= total) checks \
              every flop.")
   in
-  let exits =
-    Cmd.Exit.info 0 ~doc:"taxonomy consistent."
-    :: Cmd.Exit.info 1 ~doc:"a consistency audit failed."
-    :: Cmd.Exit.defaults
-  in
   Cmd.v
-    (Cmd.info "safety" ~exits
+    (Cmd.info "safety" ~exits:C.std_exits
        ~doc:
          "Unified safe-fault taxonomy: structural and conflict \
           untestability from the identification flow, software-safe \
@@ -1512,7 +879,196 @@ let safety_cmd =
     Term.(
       ret
         (const safety $ config_arg $ window $ seu_limit $ jobs_arg
-       $ C.format_arg ~summary:true () $ C.trace_arg $ C.manifest_arg))
+       $ C.format_arg ~summary:true () $ C.trace_arg $ C.manifest_arg
+       $ C.connect_arg))
+
+(* --- serve: the analysis daemon --- *)
+
+let serve socket workers byte_budget_mb audit =
+  if workers < 1 then `Error (false, "--workers must be at least 1")
+  else begin
+    let cfg =
+      {
+        S.Server.socket;
+        workers;
+        byte_budget = Option.map (fun mb -> mb * 1024 * 1024) byte_budget_mb;
+        audit;
+      }
+    in
+    Format.printf "olfu daemon listening on %s (%d worker%s)@." socket
+      workers
+      (if workers = 1 then "" else "s");
+    S.Server.serve cfg;
+    `Ok ()
+  end
+
+let serve_cmd =
+  let socket =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"SOCK"
+          ~doc:
+            "Unix-domain socket path to listen on.  An existing file at \
+             this path is replaced; the socket is unlinked on clean \
+             shutdown.")
+  in
+  let workers =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Accept-loop domains serving connections concurrently.  Each \
+             request still parallelises internally per its own \
+             $(b,--jobs).")
+  in
+  let byte_budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "byte-budget" ] ~docv:"MB"
+          ~doc:
+            "Approximate cap in megabytes on cached netlists, flow \
+             reports and rendered outcomes; least-recently-used entries \
+             are evicted past it.  Default 1024.")
+  in
+  let audit =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "audit" ] ~docv:"FILE"
+          ~doc:
+            "Append one compact JSON manifest line per served analysis \
+             request: configuration, request id, cache hit, exit \
+             status, wall and per-step seconds.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the resident analysis daemon: listen on a Unix socket for \
+          line-delimited JSON requests (one per line, same schema for \
+          every analysis subcommand), keep parsed netlists and flow \
+          reports cached across requests, and answer with the \
+          byte-identical output the one-shot CLI would print.  Stop it \
+          with $(b,olfu client --shutdown).")
+    Term.(ret (const serve $ socket $ workers $ byte_budget $ audit))
+
+(* --- client: talk to a running daemon --- *)
+
+let client socket wait ping stats shutdown raw lines =
+  let reqs =
+    List.filter_map Fun.id
+      [
+        (if ping then Some (`Body S.Request.Ping) else None);
+        (if stats then Some (`Body S.Request.Stats) else None);
+      ]
+    @ List.map (fun l -> `Line l) lines
+    @ if shutdown then [ `Body S.Request.Shutdown ] else []
+  in
+  if reqs = [] then
+    `Error (true, "nothing to send: pass --ping, --stats, --shutdown or JSON request lines")
+  else
+    match S.Client.connect ~wait_seconds:wait socket with
+    | Error msg ->
+      Format.eprintf "olfu client: %s@." msg;
+      exit 2
+    | Ok conn ->
+      let worst = ref 0 in
+      let send_one n req =
+        let outcome =
+          match req with
+          | `Body body ->
+            S.Client.rpc conn { S.Request.id = n + 1; body }
+          | `Line line -> (
+            match S.Client.rpc_line conn line with
+            | Error _ as e -> e
+            | Ok resp_line -> (
+              match S.Response.of_string resp_line with
+              | Ok resp -> Ok resp
+              | Error e -> Error ("bad response: " ^ e)))
+        in
+        match outcome with
+        | Error msg ->
+          Format.eprintf "olfu client: %s@." msg;
+          worst := max !worst 2
+        | Ok resp ->
+          if raw then print_endline (S.Response.to_line resp)
+          else begin
+            print_string resp.S.Response.output;
+            match resp.S.Response.error with
+            | Some m -> Format.eprintf "olfu client: %s@." m
+            | None -> ()
+          end;
+          worst := max !worst (S.Response.exit_code resp.S.Response.status)
+      in
+      Fun.protect
+        ~finally:(fun () -> S.Client.close conn)
+        (fun () -> List.iteri send_one reqs);
+      flush stdout;
+      if !worst = 0 then `Ok () else exit !worst
+
+let client_cmd =
+  let socket =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"SOCK"
+          ~doc:"Unix-domain socket of the running $(b,olfu serve) daemon.")
+  in
+  let wait =
+    Arg.(
+      value & opt float 0.
+      & info [ "wait" ] ~docv:"SEC"
+          ~doc:
+            "Retry the connection for up to SEC seconds while the socket \
+             is missing or refusing — covers the daemon's startup \
+             window.")
+  in
+  let ping =
+    Arg.(value & flag & info [ "ping" ] ~doc:"Send a liveness ping.")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Ask for session-cache statistics: entries, bytes, budget, \
+             hits, misses, evictions.")
+  in
+  let shutdown =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ]
+          ~doc:"Ask the daemon to stop and remove its socket.  Sent last.")
+  in
+  let raw =
+    Arg.(
+      value & flag
+      & info [ "raw" ]
+          ~doc:
+            "Print each full response as one compact JSON line \
+             (id, status, cache_hit, seconds, output) instead of just \
+             its rendered output.")
+  in
+  let lines =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"REQUEST"
+          ~doc:
+            "Raw JSON request lines to send verbatim, in order, on the \
+             same connection (after --ping/--stats, before --shutdown).")
+  in
+  Cmd.v
+    (Cmd.info "client" ~exits:C.std_exits
+       ~doc:
+         "Talk to a running $(b,olfu serve) daemon: liveness pings, \
+          cache statistics, raw JSON analysis requests, shutdown.  For \
+          everyday analysis prefer the ordinary subcommands with \
+          $(b,--connect SOCK), which build the request for you.")
+    Term.(
+      ret
+        (const client $ socket $ wait $ ping $ stats $ shutdown $ raw
+       $ lines))
 
 let main_cmd =
   Cmd.group
@@ -1524,7 +1080,7 @@ let main_cmd =
       generate_cmd; analyze_cmd; tdf_cmd; trace_scan_cmd; memmap_cmd;
       categories_cmd; coverage_cmd; atpg_cmd; absint_cmd; simulate_cmd;
       equiv_cmd; lint_cmd; report_cmd; implic_cmd; invar_cmd; slice_cmd;
-      safety_cmd;
+      safety_cmd; serve_cmd; client_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,48 +1,55 @@
-(* Shared CLI plumbing: the --format argument with its renderer dispatch
-   (previously copy-pasted with diverging JSON emitters in lint, absint
-   and implic) and the --trace/--manifest observability arguments. *)
+(* Shared CLI plumbing: the unified --format/--jobs/--trace/--manifest/
+   --connect argument set, the documented exit-code convention, and
+   [run_request] — the one adapter through which every analysis
+   subcommand executes, locally via a fresh service session or remotely
+   via the daemon.  Rendering and engine dispatch live in
+   [Olfu_service.Service]; nothing here knows what an op does. *)
 
 open Cmdliner
 module J = Olfu_obs.Json
 module Trace = Olfu_obs.Trace
 module Export = Olfu_obs.Export
 module Manifest = Olfu_obs.Manifest
+module S = Olfu_service
 
 type fmt = Text | Json | Summary
 
-let format_arg ?(summary = false) () =
+let format_arg ?(summary = true) () =
   let variants =
     [ ("text", Text); ("json", Json) ]
     @ if summary then [ ("summary", Summary) ] else []
   in
   let doc =
     if summary then
-      "Output format: $(b,text) (one line per finding), $(b,json) \
-       (SARIF-flavoured, with rule metadata), or $(b,summary) (per-rule \
-       table)."
+      "Output format: $(b,text), $(b,json) (deterministic machine form), \
+       or $(b,summary) (key/value table)."
     else "Output format: $(b,text) or $(b,json)."
   in
   Arg.(value & opt (enum variants) Text & info [ "format" ] ~docv:"FMT" ~doc)
 
-let print_json j =
-  print_string (J.to_string ~indent:true j);
-  print_newline ()
+let fmt_of = function
+  | Text -> S.Request.Text
+  | Json -> S.Request.Json
+  | Summary -> S.Request.Summary
 
-(* Aligned key/value table: the shared --format summary rendering. *)
-let summary_table ppf rows =
-  let w =
-    List.fold_left (fun acc (k, _) -> max acc (String.length k)) 0 rows
-  in
-  List.iter (fun (k, v) -> Format.fprintf ppf "%-*s  %s@." w k v) rows
-
-(* Renderer dispatch.  [json] prints the machine form itself (most
-   subcommands build a {!J.t} and call {!print_json}; lint streams its
-   SARIF renderer).  [summary] falls back to [text] when absent. *)
-let emit fmt ~text ?summary ~json () =
-  match fmt with
-  | Text -> text ()
-  | Json -> json ()
-  | Summary -> ( match summary with Some f -> f () | None -> text ())
+(* The one exit-code convention, documented once and attached to every
+   analysis subcommand: 0 = clean, 1 = the analysis ran and reported
+   findings (lint fails, degraded abstract states, inconsistent safety
+   taxonomy), 2 = the request was unusable.  Mirrors
+   [Olfu_service.Response.status]. *)
+let std_exits =
+  Cmd.Exit.info 0 ~doc:"analysis clean: no finding to report."
+  :: Cmd.Exit.info 1
+       ~doc:
+         "findings: the analysis ran and reported violations (lint \
+          findings at or above $(b,--fail-on), a degraded abstract \
+          state or failed cross-check, an inconsistent safety taxonomy)."
+  :: Cmd.Exit.info 2
+       ~doc:
+         "bad input: unknown configuration or program, unreadable \
+          netlist, waiver, baseline or assembly file, unreachable \
+          daemon."
+  :: Cmd.Exit.defaults
 
 (* --- observability --- *)
 
@@ -65,6 +72,16 @@ let manifest_arg =
            describe, wall seconds, per-engine and per-step seconds, \
            counter totals.")
 
+let connect_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"SOCK"
+        ~doc:
+          "Send the request to a running $(b,olfu serve) daemon on this \
+           Unix socket instead of computing locally.  Output bytes are \
+           identical; warm requests return from the daemon's cache.")
+
 let sink_for ~trace ~manifest =
   if trace <> None || manifest <> None then Trace.create () else Trace.null
 
@@ -84,98 +101,69 @@ let write_obs ~trace ~manifest ?config ?steps ?prep ?extra ~wall_seconds sink
       path;
     Format.printf "wrote %s@." path
 
-(* Manifest [config] fields for a flow run. *)
+(* Manifest [config] fields for a flow run (non-service subcommands:
+   tdf, atpg). *)
 let config_fields ?soc rc =
   let base =
     match Olfu.Run_config.to_json rc with J.Obj l -> l | _ -> []
   in
   match soc with None -> base | Some name -> ("soc", J.Str name) :: base
 
-(* --- structured renderings of the flow reports --- *)
+(* --- the service adapter --- *)
 
-let verdict_fields l =
-  List.map
-    (fun (u, n) ->
-      (Olfu_fault.Status.code (Olfu_fault.Status.Undetectable u), J.Int n))
-    l
+let exit_with status =
+  match status with
+  | S.Response.Success -> `Ok ()
+  | s ->
+    flush stdout;
+    exit (S.Response.exit_code s)
 
-let manifest_steps (r : Olfu.Flow.report) =
-  List.map
-    (fun (s : Olfu.Flow.step_report) ->
-      {
-        Manifest.name = Olfu.Flow.source_name s.Olfu.Flow.source;
-        seconds = s.Olfu.Flow.seconds;
-        classified = s.Olfu.Flow.classified;
-        verdicts =
-          List.map
-            (fun (u, n) ->
-              (Olfu_fault.Status.code (Olfu_fault.Status.Undetectable u), n))
-            s.Olfu.Flow.by_verdict;
-      })
-    r.Olfu.Flow.steps
+let req_op_name (req : S.Request.t) =
+  match req.S.Request.body with
+  | S.Request.Run r -> S.Request.op_name r.S.Request.op
+  | _ -> "request"
 
-(* Table I as structured JSON: per-step records plus the paper's
-   three-row accounting. *)
-let flow_json (r : Olfu.Flow.report) =
-  let open Olfu.Flow in
-  let pct n = 100. *. float_of_int n /. float_of_int (max 1 r.universe) in
-  let row n = J.Obj [ ("count", J.Int n); ("percent", J.Float (pct n)) ] in
-  let scan = step_count r Scan in
-  let ctl = step_count r Debug_control in
-  let obs = step_count r Debug_observe in
-  let mem = step_count r Memory in
-  J.Obj
-    [
-      ("universe", J.Int r.universe);
-      ("collapsed", J.Int r.collapsed);
-      ("dominance_pruned", J.Int r.dominance_pruned);
-      ( "steps",
-        J.List
-          (List.map
-             (fun s ->
-               J.Obj
-                 [
-                   ("source", J.Str (source_name s.source));
-                   ("classified", J.Int s.classified);
-                   ("by_verdict", J.Obj (verdict_fields s.by_verdict));
-                   ("seconds", J.Float s.seconds);
-                 ])
-             r.steps) );
-      ( "prep",
-        J.Obj (List.map (fun (k, s) -> (k, J.Float s)) r.prep) );
-      ( "table1",
-        J.Obj
-          [
-            ("scan", row scan);
-            ("debug", row (ctl + obs));
-            ("debug_control", J.Int ctl);
-            ("debug_observe", J.Int obs);
-            ("memory", row mem);
-            ("total", row (paper_total r));
-            ("baseline", J.Int (step_count r Baseline));
-            ("grand_total", row r.total_olfu);
-          ] );
-      ("seconds", J.Float r.seconds);
-    ]
-
-let coverage_json (s : Olfu_sbst.Coverage.summary) =
-  let open Olfu_sbst.Coverage in
-  J.Obj
-    [
-      ( "programs",
-        J.List
-          (List.map
-             (fun p ->
-               J.Obj
-                 [
-                   ("name", J.Str p.pname);
-                   ("cycles", J.Int p.cycles);
-                   ("newly_detected", J.Int p.newly_detected);
-                 ])
-             s.programs) );
-      ("total_faults", J.Int s.total_faults);
-      ("detected", J.Int s.detected);
-      ("undetectable", J.Int s.undetectable);
-      ("raw_coverage", J.Float s.raw_coverage);
-      ("pruned_coverage", J.Float s.pruned_coverage);
-    ]
+(* Execute one request and print its rendering: through the daemon when
+   [connect] names its socket, else locally on a fresh session — the
+   same [Service.execute] either way, so the bytes match.  [on_meta]
+   lets a subcommand consume side artifacts (DOT graph, baseline lines)
+   before the exit status is applied; [force_ok] downgrades a Findings
+   exit to success (lint --update-baseline).  *)
+let run_request ?(on_meta = fun (_ : S.Service.meta) -> ())
+    ?(force_ok = false) ~connect ~trace ~manifest (req : S.Request.t) =
+  let finish (resp : S.Response.t) =
+    print_string resp.S.Response.output;
+    (match resp.S.Response.error with
+    | Some m -> Format.eprintf "olfu %s: %s@." (req_op_name req) m
+    | None -> ());
+    exit_with (if force_ok then S.Response.Success else resp.S.Response.status)
+  in
+  match connect with
+  | Some socket -> (
+    if trace <> None || manifest <> None then
+      Format.eprintf
+        "olfu: --trace/--manifest are local; with --connect use the \
+         daemon's --audit log@.";
+    match S.Client.request ~wait_seconds:5. ~socket req with
+    | Error msg ->
+      Format.eprintf "olfu %s: %s@." (req_op_name req) msg;
+      exit 2
+    | Ok resp -> finish resp)
+  | None ->
+    let sink = sink_for ~trace ~manifest in
+    let session = S.Session.create () in
+    let resp, meta = S.Service.execute session ~sink req in
+    print_string resp.S.Response.output;
+    (match resp.S.Response.error with
+    | Some m -> Format.eprintf "olfu %s: %s@." (req_op_name req) m
+    | None -> ());
+    on_meta meta;
+    (match req.S.Request.body with
+    | S.Request.Run r ->
+      write_obs ~trace ~manifest
+        ~config:(S.Service.config_fields r)
+        ~steps:meta.S.Service.steps ~prep:meta.S.Service.prep
+        ~extra:meta.S.Service.extras
+        ~wall_seconds:resp.S.Response.seconds sink
+    | _ -> ());
+    exit_with (if force_ok then S.Response.Success else resp.S.Response.status)

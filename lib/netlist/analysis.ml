@@ -25,6 +25,9 @@ type t = {
   mutable extra : cache list;
       (* downstream per-netlist caches (e.g. the slice graph), appended
          under [cm]; first-published entry of a constructor wins *)
+  mutable digest : string option;
+      (* content digest, built lazily under [cm]; the artifact-cache key
+         of the analysis service *)
   cm : Mutex.t;
   mutable cone_budget : int;
 }
@@ -344,6 +347,64 @@ let order_by_cost t ~site n =
     order;
   order
 
+(* Content digest over everything that can change an analysis result:
+   cell kinds, fanin wiring, net names and role assignments, in node
+   order.  Two netlists with equal digests are behaviourally identical
+   to every engine, so the digest is a sound memo key for derived
+   artifacts (flow reports, implication databases, fixpoints). *)
+let role_string = function
+  | Netlist.Clock -> "CK"
+  | Netlist.Reset -> "RS"
+  | Netlist.Scan_enable -> "SE"
+  | Netlist.Scan_in -> "SI"
+  | Netlist.Scan_out -> "SO"
+  | Netlist.Debug_control -> "DC"
+  | Netlist.Debug_observe -> "DO"
+  | Netlist.Address_reg i -> "AR" ^ string_of_int i
+  | Netlist.Address_port i -> "AP" ^ string_of_int i
+
+let compute_digest nl =
+  let b = Buffer.create (Netlist.length nl * 16) in
+  Buffer.add_string b (string_of_int (Netlist.length nl));
+  Netlist.iter_nodes
+    (fun i nd ->
+      Buffer.add_char b '\n';
+      Buffer.add_string b (string_of_int i);
+      Buffer.add_char b ' ';
+      Buffer.add_string b (Cell.kind_name nd.Netlist.kind);
+      Array.iter
+        (fun f ->
+          Buffer.add_char b ' ';
+          Buffer.add_string b (string_of_int f))
+        nd.Netlist.fanin;
+      match nd.Netlist.name with
+      | None -> ()
+      | Some s ->
+        Buffer.add_char b '/';
+        Buffer.add_string b s)
+    nl;
+  List.iter
+    (fun (i, r) ->
+      Buffer.add_char b '\n';
+      Buffer.add_string b (string_of_int i);
+      Buffer.add_char b ':';
+      Buffer.add_string b (role_string r))
+    (Netlist.role_assignments nl);
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let digest t =
+  Mutex.lock t.cm;
+  let d =
+    match t.digest with
+    | Some d -> d
+    | None ->
+      let d = compute_digest t.nl in
+      t.digest <- Some d;
+      d
+  in
+  Mutex.unlock t.cm;
+  d
+
 let make nl =
   let n = Netlist.length nl in
   let topo_pos = Array.make n (-1) in
@@ -363,6 +424,7 @@ let make nl =
     ipdom = None;
     cost = None;
     extra = [];
+    digest = None;
     cm = Mutex.create ();
     cone_budget = memo_budget;
   }
@@ -392,3 +454,5 @@ let get nl =
   in
   Mutex.unlock gm;
   a
+
+let digest_of nl = digest (get nl)

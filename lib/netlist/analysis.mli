@@ -40,6 +40,17 @@ val find_cache : t -> (cache -> 'a option) -> 'a option
 val add_cache : t -> cache -> unit
 (** Appends a cache entry (never replaces — see {!find_cache}). *)
 
+val digest : t -> string
+(** Hex content digest of the netlist: cell kinds, fanin wiring, net
+    names and role assignments in node order.  Netlists with equal
+    digests are indistinguishable to every engine, so the digest is a
+    sound memo key for derived artifacts — the analysis service keys its
+    flow-report/implication/fixpoint caches on it.  Computed once per
+    analysis (lazily, under the analysis lock). *)
+
+val digest_of : Netlist.t -> string
+(** [digest (get nl)]. *)
+
 val netlist : t -> Netlist.t
 
 val sources : t -> int array

@@ -72,3 +72,15 @@ let make ?(config = []) ?(steps = []) ?(prep = []) ?(extra = [])
     @ extra)
 
 let to_file m path = Json.to_file ~indent:true path m
+
+(* Request-scoped audit: the analysis daemon appends one compact
+   manifest per served request.  Appends are serialized by the caller
+   (the server holds its audit mutex); the channel is opened per line so
+   external log rotation cannot strand a stale descriptor. *)
+let append_line m path =
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+  in
+  output_string oc (Json.to_string m);
+  output_char oc '\n';
+  close_out oc

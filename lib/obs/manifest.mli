@@ -37,3 +37,9 @@ val make :
     process's GC [top_heap_words] (in bytes) at manifest time. *)
 
 val to_file : Json.t -> string -> unit
+
+val append_line : Json.t -> string -> unit
+(** Append the value as one compact JSON line (creating the file when
+    absent) — the daemon's per-request audit record: one {!make}
+    manifest per served request, written under the server's audit
+    lock. *)

@@ -328,12 +328,30 @@ let parallel_chunks t ~n ?chunk ?(trace = Trace.null) ?(label = "pool") f =
 (* ------------------------------------------------------------------ *)
 
 (* Spawning domains costs a stop-the-world per spawn and join; a flow
-   dispatches through the pool many times, so [with_pool] leases one
-   process-global pool per effective size instead of respawning.  Pools
-   created directly with [create] are never registered. *)
-let registry : (int, t) Hashtbl.t = Hashtbl.create 7
+   dispatches through the pool many times, so [with_pool] leases
+   process-global pools instead of respawning.  The registry keeps a
+   small list of pools per effective size: a long-lived server handling
+   overlapping requests with the same [jobs] leases one pool each
+   instead of paying a full spawn/join cycle per request (the old
+   single-slot registry did exactly that whenever its one pool was
+   busy).  Beyond [registry_cap] concurrent leases of one size, extra
+   pools are private to the call and shut down on release, bounding the
+   number of resident domains.  Pools created directly with [create] are
+   never registered.
+
+   Lock discipline: [registry_m] only ever protects the table and the
+   [leased] flags — never held across [create] (a domain spawn is a
+   stop-the-world) or [f] — so concurrent [with_pool] calls from
+   different domains, with equal or different sizes, cannot deadlock. *)
+let registry : (int, t list) Hashtbl.t = Hashtbl.create 7
+let registry_cap = 4
 let registry_m = Mutex.create ()
 let at_exit_installed = ref false
+
+let release p =
+  Mutex.lock registry_m;
+  p.leased <- false;
+  Mutex.unlock registry_m
 
 let with_pool ?(oversubscribe = false) ~jobs f =
   let njobs = effective ~oversubscribe jobs in
@@ -347,41 +365,39 @@ let with_pool ?(oversubscribe = false) ~jobs f =
       at_exit_installed := true;
       Stdlib.at_exit (fun () ->
           Mutex.lock registry_m;
-          let ps = Hashtbl.fold (fun _ p acc -> p :: acc) registry [] in
+          let ps =
+            Hashtbl.fold (fun _ ps acc -> ps @ acc) registry []
+          in
           Hashtbl.reset registry;
           Mutex.unlock registry_m;
           List.iter shutdown ps)
     end;
+    let pools =
+      Option.value ~default:[] (Hashtbl.find_opt registry njobs)
+    in
     let reused =
-      match Hashtbl.find_opt registry njobs with
-      | Some p when not p.leased ->
+      match List.find_opt (fun p -> not p.leased) pools with
+      | Some p ->
         p.leased <- true;
         Some p
-      | _ -> None
+      | None -> None
     in
     Mutex.unlock registry_m;
     match reused with
-    | Some p ->
-      Fun.protect
-        ~finally:(fun () ->
-          Mutex.lock registry_m;
-          p.leased <- false;
-          Mutex.unlock registry_m)
-        (fun () -> f p)
+    | Some p -> Fun.protect ~finally:(fun () -> release p) (fun () -> f p)
     | None ->
       let p = create ~jobs:njobs () in
       p.leased <- true;
       Mutex.lock registry_m;
-      let keep = not (Hashtbl.mem registry njobs) in
-      if keep then Hashtbl.replace registry njobs p;
+      let pools =
+        Option.value ~default:[] (Hashtbl.find_opt registry njobs)
+      in
+      (* two racers may both register here; the cap stays approximate,
+         which only ever costs an extra resident pool, never a leak *)
+      let keep = List.length pools < registry_cap in
+      if keep then Hashtbl.replace registry njobs (p :: pools);
       Mutex.unlock registry_m;
       Fun.protect
-        ~finally:(fun () ->
-          if keep then begin
-            Mutex.lock registry_m;
-            p.leased <- false;
-            Mutex.unlock registry_m
-          end
-          else shutdown p)
+        ~finally:(fun () -> if keep then release p else shutdown p)
         (fun () -> f p)
   end

@@ -95,4 +95,13 @@ val with_pool : ?oversubscribe:bool -> jobs:int -> (t -> 'a) -> 'a
     and kept alive for reuse (domain spawn/join is a stop-the-world per
     domain, and flows dispatch through the pool many times), shutting
     down at process exit; size-1 and oversubscribed pools are private to
-    the call and shut down on exit, including on exception. *)
+    the call and shut down on exit, including on exception.
+
+    Safe under concurrency: overlapping calls from different domains —
+    the analysis daemon serving simultaneous requests with equal or
+    different [jobs] values — each lease a distinct pool (the registry
+    keeps a short list per size, spilling to private pools beyond it),
+    and the registry lock is never held across pool creation or [f], so
+    nested or concurrent leases cannot deadlock.  Results remain
+    jobs-invariant by the consumers' contract regardless of which pool a
+    request lands on. *)

@@ -1,0 +1,28 @@
+(** Client side of the daemon protocol: connect to the Unix-domain
+    socket, send one compact JSON request per line, read one response
+    per line.
+
+    Everything returns [result] — a missing socket, a dead server or a
+    garbled reply is an [Error] with a human-readable message, never an
+    exception, because the CLI adapter turns it straight into an exit-2
+    diagnostic. *)
+
+type t
+
+val connect : ?wait_seconds:float -> string -> (t, string) result
+(** Connect to the socket path.  [wait_seconds] retries (50 ms apart)
+    while the socket is missing or refusing — the "daemon still
+    starting" window; default [0.] fails immediately. *)
+
+val close : t -> unit
+
+val rpc : t -> Request.t -> (Response.t, string) result
+(** Send one request, block for its response. *)
+
+val rpc_line : t -> string -> (string, string) result
+(** Raw variant: send an arbitrary line, return the raw response line.
+    For protocol tests and [olfu client --raw]. *)
+
+val request :
+  ?wait_seconds:float -> socket:string -> Request.t -> (Response.t, string) result
+(** One-shot: connect, {!rpc}, close. *)

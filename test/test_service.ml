@@ -1,0 +1,385 @@
+(* Service layer: request/response wire round-trips, malformed-input
+   robustness, session cache identity and LRU eviction, jobs-invariance
+   of concurrent sessions, and the daemon protocol over a real Unix
+   socket. *)
+
+module S = Olfu_service
+module Req = S.Request
+module Resp = S.Response
+module J = Olfu_obs.Json
+
+(* --- generators --- *)
+
+let gen_target =
+  QCheck.Gen.oneof
+    [
+      QCheck.Gen.oneofl
+        [ Req.Config "tcore32"; Req.Config "tcore16"; Req.Config "x" ];
+      QCheck.Gen.map (fun s -> Req.File s) (QCheck.Gen.oneofl
+        [ "nl.v"; "/tmp/some netlist.v"; "a\"b\\c.v" ]);
+    ]
+
+let gen_fmt = QCheck.Gen.oneofl [ Req.Text; Req.Json; Req.Summary ]
+
+let gen_ff_mode =
+  QCheck.Gen.oneofl
+    Olfu_atpg.Ternary.[ Cut; Reset_join; Steady_state ]
+
+let gen_fail_on =
+  QCheck.Gen.oneofl
+    [
+      Req.Never;
+      Req.Fail_on Olfu_lint.Rule.Error;
+      Req.Fail_on Olfu_lint.Rule.Warning;
+      Req.Fail_on Olfu_lint.Rule.Info;
+    ]
+
+let gen_op =
+  let open QCheck.Gen in
+  let small = int_bound 64 in
+  oneof
+    [
+      map (fun paper -> Req.Analyze { paper }) bool;
+      (let* waivers = opt (oneofl [ "w.json"; "dir/w.json" ]) in
+       let* baseline = opt (oneofl [ "b.txt"; "base line.txt" ]) in
+       let* disabled = list_size (int_bound 3) (oneofl [ "STR001"; "CONF2" ]) in
+       let* software = bool in
+       let* invariants = bool in
+       let* fail_on = gen_fail_on in
+       return
+         (Req.Lint { waivers; baseline; disabled; software; invariants; fail_on }));
+      (let* learn_depth = small in
+       let* learn_budget = int_bound 1_000_000 in
+       let* invariants = bool in
+       return (Req.Implic { learn_depth; learn_budget; invariants }));
+      (let* programs = list_size (int_bound 3) (oneofl [ "memcpy"; "crc" ]) in
+       let* asm = opt (oneofl [ "p.asm" ]) in
+       return (Req.Absint { programs; asm }));
+      (let* k = small in
+       let* no_prove = bool in
+       return (Req.Invar { k; no_prove }));
+      (let* window = small in
+       let* seu_limit = small in
+       return (Req.Safety { window; seu_limit }));
+      map (fun dot -> Req.Slice { dot }) bool;
+      map (fun sample -> Req.Coverage { sample }) small;
+    ]
+
+let gen_request =
+  let open QCheck.Gen in
+  let* id = int_bound 10_000 in
+  let* body =
+    oneof
+      [
+        return Req.Ping;
+        return Req.Stats;
+        return Req.Shutdown;
+        (let* target = gen_target in
+         let* ff_mode = gen_ff_mode in
+         let* jobs = int_range 1 8 in
+         let* implic = bool in
+         let* fmt = gen_fmt in
+         let* op = gen_op in
+         return (Req.Run { target; ff_mode; jobs; implic; fmt; op }));
+      ]
+  in
+  return { Req.id; body }
+
+let arb_request = QCheck.make ~print:Req.to_line gen_request
+
+(* Response seconds use exact binary fractions so the float survives the
+   decimal wire format bit-for-bit. *)
+let gen_response =
+  let open QCheck.Gen in
+  let* id = int_bound 10_000 in
+  let* status = oneofl [ Resp.Success; Resp.Findings; Resp.Bad_input ] in
+  let* cache_hit = bool in
+  let* sixteenths = int_bound 64 in
+  let* output = oneofl [ ""; "pong\n"; "{\n  \"a\": 1\n}\n"; "x \"y\"\n\tz" ] in
+  let* error = opt (oneofl [ "unknown config"; "bad \"quoted\" name" ]) in
+  return
+    (Resp.make ~cache_hit
+       ~seconds:(float_of_int sixteenths /. 16.)
+       ?error ~id ~status output)
+
+let arb_response = QCheck.make ~print:Resp.to_line gen_response
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      QCheck.Test.make ~count:500 ~name:"request wire round-trip" arb_request
+        (fun req ->
+          match Req.of_string (Req.to_line req) with
+          | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e
+          | Ok req' -> Req.to_line req' = Req.to_line req);
+      QCheck.Test.make ~count:500 ~name:"response wire round-trip"
+        arb_response (fun resp ->
+          match Resp.of_string (Resp.to_line resp) with
+          | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e
+          | Ok resp' -> resp' = resp);
+      QCheck.Test.make ~count:500 ~name:"fingerprint ignores jobs and fmt"
+        arb_request (fun req ->
+          match req.Req.body with
+          | Req.Run r ->
+            Req.fingerprint { r with jobs = r.jobs + 3; fmt = Req.Text }
+            = Req.fingerprint r
+          | _ -> QCheck.assume_fail ());
+    ]
+
+(* --- malformed input: always Error, never an exception --- *)
+
+let malformed_lines =
+  [
+    "";
+    "not json";
+    "[1,2,3]";
+    "{}";
+    "{\"op\": \"frobnicate\"}";
+    "{\"op\": 7}";
+    "{\"op\": \"analyze\", \"target\": {\"planet\": \"mars\"}}";
+    "{\"op\": \"analyze\", \"ff_mode\": \"sideways\"}";
+    "{\"op\": \"analyze\", \"format\": \"xml\"}";
+    "{\"op\": \"analyze\", \"id\": \"twelve\"}";
+    "{\"op\": \"analyze\"";
+    "{\"op\": \"lint\", \"params\": {\"fail_on\": \"fatal\"}}";
+  ]
+
+let test_malformed_decode () =
+  List.iter
+    (fun line ->
+      match Req.of_string line with
+      | Error _ -> ()
+      | Ok req ->
+        Alcotest.failf "accepted malformed %S as %s" line (Req.to_line req))
+    malformed_lines
+
+let test_tolerant_decode () =
+  (* only "op" is required; everything else defaults like the CLI *)
+  match Req.of_string "{\"op\": \"analyze\", \"wholly_unknown\": true}" with
+  | Error e -> Alcotest.failf "minimal request rejected: %s" e
+  | Ok { Req.body = Req.Run r; _ } ->
+    let d = Req.default_run in
+    Alcotest.(check string)
+      "defaults" (Req.fingerprint d) (Req.fingerprint r);
+    Alcotest.(check int) "jobs" d.Req.jobs r.Req.jobs
+  | Ok _ -> Alcotest.fail "decoded to a non-run body"
+
+(* --- execute: structured failures, cache identity --- *)
+
+let run_req ?(id = 1) ?(fmt = Req.Json) ?(target = Req.Config "tcore16") op =
+  Req.run ~id ~fmt target op
+
+let exec session req = fst (S.Service.execute session req)
+
+let test_bad_requests_are_responses () =
+  let session = S.Session.create () in
+  let cases =
+    [
+      ("unknown config", run_req ~target:(Req.Config "nope") (Req.Analyze { paper = false }));
+      ("missing file", run_req ~target:(Req.File "/nonexistent/x.v") (Req.Analyze { paper = false }));
+      ("absint on file", run_req ~target:(Req.File "/nonexistent/x.v") (Req.Absint { programs = []; asm = None }));
+      ("unknown program", run_req (Req.Absint { programs = [ "no_such_prog" ]; asm = None }));
+      ("missing waivers", run_req (Req.Lint { waivers = Some "/nonexistent/w.json"; baseline = None; disabled = []; software = false; invariants = false; fail_on = Req.Never }));
+    ]
+  in
+  List.iter
+    (fun (what, req) ->
+      let resp = exec session req in
+      Alcotest.(check bool)
+        (what ^ ": bad input") true
+        (resp.Resp.status = Resp.Bad_input);
+      Alcotest.(check bool)
+        (what ^ ": has diagnostic") true
+        (resp.Resp.error <> None))
+    cases
+
+let test_cache_hit_identity () =
+  let session = S.Session.create () in
+  let ops =
+    [
+      ("analyze", Req.Analyze { paper = false });
+      ("slice", Req.Slice { dot = false });
+      ("coverage", Req.Coverage { sample = 50 });
+    ]
+  in
+  List.iter
+    (fun (what, op) ->
+      let cold = exec session (run_req op) in
+      let warm = exec session (run_req ~id:2 op) in
+      Alcotest.(check bool) (what ^ ": cold is a miss") false
+        cold.Resp.cache_hit;
+      Alcotest.(check bool) (what ^ ": warm is a hit") true
+        warm.Resp.cache_hit;
+      Alcotest.(check string) (what ^ ": byte-identical json")
+        cold.Resp.output warm.Resp.output;
+      (* a different rendering of the same outcome is also a hit *)
+      let text = exec session (run_req ~id:3 ~fmt:Req.Text op) in
+      Alcotest.(check bool) (what ^ ": other format hits") true
+        text.Resp.cache_hit)
+    ops;
+  let st = S.Session.stats session in
+  Alcotest.(check bool) "no eviction under default budget" true
+    (st.S.Session.evictions = 0)
+
+let test_stats_and_ping () =
+  let session = S.Session.create () in
+  let ping = exec session { Req.id = 9; body = Req.Ping } in
+  Alcotest.(check string) "pong" "pong\n" ping.Resp.output;
+  Alcotest.(check int) "id echoed" 9 ping.Resp.id;
+  ignore (exec session (run_req (Req.Analyze { paper = false })));
+  let stats = exec session { Req.id = 10; body = Req.Stats } in
+  match J.parse stats.Resp.output with
+  | Error e -> Alcotest.failf "stats not json: %s" e
+  | Ok j ->
+    Alcotest.(check bool) "entries > 0" true
+      (match Option.bind (J.member "entries" j) J.to_int_opt with
+      | Some n -> n > 0
+      | None -> false)
+
+(* --- LRU eviction --- *)
+
+let test_lru_eviction () =
+  (* Budget far below one loaded netlist: every insert evicts the
+     previous entries, the just-added survivor stays usable. *)
+  let session = S.Session.create ~byte_budget:(64 * 1024) () in
+  let r1 = exec session (run_req (Req.Slice { dot = false })) in
+  let r2 = exec session (run_req ~id:2 (Req.Analyze { paper = false })) in
+  Alcotest.(check bool) "both succeed" true
+    (r1.Resp.status = Resp.Success && r2.Resp.status = Resp.Success);
+  let st = S.Session.stats session in
+  Alcotest.(check bool) "evictions happened" true (st.S.Session.evictions > 0);
+  Alcotest.(check bool) "at most one entry survives" true
+    (st.S.Session.entries <= 1);
+  (* correctness is unaffected: re-running evicted work matches *)
+  let r1' = exec session (run_req ~id:3 (Req.Slice { dot = false })) in
+  Alcotest.(check string) "evicted rerun identical" r1.Resp.output
+    r1'.Resp.output
+
+let test_direct_lru_order () =
+  let session = S.Session.create ~byte_budget:1 () in
+  let v s = S.Session.Outcome
+      { json = s; text = s; summary = s; status = Resp.Success; aux = [] }
+  in
+  S.Session.add session "a" (v "a");
+  S.Session.add session "b" (v "b");
+  (* budget 1 byte: adding b evicts a (never the entry just added) *)
+  Alcotest.(check bool) "a evicted" true (S.Session.find session "a" = None);
+  Alcotest.(check bool) "b resident" true (S.Session.find session "b" <> None)
+
+(* --- concurrent sessions: jobs-invariance across domain pools --- *)
+
+let test_concurrent_jobs_invariant () =
+  (* Two daemon-style requests overlapping in time with different --jobs
+     must produce identical bytes: the pool registry hands each its own
+     domain pool and no flow result depends on worker count. *)
+  let run jobs =
+    Domain.spawn (fun () ->
+        let session = S.Session.create () in
+        let resp =
+          exec session
+            (Req.run ~fmt:Req.Json ~jobs (Req.Config "tcore16")
+               (Req.Analyze { paper = false }))
+        in
+        (resp.Resp.status, resp.Resp.output))
+  in
+  let d1 = run 1 and d4 = run 4 in
+  let s1, o1 = Domain.join d1 and s4, o4 = Domain.join d4 in
+  Alcotest.(check bool) "both succeed" true
+    (s1 = Resp.Success && s4 = Resp.Success);
+  Alcotest.(check string) "jobs=1 and jobs=4 byte-identical" o1 o4
+
+(* --- the daemon over a real socket --- *)
+
+let short_tmp_socket () =
+  (* Unix socket paths are capped (~108 bytes); keep it short. *)
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "olfu-t%d.sock" (Unix.getpid ()))
+
+let test_daemon_protocol () =
+  let socket = short_tmp_socket () in
+  let server =
+    Domain.spawn (fun () ->
+        S.Server.serve
+          { (S.Server.default ~socket) with workers = 2 })
+  in
+  let conn =
+    match S.Client.connect ~wait_seconds:10. socket with
+    | Ok c -> c
+    | Error e -> Alcotest.failf "connect: %s" e
+  in
+  Fun.protect
+    ~finally:(fun () -> S.Client.close conn)
+    (fun () ->
+      (match S.Client.rpc conn { Req.id = 1; body = Req.Ping } with
+      | Ok r -> Alcotest.(check string) "ping" "pong\n" r.Resp.output
+      | Error e -> Alcotest.failf "ping: %s" e);
+      (* malformed line: structured error, connection survives *)
+      (match S.Client.rpc_line conn "}{ not json" with
+      | Ok line -> (
+        match Resp.of_string line with
+        | Ok r ->
+          Alcotest.(check bool) "malformed -> bad input" true
+            (r.Resp.status = Resp.Bad_input)
+        | Error e -> Alcotest.failf "unparseable error reply: %s" e)
+      | Error e -> Alcotest.failf "malformed rpc: %s" e);
+      let req = run_req (Req.Analyze { paper = false }) in
+      let cold =
+        match S.Client.rpc conn req with
+        | Ok r -> r
+        | Error e -> Alcotest.failf "cold analyze: %s" e
+      in
+      let warm =
+        match S.Client.rpc conn { req with Req.id = 2 } with
+        | Ok r -> r
+        | Error e -> Alcotest.failf "warm analyze: %s" e
+      in
+      Alcotest.(check bool) "warm is a cache hit" true warm.Resp.cache_hit;
+      Alcotest.(check string) "cold/warm identical" cold.Resp.output
+        warm.Resp.output;
+      (* daemon bytes = local bytes for the same request *)
+      let local = exec (S.Session.create ()) req in
+      Alcotest.(check string) "daemon = one-shot" local.Resp.output
+        cold.Resp.output);
+  (match
+     S.Client.request ~wait_seconds:1. ~socket
+       { Req.id = 99; body = Req.Shutdown }
+   with
+  | Ok r -> Alcotest.(check string) "bye" "bye\n" r.Resp.output
+  | Error e -> Alcotest.failf "shutdown: %s" e);
+  Domain.join server;
+  Alcotest.(check bool) "socket removed" false (Sys.file_exists socket)
+
+let () =
+  Alcotest.run "service"
+    [
+      ("wire", qcheck_tests);
+      ( "decode",
+        [
+          Alcotest.test_case "malformed lines rejected" `Quick
+            test_malformed_decode;
+          Alcotest.test_case "tolerant defaults" `Quick test_tolerant_decode;
+        ] );
+      ( "execute",
+        [
+          Alcotest.test_case "bad requests are responses" `Quick
+            test_bad_requests_are_responses;
+          Alcotest.test_case "cache hit identity" `Quick
+            test_cache_hit_identity;
+          Alcotest.test_case "stats and ping" `Quick test_stats_and_ping;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "lru eviction under budget" `Quick
+            test_lru_eviction;
+          Alcotest.test_case "lru order" `Quick test_direct_lru_order;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "jobs-invariant overlapping sessions" `Quick
+            test_concurrent_jobs_invariant;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "socket protocol" `Quick test_daemon_protocol;
+        ] );
+    ]

@@ -157,3 +157,79 @@ slice_identity() {
     }' BENCH_slice.json
 }
 gate slice-identity slice_identity
+
+# Daemon gate: start `olfu serve` in the background, require a warm
+# repeat of the same analyze request to come back as a cache hit in
+# < 0.5x the cold wall time with byte-identical output, require lint
+# through the daemon to agree with the one-shot CLI, then shut the
+# daemon down cleanly (it must exit 0 and remove its socket).
+serve_gate() {
+  # the build gate has already run: use the binary directly so the
+  # backgrounded daemon and the clients never race dune's build lock
+  _CLI=_build/default/bin/olfu_cli.exe
+  _sock="$OBS_TMP/olfu.sock"
+  "$_CLI" serve --socket "$_sock" --workers 2 \
+    > "$OBS_TMP/serve.log" 2>&1 &
+  _srv=$!
+  "$_CLI" client --socket "$_sock" --wait 10 --ping \
+    > /dev/null
+
+  _req='{"op": "analyze", "target": {"config": "tcore32"}, "jobs": 2, "format": "json"}'
+  _t0=$(date +%s.%N 2>/dev/null || date +%s)
+  "$_CLI" client --socket "$_sock" --raw "$_req" \
+    > "$OBS_TMP/cold.raw"
+  _t1=$(date +%s.%N 2>/dev/null || date +%s)
+  "$_CLI" client --socket "$_sock" --raw "$_req" \
+    > "$OBS_TMP/warm.raw"
+  _t2=$(date +%s.%N 2>/dev/null || date +%s)
+
+  grep -q '"cache_hit":false' "$OBS_TMP/cold.raw" || {
+    echo "serve: cold request unexpectedly hit the cache"; return 1; }
+  grep -q '"cache_hit":true' "$OBS_TMP/warm.raw" || {
+    echo "serve: warm repeat was not a cache hit"; return 1; }
+
+  # identity modulo the envelope: neutralize the wall-clock and
+  # cache-hit fields of the raw one-line responses before comparing —
+  # everything else, including the full rendered output, must match
+  _strip='s/"seconds":[0-9.eE+-]*/"seconds":0/; s/"cache_hit":[a-z]*/"cache_hit":x/'
+  sed "$_strip" "$OBS_TMP/cold.raw" > "$OBS_TMP/cold.strip"
+  sed "$_strip" "$OBS_TMP/warm.raw" > "$OBS_TMP/warm.strip"
+  cmp -s "$OBS_TMP/cold.strip" "$OBS_TMP/warm.strip" || {
+    echo "serve: warm bytes differ from cold bytes"; return 1; }
+  "$_CLI" analyze -c tcore32 -j 2 --format json \
+    --connect "$_sock" > "$OBS_TMP/daemon.json"
+  "$_CLI" analyze -c tcore32 -j 2 --format json \
+    > "$OBS_TMP/oneshot.json"
+  cmp -s "$OBS_TMP/daemon.json" "$OBS_TMP/oneshot.json" || {
+    echo "serve: daemon and one-shot CLI output differ"; return 1; }
+
+  # the warm round-trip must beat half the cold wall time (the cold
+  # request carries generate + flow; sub-second timers only on busybox
+  # date fall back to whole seconds, where 0 < 0.5*cold still holds)
+  awk -v c="$_t1" -v a="$_t0" -v w="$_t2" '
+    BEGIN {
+      cold = c - a; warm = w - c
+      if (cold > 0 && warm >= 0.5 * cold) {
+        printf "serve: warm %.3fs not < 0.5x cold %.3fs\n", warm, cold
+        exit 1
+      }
+    }' || return 1
+
+  "$_CLI" lint -c tcore16 --connect "$_sock" \
+    > "$OBS_TMP/lint-daemon.txt"
+  "$_CLI" lint -c tcore16 \
+    > "$OBS_TMP/lint-oneshot.txt"
+  cmp -s "$OBS_TMP/lint-daemon.txt" "$OBS_TMP/lint-oneshot.txt" || {
+    echo "serve: daemon and one-shot lint output differ"; return 1; }
+
+  "$_CLI" client --socket "$_sock" --shutdown \
+    > /dev/null
+  wait $_srv || { echo "serve: daemon exited non-zero"; return 1; }
+  [ ! -S "$_sock" ] || { echo "serve: socket left behind"; return 1; }
+}
+gate serve serve_gate
+
+# Daemon bench gate: cold/warm/speedup/identity/throughput figures,
+# with the cache-hit, 2x-speedup and byte-identity gates enforced by
+# the bench itself; refreshes BENCH_serve.json.
+gate serve-bench dune exec bench/main.exe -- serve
